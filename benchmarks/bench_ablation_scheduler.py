@@ -1,0 +1,56 @@
+"""Ablation: warp-scheduler interleaving (benign-race manifestation).
+
+The paper argues ECL-CC's data races are benign: any interleaving gives a
+correct answer, and the races only affect how much duplicate compression
+work happens.  This bench runs ECL-CC under many random warp schedules
+and reports the runtime spread — correctness is asserted for every seed,
+and the spread quantifies how much the races can cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.ecl_cc_gpu import ecl_cc_gpu
+from repro.core.verify import reference_labels
+from repro.experiments.report import ExperimentReport
+from repro.experiments.runner import device_for, suite_graphs
+from repro.gpusim.device import TITAN_X
+
+from .conftest import REPORT_DIR
+
+SEEDS = list(range(8))
+
+
+def test_scheduler_seed_sensitivity(benchmark, bench_scale, bench_names, bench_repeats):
+    def sweep() -> ExperimentReport:
+        report = ExperimentReport(
+            "ablation-scheduler",
+            "ECL-CC runtime spread over random warp schedules (min/median/max, "
+            "relative to deterministic round-robin)",
+            ["Graph name", "min", "median", "max"],
+        )
+        for g in suite_graphs(bench_scale, bench_names):
+            dev = device_for(g, TITAN_X)
+            ref = reference_labels(g)
+            base = ecl_cc_gpu(g, device=dev).total_time_ms
+            times = []
+            for seed in SEEDS:
+                res = ecl_cc_gpu(g, device=dev, seed=seed)
+                assert np.array_equal(res.labels, ref), (g.name, seed)
+                times.append(res.total_time_ms / base)
+            times.sort()
+            report.add_row(
+                g.name,
+                round(times[0], 3),
+                round(times[len(times) // 2], 3),
+                round(times[-1], 3),
+            )
+        report.compute_geomean()
+        return report
+
+    report = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    REPORT_DIR.mkdir(exist_ok=True)
+    (REPORT_DIR / f"ablation_scheduler_{bench_scale}.txt").write_text(report.render() + "\n")
+    print()
+    print(report.render())

@@ -1,0 +1,52 @@
+"""Ablation: the degree thresholds (16/352) that split the three compute
+kernels.
+
+The paper (§3): "These thresholds were determined experimentally.
+Varying them by quite a bit does not significantly affect the
+performance."  This bench sweeps the thresholds and checks that claim:
+every configuration must stay within a small factor of the default.
+"""
+
+from __future__ import annotations
+
+from repro.core.ecl_cc_gpu import ecl_cc_gpu
+from repro.experiments.report import ExperimentReport, geometric_mean
+from repro.experiments.runner import device_for, suite_graphs
+from repro.gpusim.device import TITAN_X
+
+from .conftest import REPORT_DIR
+
+THRESHOLDS = [(4, 64), (8, 176), (16, 352), (32, 704), (64, 1408)]
+
+
+def test_threshold_sweep(benchmark, bench_scale, bench_names, bench_repeats):
+    def sweep() -> ExperimentReport:
+        report = ExperimentReport(
+            "ablation-thresholds",
+            "ECL-CC runtime relative to the default (16, 352) thresholds",
+            ["Graph name", *(f"({m},{h})" for m, h in THRESHOLDS)],
+        )
+        for g in suite_graphs(bench_scale, bench_names):
+            dev = device_for(g, TITAN_X)
+            base = ecl_cc_gpu(g, device=dev, thresholds=(16, 352)).total_time_ms
+            report.add_row(
+                g.name,
+                *(
+                    round(
+                        ecl_cc_gpu(g, device=dev, thresholds=t).total_time_ms / base, 3
+                    )
+                    for t in THRESHOLDS
+                ),
+            )
+        report.compute_geomean()
+        return report
+
+    report = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    REPORT_DIR.mkdir(exist_ok=True)
+    (REPORT_DIR / f"ablation_thresholds_{bench_scale}.txt").write_text(report.render() + "\n")
+    print()
+    print(report.render())
+    # The paper's insensitivity claim: geomean within 2x of default.
+    assert all(
+        not isinstance(v, float) or v < 2.0 for v in report.geomean_row[1:]
+    )

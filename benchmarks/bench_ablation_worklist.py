@@ -1,0 +1,73 @@
+"""Ablation: the double-sided worklist (§3).
+
+"To save memory space, ECL-CC utilizes a double-sided worklist of size n"
+— the alternative is two separate worklists, each of which must be sized
+n to be overflow-safe.  This bench quantifies the memory claim on every
+input and verifies the double-sided structure never overflows even when
+every vertex is pushed.
+"""
+
+from __future__ import annotations
+
+from repro.core.ecl_cc_gpu import ecl_cc_gpu
+from repro.experiments.report import ExperimentReport
+from repro.experiments.runner import device_for, suite_graphs
+from repro.gpusim.device import TITAN_X
+from repro.gpusim.kernel import GPU
+from repro.gpusim.worklist import DoubleSidedWorklist
+
+from .conftest import REPORT_DIR
+
+
+def test_worklist_memory_and_occupancy(benchmark, bench_scale, bench_names, bench_repeats):
+    def sweep() -> ExperimentReport:
+        report = ExperimentReport(
+            "ablation-worklist",
+            "Double-sided worklist occupancy vs the two-list alternative",
+            ["Graph name", "front (kernel2)", "back (kernel3)",
+             "double-sided slots", "two-list slots", "memory saved"],
+        )
+        for g in suite_graphs(bench_scale, bench_names):
+            dev = device_for(g, TITAN_X)
+            res = ecl_cc_gpu(g, device=dev)
+            n = g.num_vertices
+            double_sided = n        # one shared array of n slots
+            two_lists = 2 * n       # each side must be overflow-safe alone
+            report.add_row(
+                g.name,
+                res.worklist_front,
+                res.worklist_back,
+                double_sided,
+                two_lists,
+                f"{100.0 * (two_lists - double_sided) / two_lists:.0f}%",
+            )
+        return report
+
+    report = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    REPORT_DIR.mkdir(exist_ok=True)
+    (REPORT_DIR / f"ablation_worklist_{bench_scale}.txt").write_text(report.render() + "\n")
+    print()
+    print(report.render())
+
+
+def test_worklist_full_occupancy_no_overflow(benchmark):
+    """Pushing all n vertices (any front/back split) must fit exactly."""
+
+    def fill() -> int:
+        gpu = GPU(TITAN_X)
+        n = 1024
+        wl = DoubleSidedWorklist(gpu.memory, n)
+
+        def k(ctx, wl):
+            if ctx.global_id >= n:
+                return
+            if ctx.global_id % 3 == 0:
+                yield from wl.g_push_back(ctx.global_id)
+            else:
+                yield from wl.g_push_front(ctx.global_id)
+
+        gpu.launch(k, n, wl)
+        assert wl.front_count + wl.back_count == n
+        return wl.front_count
+
+    benchmark.pedantic(fill, rounds=1, iterations=1)

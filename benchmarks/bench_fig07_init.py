@@ -1,0 +1,12 @@
+"""Fig. 7 — initialization-kernel ablation (Init1/2/3).
+
+Regenerates the paper artifact 'fig07' through the experiment registry;
+the benchmark value is the wall time of the full regeneration.
+"""
+
+from .conftest import run_and_archive
+
+
+def test_fig07(benchmark, bench_scale, bench_names, bench_repeats):
+    report = run_and_archive(benchmark, "fig07", bench_scale, bench_names, bench_repeats)
+    assert report.rows, "experiment produced no rows"

@@ -1,0 +1,12 @@
+"""Fig. 8 — pointer-jumping ablation (Jump1-4).
+
+Regenerates the paper artifact 'fig08' through the experiment registry;
+the benchmark value is the wall time of the full regeneration.
+"""
+
+from .conftest import run_and_archive
+
+
+def test_fig08(benchmark, bench_scale, bench_names, bench_repeats):
+    report = run_and_archive(benchmark, "fig08", bench_scale, bench_names, bench_repeats)
+    assert report.rows, "experiment produced no rows"

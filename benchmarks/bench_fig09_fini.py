@@ -1,0 +1,12 @@
+"""Fig. 9 — finalization ablation (Fini1-3).
+
+Regenerates the paper artifact 'fig09' through the experiment registry;
+the benchmark value is the wall time of the full regeneration.
+"""
+
+from .conftest import run_and_archive
+
+
+def test_fig09(benchmark, bench_scale, bench_names, bench_repeats):
+    report = run_and_archive(benchmark, "fig09", bench_scale, bench_names, bench_repeats)
+    assert report.rows, "experiment produced no rows"

@@ -1,0 +1,12 @@
+"""Fig. 10 — runtime distribution over the five kernels.
+
+Regenerates the paper artifact 'fig10' through the experiment registry;
+the benchmark value is the wall time of the full regeneration.
+"""
+
+from .conftest import run_and_archive
+
+
+def test_fig10(benchmark, bench_scale, bench_names, bench_repeats):
+    report = run_and_archive(benchmark, "fig10", bench_scale, bench_names, bench_repeats)
+    assert report.rows, "experiment produced no rows"

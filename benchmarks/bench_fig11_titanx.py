@@ -1,0 +1,12 @@
+"""Fig. 11 — GPU comparison, Titan X (normalized).
+
+Regenerates the paper artifact 'fig11' through the experiment registry;
+the benchmark value is the wall time of the full regeneration.
+"""
+
+from .conftest import run_and_archive
+
+
+def test_fig11(benchmark, bench_scale, bench_names, bench_repeats):
+    report = run_and_archive(benchmark, "fig11", bench_scale, bench_names, bench_repeats)
+    assert report.rows, "experiment produced no rows"

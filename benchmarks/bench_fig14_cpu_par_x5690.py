@@ -1,0 +1,12 @@
+"""Fig. 14 — parallel CPU comparison, X5690.
+
+Regenerates the paper artifact 'fig14' through the experiment registry;
+the benchmark value is the wall time of the full regeneration.
+"""
+
+from .conftest import run_and_archive
+
+
+def test_fig14(benchmark, bench_scale, bench_names, bench_repeats):
+    report = run_and_archive(benchmark, "fig14", bench_scale, bench_names, bench_repeats)
+    assert report.rows, "experiment produced no rows"

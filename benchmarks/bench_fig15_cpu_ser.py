@@ -1,0 +1,12 @@
+"""Fig. 15 — serial CPU comparison, E5-2687W.
+
+Regenerates the paper artifact 'fig15' through the experiment registry;
+the benchmark value is the wall time of the full regeneration.
+"""
+
+from .conftest import run_and_archive
+
+
+def test_fig15(benchmark, bench_scale, bench_names, bench_repeats):
+    report = run_and_archive(benchmark, "fig15", bench_scale, bench_names, bench_repeats)
+    assert report.rows, "experiment produced no rows"

@@ -1,0 +1,12 @@
+"""Fig. 17 — geomean runtime across devices.
+
+Regenerates the paper artifact 'fig17' through the experiment registry;
+the benchmark value is the wall time of the full regeneration.
+"""
+
+from .conftest import run_and_archive
+
+
+def test_fig17(benchmark, bench_scale, bench_names, bench_repeats):
+    report = run_and_archive(benchmark, "fig17", bench_scale, bench_names, bench_repeats)
+    assert report.rows, "experiment produced no rows"

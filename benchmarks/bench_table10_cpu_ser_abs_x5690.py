@@ -1,0 +1,12 @@
+"""Table 10 — serial CPU absolute runtimes, X5690.
+
+Regenerates the paper artifact 'table10' through the experiment registry;
+the benchmark value is the wall time of the full regeneration.
+"""
+
+from .conftest import run_and_archive
+
+
+def test_table10(benchmark, bench_scale, bench_names, bench_repeats):
+    report = run_and_archive(benchmark, "table10", bench_scale, bench_names, bench_repeats)
+    assert report.rows, "experiment produced no rows"

@@ -1,0 +1,12 @@
+"""Table 2 — input-graph statistics.
+
+Regenerates the paper artifact 'table2' through the experiment registry;
+the benchmark value is the wall time of the full regeneration.
+"""
+
+from .conftest import run_and_archive
+
+
+def test_table2(benchmark, bench_scale, bench_names, bench_repeats):
+    report = run_and_archive(benchmark, "table2", bench_scale, bench_names, bench_repeats)
+    assert report.rows, "experiment produced no rows"

@@ -1,0 +1,12 @@
+"""Table 3 — L2 accesses of Jump1-3 relative to Jump4.
+
+Regenerates the paper artifact 'table3' through the experiment registry;
+the benchmark value is the wall time of the full regeneration.
+"""
+
+from .conftest import run_and_archive
+
+
+def test_table3(benchmark, bench_scale, bench_names, bench_repeats):
+    report = run_and_archive(benchmark, "table3", bench_scale, bench_names, bench_repeats)
+    assert report.rows, "experiment produced no rows"

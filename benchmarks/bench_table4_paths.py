@@ -1,0 +1,12 @@
+"""Table 4 — observed path lengths.
+
+Regenerates the paper artifact 'table4' through the experiment registry;
+the benchmark value is the wall time of the full regeneration.
+"""
+
+from .conftest import run_and_archive
+
+
+def test_table4(benchmark, bench_scale, bench_names, bench_repeats):
+    report = run_and_archive(benchmark, "table4", bench_scale, bench_names, bench_repeats)
+    assert report.rows, "experiment produced no rows"

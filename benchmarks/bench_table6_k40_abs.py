@@ -1,0 +1,12 @@
+"""Table 6 — GPU absolute runtimes, K40.
+
+Regenerates the paper artifact 'table6' through the experiment registry;
+the benchmark value is the wall time of the full regeneration.
+"""
+
+from .conftest import run_and_archive
+
+
+def test_table6(benchmark, bench_scale, bench_names, bench_repeats):
+    report = run_and_archive(benchmark, "table6", bench_scale, bench_names, bench_repeats)
+    assert report.rows, "experiment produced no rows"

@@ -1,0 +1,12 @@
+"""Table 8 — parallel CPU absolute runtimes, X5690.
+
+Regenerates the paper artifact 'table8' through the experiment registry;
+the benchmark value is the wall time of the full regeneration.
+"""
+
+from .conftest import run_and_archive
+
+
+def test_table8(benchmark, bench_scale, bench_names, bench_repeats):
+    report = run_and_archive(benchmark, "table8", bench_scale, bench_names, bench_repeats)
+    assert report.rows, "experiment produced no rows"

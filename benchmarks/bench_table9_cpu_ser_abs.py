@@ -1,0 +1,12 @@
+"""Table 9 — serial CPU absolute runtimes, E5-2687W.
+
+Regenerates the paper artifact 'table9' through the experiment registry;
+the benchmark value is the wall time of the full regeneration.
+"""
+
+from .conftest import run_and_archive
+
+
+def test_table9(benchmark, bench_scale, bench_names, bench_repeats):
+    report = run_and_archive(benchmark, "table9", bench_scale, bench_names, bench_repeats)
+    assert report.rows, "experiment produced no rows"

@@ -1,0 +1,62 @@
+"""Benchmark configuration.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE`` — suite scale (``tiny`` default so the whole
+  harness completes in minutes; use ``small`` for the higher-fidelity
+  numbers recorded in EXPERIMENTS.md).
+* ``REPRO_BENCH_NAMES`` — comma-separated subset of the 18 inputs.
+
+Each experiment bench runs its table/figure exactly once (the simulator
+is deterministic), reports the wall time of regenerating it through
+pytest-benchmark, prints the rendered table, and archives it under
+``benchmarks/reports/``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import run_experiment
+
+REPORT_DIR = Path(__file__).parent / "reports"
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> str:
+    return os.environ.get("REPRO_BENCH_SCALE", "tiny")
+
+
+@pytest.fixture(scope="session")
+def bench_names() -> list[str] | None:
+    raw = os.environ.get("REPRO_BENCH_NAMES", "")
+    return [n for n in raw.split(",") if n] or None
+
+
+@pytest.fixture(scope="session")
+def bench_repeats() -> int:
+    return int(os.environ.get("REPRO_BENCH_REPEATS", "1"))
+
+
+def run_and_archive(benchmark, exp_id: str, scale: str, names, repeats: int):
+    """Regenerate one experiment once, archive and print its report."""
+    result = benchmark.pedantic(
+        run_experiment,
+        args=(exp_id,),
+        kwargs={"scale": scale, "names": names, "repeats": repeats},
+        rounds=1,
+        iterations=1,
+    )
+    REPORT_DIR.mkdir(exist_ok=True)
+    text = result.render()
+    (REPORT_DIR / f"{exp_id}_{scale}.txt").write_text(text + "\n")
+    print()
+    print(text)
+    return result

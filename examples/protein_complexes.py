@@ -1,0 +1,55 @@
+"""Protein-complex discovery in a PPI network (the paper's biochemistry
+motivation: "in biochemistry, it is used for drug discovery and protein
+genomics studies (interacting proteins are connected in the PPI
+network)").
+
+A synthetic protein-protein-interaction network is generated with the
+community power-law model (hub proteins, disconnected complexes), then
+its complexes (connected components) are extracted and ranked.
+
+Run::
+
+    python examples/protein_complexes.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import connected_components
+from repro.core.labels import component_sizes, largest_component
+from repro.generators import community_power_law
+
+
+def main() -> None:
+    # ~2000 proteins in ~25 independent interaction clusters.
+    ppi = community_power_law(
+        2_000, avg_degree=6.0, exponent=2.2, locality=0.7,
+        num_islands=25, seed=13, name="synthetic-PPI",
+    )
+    print(f"PPI network: {ppi.num_vertices} proteins, "
+          f"{ppi.num_edges} interactions")
+
+    labels = connected_components(ppi, backend="numpy")
+    sizes = component_sizes(labels)
+    print(f"complexes found: {len(sizes)}")
+
+    lab, size = largest_component(labels)
+    print(f"largest complex: {size} proteins (representative protein {lab})")
+
+    ranked = sorted(sizes.items(), key=lambda kv: -kv[1])[:10]
+    print("top complexes by size:")
+    for lab, size in ranked:
+        members = np.flatnonzero(labels == lab)[:6]
+        preview = ", ".join(f"P{m}" for m in members)
+        more = "" if size <= 6 else f", ... (+{size - 6})"
+        print(f"  {size:5d} proteins: {preview}{more}")
+
+    # Singleton "complexes" are proteins with no observed interactions —
+    # candidates for further screening.
+    singletons = sum(1 for s in sizes.values() if s == 1)
+    print(f"proteins with no known interactions: {singletons}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Road-network resilience: how many islands does random road loss create?
+
+Uses the library end-to-end on a road-map-like mesh (the structure of the
+paper's ``USA-road-d`` / ``europe_osm`` inputs): repeatedly remove a
+fraction of road segments and recount connected components with the fast
+NumPy backend — the kind of downstream pipeline CC implementations
+accelerate.
+
+Run::
+
+    python examples/road_network_resilience.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import connected_components
+from repro.core.labels import largest_component, num_components
+from repro.generators import road_mesh
+from repro.graph import from_arc_arrays
+
+
+def drop_edges(graph, fraction: float, rng: np.random.Generator):
+    """Remove a random fraction of undirected edges."""
+    u, v = graph.edge_array()
+    keep = rng.random(u.size) >= fraction
+    return from_arc_arrays(
+        u[keep], v[keep], graph.num_vertices, name=f"{graph.name}-drop{fraction:.2f}"
+    )
+
+
+def main() -> None:
+    base = road_mesh(120, 120, keep_prob=0.3, seed=2, name="road-120x120")
+    n = base.num_vertices
+    print(f"road network: {n} junctions, {base.num_edges} segments")
+    labels = connected_components(base)
+    print(f"initially connected: {num_components(labels) == 1}\n")
+
+    rng = np.random.default_rng(0)
+    print(f"{'% roads lost':>12s} {'islands':>8s} {'reachable from largest':>24s}")
+    for fraction in (0.02, 0.05, 0.10, 0.20, 0.35, 0.50):
+        damaged = drop_edges(base, fraction, rng)
+        labels = connected_components(damaged)
+        islands = num_components(labels)
+        _, giant = largest_component(labels)
+        print(f"{100 * fraction:>11.0f}% {islands:>8d} {100 * giant / n:>23.1f}%")
+
+    print(
+        "\n(road meshes fragment gracefully: the giant component survives "
+        "moderate loss, then shatters — the percolation transition)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setup shim: enables `python setup.py develop` on environments without
+the `wheel` package (PEP 660 editable installs require it)."""
+from setuptools import setup
+
+setup()

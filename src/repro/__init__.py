@@ -1,0 +1,18 @@
+"""repro: a reproduction of "A High-Performance Connected Components
+Implementation for GPUs" (Jaiganesh & Burtscher, HPDC 2018).
+
+Public API highlights:
+
+* :func:`repro.connected_components` — label components with any backend.
+* :mod:`repro.graph` — CSR graphs, builders, file I/O, statistics.
+* :mod:`repro.generators` — synthetic graphs and the 18-input suite.
+* :mod:`repro.gpusim` — the simulated GPU the CUDA kernels run on.
+* :mod:`repro.experiments` — regenerate every table/figure of the paper.
+"""
+
+from .core.api import connected_components, count_components
+from .graph.csr import CSRGraph
+
+__version__ = "1.0.0"
+
+__all__ = ["connected_components", "count_components", "CSRGraph", "__version__"]

@@ -1,0 +1,6 @@
+"""Reimplementations of the algorithms the paper compares against,
+plus post-paper comparison points (FastSV)."""
+
+from .fastsv import FastSVStats, fastsv_cc
+
+__all__ = ["FastSVStats", "fastsv_cc"]

@@ -1,0 +1,47 @@
+"""CPU baselines (parallel virtual-thread codes and serial codes)."""
+
+from .common import CpuRunResult, UnsupportedGraphError
+from .crono import crono_cc
+from .ecl_cc_omp import ecl_cc_omp
+from .galois import galois_async_cc, galois_serial_cc
+from .ligra import ligra_bfscc, ligra_comp
+from .multistep import multistep_cc
+from .ndhybrid import ndhybrid_cc
+from .serial import boost_cc, igraph_cc, lemon_cc, serial_union_find_cc
+
+# Parallel codes of Figs. 13/14 (ECL-CC_OMP is the reference line).
+CPU_PARALLEL_BASELINES = {
+    "Ligra+ BFSCC": ligra_bfscc,
+    "Ligra+ Comp": ligra_comp,
+    "CRONO": crono_cc,
+    "ndHybrid": ndhybrid_cc,
+    "Multistep": multistep_cc,
+    "Galois": galois_async_cc,
+}
+
+# Serial codes of Figs. 15/16 (ECL-CC_SER is the reference line).
+CPU_SERIAL_BASELINES = {
+    "Galois": galois_serial_cc,
+    "Boost": boost_cc,
+    "Lemon": lemon_cc,
+    "igraph": igraph_cc,
+}
+
+__all__ = [
+    "CpuRunResult",
+    "UnsupportedGraphError",
+    "crono_cc",
+    "ecl_cc_omp",
+    "galois_async_cc",
+    "galois_serial_cc",
+    "ligra_bfscc",
+    "ligra_comp",
+    "multistep_cc",
+    "ndhybrid_cc",
+    "boost_cc",
+    "igraph_cc",
+    "lemon_cc",
+    "serial_union_find_cc",
+    "CPU_PARALLEL_BASELINES",
+    "CPU_SERIAL_BASELINES",
+]

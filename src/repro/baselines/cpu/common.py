@@ -1,0 +1,32 @@
+"""Shared result type for the CPU codes (parallel and serial)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ...cpusim.pool import RegionStats
+
+__all__ = ["CpuRunResult", "UnsupportedGraphError"]
+
+
+class UnsupportedGraphError(Exception):
+    """Raised when a baseline cannot handle an input — e.g. CRONO's dense
+    n x dmax layout running out of memory on high-degree graphs, which is
+    why several CRONO cells in the paper's Tables 7/8 read "n/a"."""
+
+
+@dataclass
+class CpuRunResult:
+    """Labels plus the modeled (or measured) runtime of one CPU run."""
+
+    name: str
+    labels: np.ndarray
+    modeled_time_s: float
+    regions: list[RegionStats] = field(default_factory=list)
+    iterations: int = 0
+
+    @property
+    def modeled_time_ms(self) -> float:
+        return self.modeled_time_s * 1e3

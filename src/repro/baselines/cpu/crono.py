@@ -1,0 +1,93 @@
+"""CRONO's connected-components benchmark (Ahmad et al.; §2).
+
+"Its CC algorithm implements Shiloach and Vishkin's approach.  CRONO's
+code is based on 2D matrices of size n x dmax ... as a consequence, it
+tends to run out of memory for graphs with high-degree vertices" — the
+paper's Tables 7/8 show "n/a" for those inputs.  We reproduce both the
+dense-matrix layout and the failure mode (a configurable memory cap).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...cpusim.pool import VirtualThreadPool
+from ...cpusim.spec import CpuSpec, E5_2687W
+from ...graph.csr import CSRGraph
+from .common import CpuRunResult, UnsupportedGraphError
+
+__all__ = ["crono_cc"]
+
+# Dense-matrix budget (entries).  Mirrors CRONO exhausting host memory on
+# high-dmax graphs; scaled to our input sizes.
+DEFAULT_MATRIX_CAP = 50_000_000
+
+
+def crono_cc(
+    graph: CSRGraph,
+    *,
+    spec: CpuSpec = E5_2687W,
+    matrix_cap: int = DEFAULT_MATRIX_CAP,
+) -> CpuRunResult:
+    """Run CRONO-style Shiloach-Vishkin over a dense n x dmax matrix."""
+    n = graph.num_vertices
+    deg = graph.degrees()
+    dmax = int(deg.max()) if n else 0
+    if n * max(dmax, 1) > matrix_cap:
+        raise UnsupportedGraphError(
+            f"CRONO dense layout needs {n} x {dmax} entries "
+            f"(> cap {matrix_cap}) for graph {graph.name!r}"
+        )
+
+    pool = VirtualThreadPool(spec)
+
+    # Build the dense adjacency (this allocation is CRONO's signature
+    # memory sin; build time is charged as a parallel region).
+    adj = np.full((max(n, 1), max(dmax, 1)), -1, dtype=np.int64)
+
+    def fill_body(start: int, stop: int) -> None:
+        for v in range(start, stop):
+            nbrs = graph.neighbors(v)
+            adj[v, : nbrs.size] = nbrs
+
+    pool.parallel_for(n, fill_body, name="build_matrix")
+
+    parent = np.arange(n, dtype=np.int64)
+    iterations = 0
+    changed = True
+    while changed:
+        iterations += 1
+        flags = [False]
+
+        def hook_body(start: int, stop: int) -> None:
+            for v in range(start, stop):
+                pv = parent[v]
+                for j in range(dmax):
+                    u = adj[v, j]
+                    if u < 0:
+                        break
+                    pu = parent[u]
+                    if pu == pv:
+                        continue
+                    hi, lo = (pu, pv) if pu > pv else (pv, pu)
+                    if parent[hi] == hi and parent[hi] > lo:
+                        parent[hi] = lo
+                        flags[0] = True
+
+        pool.parallel_for(n, hook_body, schedule="static", name="hook")
+
+        def jump_body(start: int, stop: int) -> None:
+            for v in range(start, stop):
+                while parent[v] != parent[parent[v]]:
+                    parent[v] = parent[parent[v]]
+
+        pool.parallel_for(n, jump_body, schedule="static", name="jump")
+        changed = flags[0]
+
+    return CpuRunResult(
+        name="CRONO",
+        labels=parent,
+        modeled_time_s=pool.modeled_time_s,
+        regions=list(pool.regions),
+        iterations=iterations,
+    )

@@ -1,0 +1,105 @@
+"""Ligra+'s two CC implementations (Shun & Blelloch; §2).
+
+* **Comp** — label propagation with a frontier: every vertex keeps its
+  previous label, and only vertices whose label changed in the prior
+  iteration are processed again.  Needs diameter-many rounds, which is
+  why it collapses on road networks in the paper's Tables 7/8.
+* **BFSCC** — "iterates over the vertices, performs parallel BFS on each
+  unprocessed vertex, and marks all reached vertices".  One fork/join
+  region per BFS level; graphs with very many components pay one BFS
+  per component (see kron_g500 in Table 7).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...cpusim.pool import VirtualThreadPool
+from ...cpusim.spec import CpuSpec, E5_2687W
+from ...graph.csr import CSRGraph
+from .common import CpuRunResult
+
+__all__ = ["ligra_comp", "ligra_bfscc"]
+
+
+def ligra_comp(graph: CSRGraph, *, spec: CpuSpec = E5_2687W) -> CpuRunResult:
+    """Frontier-based label propagation (Ligra+ "Comp")."""
+    n = graph.num_vertices
+    row_ptr = graph.row_ptr
+    col_idx = graph.col_idx
+    labels = np.arange(n, dtype=np.int64)
+    prev = labels.copy()
+    pool = VirtualThreadPool(spec)
+
+    frontier = np.arange(n, dtype=np.int64)
+    iterations = 0
+    while frontier.size:
+        iterations += 1
+        changed: list[int] = []
+
+        def body(start: int, stop: int) -> None:
+            for i in range(start, stop):
+                v = int(frontier[i])
+                lab = prev[v]
+                for e in range(row_ptr[v], row_ptr[v + 1]):
+                    u = int(col_idx[e])
+                    if lab < labels[u]:
+                        labels[u] = lab
+                        changed.append(u)
+
+        pool.parallel_for(frontier.size, body, name="propagate")
+        # Deduplicate the next frontier and roll labels forward (Ligra's
+        # removeDuplicates + vertex-subset construction).
+        def advance():
+            nonlocal frontier
+            frontier = np.unique(np.asarray(changed, dtype=np.int64))
+            np.copyto(prev, labels)
+
+        pool.serial(advance, name="advance")
+
+    return CpuRunResult(
+        name="Ligra+ Comp",
+        labels=labels,
+        modeled_time_s=pool.modeled_time_s,
+        regions=list(pool.regions),
+        iterations=iterations,
+    )
+
+
+def ligra_bfscc(graph: CSRGraph, *, spec: CpuSpec = E5_2687W) -> CpuRunResult:
+    """Parallel-BFS-per-component (Ligra+ "BFSCC")."""
+    n = graph.num_vertices
+    row_ptr = graph.row_ptr
+    col_idx = graph.col_idx
+    labels = np.full(n, -1, dtype=np.int64)
+    pool = VirtualThreadPool(spec)
+
+    bfs_count = 0
+    for s in range(n):
+        if labels[s] != -1:
+            continue
+        bfs_count += 1
+        labels[s] = s
+        frontier = [s]
+        while frontier:
+            next_frontier: list[int] = []
+
+            def body(start: int, stop: int) -> None:
+                for i in range(start, stop):
+                    v = frontier[i]
+                    for e in range(row_ptr[v], row_ptr[v + 1]):
+                        u = int(col_idx[e])
+                        if labels[u] == -1:
+                            labels[u] = s
+                            next_frontier.append(u)
+
+            pool.parallel_for(len(frontier), body, name="bfs_level")
+            frontier = next_frontier
+
+    return CpuRunResult(
+        name="Ligra+ BFSCC",
+        labels=labels,
+        modeled_time_s=pool.modeled_time_s,
+        regions=list(pool.regions),
+        iterations=bfs_count,
+    )

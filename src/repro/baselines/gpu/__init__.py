@@ -1,0 +1,25 @@
+"""GPU baselines the paper compares ECL-CC against (all on the simulator)."""
+
+from .common import GpuBaselineResult
+from .groute import groute_cc
+from .gunrock import gunrock_cc
+from .irgl import irgl_cc
+from .shiloach_vishkin import shiloach_vishkin_cc
+from .soman import soman_cc
+
+GPU_BASELINES = {
+    "Groute": groute_cc,
+    "Gunrock": gunrock_cc,
+    "IrGL": irgl_cc,
+    "Soman": soman_cc,
+}
+
+__all__ = [
+    "GpuBaselineResult",
+    "groute_cc",
+    "gunrock_cc",
+    "irgl_cc",
+    "shiloach_vishkin_cc",
+    "soman_cc",
+    "GPU_BASELINES",
+]

@@ -1,0 +1,225 @@
+"""Shared device kernels and result plumbing for the GPU baselines.
+
+The four baselines the paper compares against (Soman, Groute, Gunrock,
+IrGL) are all Shiloach-Vishkin descendants built from the same handful of
+primitives: representative lookup without compression, atomic-min or
+CAS hooking, pointer-jumping flattening, and change flags.  Those live
+here; each baseline module composes them per its published strategy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ...graph.csr import CSRGraph
+from ...gpusim.device import DeviceSpec, TITAN_X
+from ...gpusim.kernel import GPU, LaunchStats
+from ...gpusim.memory import DeviceArray
+
+__all__ = [
+    "GpuBaselineResult",
+    "g_rep_no_compress",
+    "k_init_self",
+    "k_jump_once",
+    "k_flatten_full",
+    "k_hook_atomic_min",
+    "k_hook_cas",
+    "setup_gpu",
+    "flatten_until_stable",
+]
+
+
+@dataclass
+class GpuBaselineResult:
+    """Labels plus measurements of one baseline run."""
+
+    name: str
+    labels: np.ndarray
+    kernels: list[LaunchStats] = field(default_factory=list)
+    device: DeviceSpec = TITAN_X
+    iterations: int = 0
+
+    @property
+    def total_time_ms(self) -> float:
+        return sum(k.time_ms for k in self.kernels)
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(k.cycles for k in self.kernels)
+
+
+def setup_gpu(
+    graph: CSRGraph, device: DeviceSpec, seed: int | None
+) -> tuple[GPU, DeviceArray]:
+    """Create a GPU and upload the parent array (identity-initialized)."""
+    gpu = GPU(device, seed=seed)
+    parent = gpu.memory.to_device(
+        np.arange(graph.num_vertices, dtype=np.int64), name="parent"
+    )
+    return gpu, parent
+
+
+# ----------------------------------------------------------------------
+# Device helpers
+# ----------------------------------------------------------------------
+def g_rep_no_compress(v: int, parent: DeviceArray):
+    """Follow parent pointers to the representative; no writes."""
+    par = yield ("ld", parent, v)
+    while True:
+        nxt = yield ("ld", parent, par)
+        if nxt == par:
+            break
+        par = nxt
+    return par
+
+
+def g_rep_compress(v: int, parent: DeviceArray):
+    """Find with a single compression write (``parent[v] = root``)."""
+    first = yield ("ld", parent, v)
+    root = first
+    while True:
+        nxt = yield ("ld", parent, root)
+        if nxt == root:
+            break
+        root = nxt
+    if first != root:
+        yield ("st", parent, v, root)
+    return root
+
+
+def g_rep_multi_compress(v: int, parent: DeviceArray):
+    """Find with multiple pointer jumping: re-point the whole path at the
+    root.  This is Groute's interleaving — "the hooking and multiple
+    pointer jumping are somewhat interleaved" (§2).  The second pass stops
+    once the chain drops to or below the root found in the first pass, so
+    concurrent compression can never produce an increasing pointer."""
+    root = yield ("ld", parent, v)
+    while True:
+        nxt = yield ("ld", parent, root)
+        if root <= nxt:
+            break
+        root = nxt
+    cur = v
+    while True:
+        nxt = yield ("ld", parent, cur)
+        if nxt <= root:
+            break
+        yield ("st", parent, cur, root)
+        cur = nxt
+    return root
+
+
+def k_init_self(ctx, parent, n):
+    """parent[v] = v (the classic initialization all baselines use)."""
+    v = ctx.global_id
+    if v < n:
+        yield ("st", parent, v, v)
+
+
+def k_jump_once(ctx, parent, n, changed):
+    """One pointer-jumping step: parent[v] = parent[parent[v]]."""
+    v = ctx.global_id
+    if v >= n:
+        return
+    par = yield ("ld", parent, v)
+    grand = yield ("ld", parent, par)
+    if grand != par:
+        yield ("st", parent, v, grand)
+        yield ("st", changed, 0, 1)
+
+
+def k_flatten_full(ctx, parent, n):
+    """Multiple pointer jumping: point v directly at its representative.
+
+    Requires two traversals (find, then update), the cost the paper's
+    Jump1 discussion highlights; vertices that already point at their
+    representative cost exactly two loads.
+    """
+    v = ctx.global_id
+    if v >= n:
+        return
+    par = yield ("ld", parent, v)
+    root = par
+    while True:
+        nxt = yield ("ld", parent, root)
+        if nxt == root:
+            break
+        root = nxt
+    cur = v
+    nxt = par
+    while nxt > root:
+        yield ("st", parent, cur, root)
+        cur = nxt
+        nxt = yield ("ld", parent, cur)
+
+
+def k_hook_atomic_min(ctx, src, dst, done, num_edges, parent, changed, use_done):
+    """Hook one edge by atomic-min on the larger endpoint representative.
+
+    Marks the edge done (skipped in later iterations) once both
+    endpoints share a representative, Soman's workload-reduction trick;
+    pass ``use_done=False`` for the unmarked (IrGL-style) variant.
+    """
+    e = ctx.global_id
+    if e >= num_edges:
+        return
+    if use_done:
+        flag = yield ("ld", done, e)
+        if flag:
+            return
+    u = yield ("ld", src, e)
+    v = yield ("ld", dst, e)
+    ru = yield from g_rep_no_compress(u, parent)
+    rv = yield from g_rep_no_compress(v, parent)
+    if ru == rv:
+        if use_done:
+            yield ("st", done, e, 1)
+        return
+    hi, lo = (ru, rv) if ru > rv else (rv, ru)
+    old = yield ("min", parent, hi, lo)
+    if old > lo:
+        yield ("st", changed, 0, 1)
+
+
+def k_hook_cas(ctx, src, dst, num_edges, first, parent):
+    """Atomic hooking of edges [first, first + num_edges) — Groute's
+    union, which "eliminates the need for repeated iteration" (§2: "they
+    lock the representatives of the two endpoints of the edge").
+
+    We model the lock-style union as: find both representatives (with
+    Groute's interleaved multiple pointer jumping), attempt one CAS on
+    the larger one, and on failure *re-find* rather than chase the CAS
+    return value — the retry path of a lock acquisition.  Each re-find
+    compresses, so retries are bounded by tree convergence."""
+    e = ctx.global_id
+    if e >= num_edges:
+        return
+    u = yield ("ld", src, first + e)
+    v = yield ("ld", dst, first + e)
+    while True:
+        u_rep = yield from g_rep_multi_compress(u, parent)
+        v_rep = yield from g_rep_multi_compress(v, parent)
+        if v_rep == u_rep:
+            return
+        hi, lo = (u_rep, v_rep) if u_rep > v_rep else (v_rep, u_rep)
+        ret = yield ("cas", parent, hi, hi, lo)
+        if ret == hi:
+            return
+
+
+def flatten_until_stable(gpu: GPU, parent: DeviceArray, n: int, *, name: str) -> int:
+    """Launch single-step jump kernels until no parent changes.
+
+    Returns the number of passes.  This is the level-by-level pointer
+    jumping of the original Shiloach-Vishkin formulation.
+    """
+    changed = gpu.memory.alloc(1, name=f"{name}.changed")
+    passes = 0
+    while True:
+        changed.data[0] = 0
+        gpu.launch(k_jump_once, n, parent, n, changed, name=name)
+        passes += 1
+        if changed.data[0] == 0:
+            return passes

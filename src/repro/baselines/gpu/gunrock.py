@@ -1,0 +1,187 @@
+"""Gunrock's connected-components operator pipeline (Wang et al., §2).
+
+A Soman variant driven by Gunrock's filter operator: "after hooking, the
+filter removes all edges from further consideration where both end
+vertices have the same representative.  Similarly, after multiple pointer
+jumping, it removes all vertices that are representatives."  We model the
+frontier machinery with flag-writing filter kernels (the device pass) and
+host-side compaction of the surviving indices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...graph.csr import CSRGraph
+from ...gpusim.device import DeviceSpec, TITAN_X
+from .common import GpuBaselineResult, g_rep_no_compress, k_init_self, setup_gpu
+
+__all__ = ["gunrock_cc"]
+
+
+def _k_hook_frontier(ctx, src, dst, frontier, count, parent, changed):
+    """Atomic-min hooking over the current edge frontier."""
+    i = ctx.global_id
+    if i >= count:
+        return
+    e = yield ("ld", frontier, i)
+    u = yield ("ld", src, e)
+    v = yield ("ld", dst, e)
+    ru = yield from g_rep_no_compress(u, parent)
+    rv = yield from g_rep_no_compress(v, parent)
+    if ru == rv:
+        return
+    hi, lo = (ru, rv) if ru > rv else (rv, ru)
+    old = yield ("min", parent, hi, lo)
+    if old > lo:
+        yield ("st", changed, 0, 1)
+
+
+def _k_filter_edges(ctx, src, dst, frontier, count, parent, keep):
+    """Flag frontier edges whose endpoints still differ in representative."""
+    i = ctx.global_id
+    if i >= count:
+        return
+    e = yield ("ld", frontier, i)
+    u = yield ("ld", src, e)
+    v = yield ("ld", dst, e)
+    ru = yield from g_rep_no_compress(u, parent)
+    rv = yield from g_rep_no_compress(v, parent)
+    yield ("st", keep, i, 1 if ru != rv else 0)
+
+
+def _k_jump_frontier(ctx, frontier, count, parent, changed):
+    """One pointer-jumping step over the vertex frontier."""
+    i = ctx.global_id
+    if i >= count:
+        return
+    v = yield ("ld", frontier, i)
+    par = yield ("ld", parent, v)
+    grand = yield ("ld", parent, par)
+    if grand != par:
+        yield ("st", parent, v, grand)
+        yield ("st", changed, 0, 1)
+
+
+def _k_scan(ctx, keep, count, offsets):
+    """One pass of the prefix-sum a real frontier compaction performs.
+
+    Gunrock's filter is mark -> scan -> scatter; we charge the scan as a
+    read of every flag plus a write of every offset (a single Blelloch
+    sweep; the up/down sweeps are folded into one modeled pass)."""
+    i = ctx.global_id
+    if i >= count:
+        return
+    flag = yield ("ld", keep, i)
+    yield ("st", offsets, i, flag)
+
+
+def _k_scatter(ctx, frontier, keep, offsets, count, out):
+    """Scatter pass of the compaction: survivors move to their slot."""
+    i = ctx.global_id
+    if i >= count:
+        return
+    flag = yield ("ld", keep, i)
+    if flag:
+        item = yield ("ld", frontier, i)
+        slot = yield ("ld", offsets, i)
+        yield ("st", out, slot, item)
+
+
+def _k_filter_vertices(ctx, frontier, count, parent, keep):
+    """Flag frontier vertices that are not (yet) representatives."""
+    i = ctx.global_id
+    if i >= count:
+        return
+    v = yield ("ld", frontier, i)
+    par = yield ("ld", parent, v)
+    yield ("st", keep, i, 0 if par == v else 1)
+
+
+def gunrock_cc(
+    graph: CSRGraph, *, device: DeviceSpec = TITAN_X, seed: int | None = None
+) -> GpuBaselineResult:
+    """Run the Gunrock-style filter-driven algorithm."""
+    n = graph.num_vertices
+    gpu, parent = setup_gpu(graph, device, seed)
+    src_h, dst_h = graph.arc_array()
+    src = gpu.memory.to_device(src_h, name="src")
+    dst = gpu.memory.to_device(dst_h, name="dst")
+    num_arcs = src_h.size
+
+    edge_frontier = gpu.memory.to_device(
+        np.arange(num_arcs, dtype=np.int64), name="edge_frontier"
+    )
+    vertex_frontier = gpu.memory.to_device(
+        np.arange(n, dtype=np.int64), name="vertex_frontier"
+    )
+    keep = gpu.memory.alloc(max(num_arcs, n, 1), name="keep")
+    offsets = gpu.memory.alloc(max(num_arcs, n, 1), name="offsets")
+    scratch = gpu.memory.alloc(max(num_arcs, n, 1), name="scratch")
+    changed = gpu.memory.alloc(1, name="changed")
+
+    def compact(frontier, count):
+        """Host-orchestrated scan + scatter (device passes are charged)."""
+        gpu.launch(_k_scan, count, keep, count, offsets, name="scan")
+        flags = keep.data[:count]
+        offsets.data[:count] = np.cumsum(flags) - flags
+        gpu.launch(
+            _k_scatter, count, frontier, keep, offsets, count, scratch,
+            name="scatter",
+        )
+        new_count = int(flags.sum())
+        frontier.data[:new_count] = scratch.data[:new_count]
+        return new_count
+
+    gpu.launch(k_init_self, n, parent, n, name="init")
+    e_count, v_count = num_arcs, n
+    iterations = 0
+    while e_count:
+        iterations += 1
+        changed.data[0] = 0
+        gpu.launch(
+            _k_hook_frontier, e_count,
+            src, dst, edge_frontier, e_count, parent, changed,
+            name="hook",
+        )
+        gpu.launch(
+            _k_filter_edges, e_count,
+            src, dst, edge_frontier, e_count, parent, keep,
+            name="filter_edges",
+        )
+        e_count = compact(edge_frontier, e_count)
+
+        # Pointer jumping over the vertex frontier, filtering out
+        # representatives after every pass.
+        while v_count:
+            changed.data[0] = 0
+            gpu.launch(
+                _k_jump_frontier, v_count,
+                vertex_frontier, v_count, parent, changed,
+                name="jump",
+            )
+            gpu.launch(
+                _k_filter_vertices, v_count,
+                vertex_frontier, v_count, parent, keep,
+                name="filter_vertices",
+            )
+            v_count = compact(vertex_frontier, v_count)
+            if changed.data[0] == 0:
+                break
+
+    # Final flatten: vertices filtered out earlier may have gained a new
+    # parent chain since; stable jump sweeps produce flat labels.
+    all_v = gpu.memory.to_device(np.arange(n, dtype=np.int64), name="all_v")
+    while True:
+        changed.data[0] = 0
+        gpu.launch(_k_jump_frontier, n, all_v, n, parent, changed, name="jump")
+        if changed.data[0] == 0:
+            break
+
+    return GpuBaselineResult(
+        name="Gunrock",
+        labels=parent.data.copy(),
+        kernels=list(gpu.launches),
+        device=device,
+        iterations=iterations,
+    )

@@ -1,0 +1,75 @@
+"""The original Shiloach-Vishkin parallel CC algorithm (1982; §2).
+
+Included as the common ancestor of every GPU baseline and as the
+algorithm CRONO implements on CPUs.  Each iteration performs parallel
+*hooking* on the parents of edge endpoints followed by parallel *pointer
+jumping*, until a fixed point is reached.
+"""
+
+from __future__ import annotations
+
+from ...graph.csr import CSRGraph
+from ...gpusim.device import DeviceSpec, TITAN_X
+from .common import (
+    GpuBaselineResult,
+    flatten_until_stable,
+    k_init_self,
+    setup_gpu,
+)
+
+__all__ = ["shiloach_vishkin_cc"]
+
+
+def _k_hook_parents(ctx, src, dst, num_edges, parent, changed):
+    """Hooking on the *parents* (not representatives) of edge endpoints —
+    the original SV formulation.  A parent that is a representative and
+    larger than the other endpoint's parent is pointed at it."""
+    e = ctx.global_id
+    if e >= num_edges:
+        return
+    u = yield ("ld", src, e)
+    v = yield ("ld", dst, e)
+    pu = yield ("ld", parent, u)
+    pv = yield ("ld", parent, v)
+    if pu == pv:
+        return
+    hi, lo = (pu, pv) if pu > pv else (pv, pu)
+    par_hi = yield ("ld", parent, hi)
+    if par_hi == hi:  # hi is (still) a representative: hook it
+        old = yield ("min", parent, hi, lo)
+        if old > lo:
+            yield ("st", changed, 0, 1)
+
+
+def shiloach_vishkin_cc(
+    graph: CSRGraph, *, device: DeviceSpec = TITAN_X, seed: int | None = None
+) -> GpuBaselineResult:
+    """Run textbook Shiloach-Vishkin on the simulated GPU."""
+    n = graph.num_vertices
+    gpu, parent = setup_gpu(graph, device, seed)
+    src_h, dst_h = graph.arc_array()
+    src = gpu.memory.to_device(src_h, name="src")
+    dst = gpu.memory.to_device(dst_h, name="dst")
+    num_arcs = src_h.size
+    changed = gpu.memory.alloc(1, name="changed")
+
+    gpu.launch(k_init_self, n, parent, n, name="init")
+    iterations = 0
+    while True:
+        changed.data[0] = 0
+        gpu.launch(
+            _k_hook_parents, num_arcs,
+            src, dst, num_arcs, parent, changed, name="hook",
+        )
+        flatten_until_stable(gpu, parent, n, name="jump")
+        iterations += 1
+        if changed.data[0] == 0:
+            break
+
+    return GpuBaselineResult(
+        name="Shiloach-Vishkin",
+        labels=parent.data.copy(),
+        kernels=list(gpu.launches),
+        device=device,
+        iterations=iterations,
+    )

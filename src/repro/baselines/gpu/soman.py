@@ -1,0 +1,68 @@
+"""Soman et al.'s GPU connected-components algorithm (§2 of the paper).
+
+Improvements over plain Shiloach-Vishkin, as the paper describes them:
+hooking operates on the *representatives* of the edge endpoints; edges
+whose endpoints already share a representative are marked and skipped in
+later iterations; hooking is iterated until no edge changes anything; and
+one **multiple pointer jumping** pass runs at the very end.
+"""
+
+from __future__ import annotations
+
+from ...graph.csr import CSRGraph
+from ...gpusim.device import DeviceSpec, TITAN_X
+from .common import (
+    GpuBaselineResult,
+    k_flatten_full,
+    k_hook_atomic_min,
+    k_init_self,
+    setup_gpu,
+)
+
+__all__ = ["soman_cc"]
+
+
+def soman_cc(
+    graph: CSRGraph,
+    *,
+    device: DeviceSpec = TITAN_X,
+    seed: int | None = None,
+    mark_edges: bool = True,
+    name: str = "Soman",
+) -> GpuBaselineResult:
+    """Run Soman's algorithm on the simulated GPU.
+
+    ``mark_edges=False`` disables the edge-skipping optimization, which is
+    how :func:`repro.baselines.gpu.irgl.irgl_cc` models IrGL's generated
+    (unmarked) variant of the same algorithm.
+    """
+    n = graph.num_vertices
+    gpu, parent = setup_gpu(graph, device, seed)
+    src_h, dst_h = graph.arc_array()  # both directions, as Soman processes
+    src = gpu.memory.to_device(src_h, name="src")
+    dst = gpu.memory.to_device(dst_h, name="dst")
+    num_edges = src_h.size
+    done = gpu.memory.alloc(max(num_edges, 1), name="done")
+    changed = gpu.memory.alloc(1, name="changed")
+
+    gpu.launch(k_init_self, n, parent, n, name="init")
+    iterations = 0
+    while True:
+        changed.data[0] = 0
+        gpu.launch(
+            k_hook_atomic_min, num_edges,
+            src, dst, done, num_edges, parent, changed, mark_edges,
+            name="hook",
+        )
+        iterations += 1
+        if changed.data[0] == 0:
+            break
+    gpu.launch(k_flatten_full, n, parent, n, name="flatten")
+
+    return GpuBaselineResult(
+        name=name,
+        labels=parent.data.copy(),
+        kernels=list(gpu.launches),
+        device=device,
+        iterations=iterations,
+    )

@@ -1,0 +1,43 @@
+"""ECL-CC core: the paper's primary contribution and its variants."""
+
+from .api import connected_components, count_components
+from .ecl_cc_numpy import NumpyRunStats, ecl_cc_numpy
+from .ecl_cc_serial import SerialRunStats, ecl_cc_serial
+from .labels import (
+    canonicalize,
+    component_sizes,
+    equivalent_labelings,
+    largest_component,
+    num_components,
+)
+from .variants import FINI_VARIANTS, INIT_VARIANTS, finalize, init_vectorized
+from .verify import (
+    assert_valid_labels,
+    bfs_labels,
+    reference_labels,
+    verify_labels,
+    verify_labels_structural,
+)
+
+__all__ = [
+    "connected_components",
+    "count_components",
+    "NumpyRunStats",
+    "ecl_cc_numpy",
+    "SerialRunStats",
+    "ecl_cc_serial",
+    "canonicalize",
+    "component_sizes",
+    "equivalent_labelings",
+    "largest_component",
+    "num_components",
+    "FINI_VARIANTS",
+    "INIT_VARIANTS",
+    "finalize",
+    "init_vectorized",
+    "assert_valid_labels",
+    "bfs_labels",
+    "reference_labels",
+    "verify_labels",
+    "verify_labels_structural",
+]

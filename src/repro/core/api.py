@@ -1,0 +1,100 @@
+"""Public entry point: :func:`connected_components`.
+
+Chooses a backend and returns the canonical label array where
+``labels[v]`` is the minimum vertex ID of ``v``'s component.
+
+Backends
+--------
+``"serial"``
+    ECL-CC_SER — pure-Python transcription of the paper's serial code.
+``"numpy"``
+    Vectorized bulk-synchronous variant; fastest natively, use for
+    medium/large graphs.
+``"gpu"``
+    The full five-kernel ECL-CC on the simulated GPU (Titan X by
+    default).  Slow in wall-clock terms but faithful to the paper's
+    execution model; returns modeled kernel timings via ``full_result``.
+``"omp"``
+    ECL-CC_OMP on the virtual-thread CPU executor.
+``"fastsv"``
+    FastSV (Zhang et al. 2020) — the post-paper vectorized alternative.
+``"afforest"``
+    Afforest (Sutton et al. 2018) on the simulated GPU.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from .ecl_cc_numpy import ecl_cc_numpy
+from .ecl_cc_serial import ecl_cc_serial
+
+__all__ = ["connected_components", "count_components"]
+
+_BACKENDS = ("serial", "numpy", "gpu", "omp", "fastsv", "afforest")
+
+
+def connected_components(
+    graph: CSRGraph,
+    *,
+    backend: str = "numpy",
+    full_result: bool = False,
+    **options,
+):
+    """Compute connected-component labels of an undirected CSR graph.
+
+    Parameters
+    ----------
+    graph:
+        The input graph (use :mod:`repro.graph` builders to construct).
+    backend:
+        One of ``"serial"``, ``"numpy"``, ``"gpu"``, ``"omp"``.
+    full_result:
+        When true, return the backend's full result object (stats,
+        kernel timings, ...) instead of just the label array.
+    options:
+        Backend-specific keyword arguments (``init=``, ``jump=``,
+        ``fini=``, ``device=``, ``seed=``, ``num_threads=``, ...).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``labels`` with ``labels[v]`` = min vertex ID of v's component
+        (or the backend's result object when ``full_result`` is set).
+    """
+    if backend == "serial":
+        labels, stats = ecl_cc_serial(graph, **options)
+        return (labels, stats) if full_result else labels
+    if backend == "numpy":
+        labels, stats = ecl_cc_numpy(graph, **options)
+        return (labels, stats) if full_result else labels
+    if backend == "gpu":
+        from .ecl_cc_gpu import ecl_cc_gpu  # deferred: pulls in gpusim
+
+        result = ecl_cc_gpu(graph, **options)
+        return result if full_result else result.labels
+    if backend == "omp":
+        from ..baselines.cpu.ecl_cc_omp import ecl_cc_omp  # deferred
+
+        result = ecl_cc_omp(graph, **options)
+        return result if full_result else result.labels
+    if backend == "fastsv":
+        from ..baselines.fastsv import fastsv_cc  # deferred
+
+        labels, stats = fastsv_cc(graph, **options)
+        return (labels, stats) if full_result else labels
+    if backend == "afforest":
+        from ..extensions.afforest import afforest_cc  # deferred
+
+        result = afforest_cc(graph, **options)
+        return result if full_result else result.labels
+    raise ValueError(f"unknown backend {backend!r}; choose from {_BACKENDS}")
+
+
+def count_components(graph: CSRGraph, *, backend: str = "numpy", **options) -> int:
+    """Number of connected components of ``graph``."""
+    labels = connected_components(graph, backend=backend, **options)
+    if isinstance(labels, tuple):  # pragma: no cover - defensive
+        labels = labels[0]
+    return int(np.unique(labels).size) if graph.num_vertices else 0

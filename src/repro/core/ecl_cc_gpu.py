@@ -1,0 +1,467 @@
+"""ECL-CC for the simulated GPU — the paper's primary contribution (§3).
+
+Five kernels, exactly as in the CUDA code:
+
+1. ``init``      — one thread per vertex; Init1/Init2/Init3 variants.
+2. ``compute1``  — one *thread* per vertex; processes vertices of degree
+   <= ``thresh_mid`` (16) immediately, routes larger ones to the
+   double-sided worklist (front side if degree <= ``thresh_high`` = 352,
+   back side otherwise).
+3. ``compute2``  — one *warp* per worklist vertex (medium degrees); the
+   32 lanes stride over the vertex's adjacency list.
+4. ``compute3``  — one *thread block* per worklist vertex (high degrees).
+5. ``finalize``  — one thread per vertex; Fini1/Fini2/Fini3 variants.
+
+The hooking loop is a literal transcription of the paper's Fig. 6
+(atomicCAS with retry), and the find helpers transcribe Fig. 5 and its
+Jump1-3 ablation variants.  All code is expressed as generators over the
+:mod:`repro.gpusim` op protocol, so every parent/graph/worklist access goes
+through the simulated memory hierarchy and every interleaving hazard of
+the real code (benign races, lost path-compression updates, CAS retries)
+is actually exercised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..graph.csr import CSRGraph
+from ..gpusim.device import DeviceSpec, TITAN_X
+from ..gpusim.kernel import GPU, LaunchStats
+from ..gpusim.memory import DeviceArray
+from ..gpusim.worklist import DoubleSidedWorklist
+from ..unionfind.instrumented import PathStats
+
+__all__ = [
+    "GpuRunResult",
+    "ecl_cc_gpu",
+    "JUMP_VARIANTS",
+    "g_find_halving",
+    "g_find_single",
+    "g_find_multiple",
+    "g_find_none",
+]
+
+DEFAULT_THRESH_MID = 16
+DEFAULT_THRESH_HIGH = 352
+
+
+# ----------------------------------------------------------------------
+# Device-side find (Fig. 5 and the Fig. 8 ablation variants)
+# ----------------------------------------------------------------------
+def g_find_halving(v: int, parent: DeviceArray, recorder: PathStats | None = None):
+    """Jump4 / Fig. 5: intermediate pointer jumping (path halving)."""
+    hops = 0
+    par = yield ("ld", parent, v)
+    if par != v:
+        prev = v
+        while True:
+            nxt = yield ("ld", parent, par)
+            if par <= nxt:
+                break
+            hops += 1
+            yield ("st", parent, prev, nxt)
+            prev = par
+            par = nxt
+    if recorder is not None:
+        recorder.record(hops + (1 if par != v else 0))
+    return par
+
+
+def g_find_single(v: int, parent: DeviceArray, recorder: PathStats | None = None):
+    """Jump2: find the root, then one write re-pointing ``v`` at it."""
+    hops = 0
+    first = yield ("ld", parent, v)
+    root = first
+    while True:
+        nxt = yield ("ld", parent, root)
+        if root <= nxt:
+            break
+        hops += 1
+        root = nxt
+    if first != root:
+        yield ("st", parent, v, root)
+    if recorder is not None:
+        recorder.record(hops + (1 if root != v else 0))
+    return root
+
+
+def g_find_multiple(v: int, parent: DeviceArray, recorder: PathStats | None = None):
+    """Jump1: two traversals — locate the root, then re-point the path.
+
+    The second pass stops as soon as the current parent is at or below
+    the root found in the first pass: under concurrent compression another
+    thread may already have short-cut the chain further down, and blindly
+    writing the (now stale) root would create an *increasing* parent
+    pointer, which the ``par > next`` traversal guard would misread as a
+    root.  With the stop condition every write still strictly decreases
+    the parent, so the race stays benign.
+    """
+    hops = 0
+    root = yield ("ld", parent, v)
+    while True:
+        nxt = yield ("ld", parent, root)
+        if root <= nxt:
+            break
+        hops += 1
+        root = nxt
+    cur = v
+    while True:
+        nxt = yield ("ld", parent, cur)
+        if nxt <= root:
+            break
+        yield ("st", parent, cur, root)
+        cur = nxt
+    if recorder is not None:
+        recorder.record(hops + (1 if root != v else 0))
+    return root
+
+
+def g_find_none(v: int, parent: DeviceArray, recorder: PathStats | None = None):
+    """Jump3: pure traversal, no compression writes."""
+    hops = 0
+    par = yield ("ld", parent, v)
+    while True:
+        nxt = yield ("ld", parent, par)
+        if par <= nxt:
+            break
+        hops += 1
+        par = nxt
+    if recorder is not None:
+        recorder.record(hops + (1 if par != v else 0))
+    return par
+
+
+JUMP_VARIANTS = {
+    "Jump1": g_find_multiple,
+    "Jump2": g_find_single,
+    "Jump3": g_find_none,
+    "Jump4": g_find_halving,
+    # Aliases matching the union-find package's naming.
+    "full": g_find_multiple,
+    "single": g_find_single,
+    "none": g_find_none,
+    "halving": g_find_halving,
+}
+
+
+# ----------------------------------------------------------------------
+# Device-side hooking (a literal transcription of Fig. 6)
+# ----------------------------------------------------------------------
+def g_hook(v_rep: int, u_rep: int, parent: DeviceArray):
+    """Hook the larger representative under the smaller via atomicCAS.
+
+    Returns the (possibly updated) ``v_rep`` so the caller can carry it to
+    the vertex's next edge, as the CUDA code does with ``vstat``.
+    """
+    while True:
+        repeat = False
+        if v_rep != u_rep:
+            if v_rep < u_rep:
+                ret = yield ("cas", parent, u_rep, u_rep, v_rep)
+                if ret != u_rep:
+                    u_rep = ret
+                    repeat = True
+            else:
+                ret = yield ("cas", parent, v_rep, v_rep, u_rep)
+                if ret != v_rep:
+                    v_rep = ret
+                    repeat = True
+        if not repeat:
+            return v_rep
+
+
+def g_process_edges(
+    v: int,
+    beg: int,
+    end: int,
+    first: int,
+    stride: int,
+    col_idx: DeviceArray,
+    parent: DeviceArray,
+    find,
+    recorder: PathStats | None,
+):
+    """Process a strided slice of vertex ``v``'s adjacency list.
+
+    ``first``/``stride`` split the work across a warp's or block's lanes;
+    thread-granularity callers pass ``(0, 1)``.
+    """
+    v_rep = yield from find(v, parent, recorder)
+    for e in range(beg + first, end, stride):
+        u = yield ("ld", col_idx, e)
+        if v > u:
+            u_rep = yield from find(u, parent, recorder)
+            v_rep = yield from g_hook(v_rep, u_rep, parent)
+
+
+# ----------------------------------------------------------------------
+# Kernels
+# ----------------------------------------------------------------------
+def k_init(ctx, row_ptr, col_idx, parent, n, variant):
+    """Initialization kernel (Init1/Init2/Init3)."""
+    v = ctx.global_id
+    if v >= n:
+        return
+    if variant == "Init1":
+        yield ("st", parent, v, v)
+        return
+    beg = yield ("ld", row_ptr, v)
+    end = yield ("ld", row_ptr, v + 1)
+    label = v
+    if variant == "Init3":
+        for e in range(beg, end):
+            u = yield ("ld", col_idx, e)
+            if u < v:
+                label = u
+                break
+    elif variant == "Init2":
+        for e in range(beg, end):
+            u = yield ("ld", col_idx, e)
+            if u < label:
+                label = u
+    else:
+        raise SimulationError(f"unknown init variant {variant!r}")
+    yield ("st", parent, v, label)
+
+
+def k_compute1(
+    ctx, row_ptr, col_idx, parent, n, wl, find, thresh_mid, thresh_high, recorder
+):
+    """Thread-granularity compute kernel (degree <= thresh_mid)."""
+    v = ctx.global_id
+    if v >= n:
+        return
+    beg = yield ("ld", row_ptr, v)
+    end = yield ("ld", row_ptr, v + 1)
+    deg = end - beg
+    if deg > thresh_mid:
+        if deg > thresh_high:
+            yield from wl.g_push_back(v)
+        else:
+            yield from wl.g_push_front(v)
+        return
+    yield from g_process_edges(
+        v, beg, end, 0, 1, col_idx, parent, find, recorder
+    )
+
+
+def k_compute2(
+    ctx, row_ptr, col_idx, parent, wl, find, warp_size, recorder
+):
+    """Warp-granularity compute kernel (medium-degree worklist side).
+
+    As in the released CUDA code, every lane redundantly computes the
+    vertex's representative; lockstep execution coalesces those loads,
+    so the redundancy is nearly free."""
+    warp = ctx.global_id // warp_size
+    num_warps = ctx.grid_size // warp_size
+    count = yield from wl.g_front_count()
+    for i in range(warp, count, num_warps):
+        v = yield from wl.g_read(i)
+        beg = yield ("ld", row_ptr, v)
+        end = yield ("ld", row_ptr, v + 1)
+        yield from g_process_edges(
+            v, beg, end, ctx.lane, warp_size, col_idx, parent, find, recorder
+        )
+
+
+def k_compute2_bcast(
+    ctx, row_ptr, col_idx, parent, wl, find, warp_size, recorder
+):
+    """Warp kernel variant: lane 0 finds the representative and
+    broadcasts it through a warp-shared slot (the ``__shfl`` idiom) —
+    an ablation of the redundant-find design (see
+    ``bench_ablation_warp_bcast``)."""
+    warp = ctx.global_id // warp_size
+    num_warps = ctx.grid_size // warp_size
+    count = yield from wl.g_front_count()
+    for i in range(warp, count, num_warps):
+        v = yield from wl.g_read(i)
+        beg = yield ("ld", row_ptr, v)
+        end = yield ("ld", row_ptr, v + 1)
+        if ctx.lane == 0:
+            v_rep = yield from find(v, parent, recorder)
+            yield ("wput", ("rep", i), v_rep)
+        while True:
+            v_rep = yield ("wget", ("rep", i))
+            if v_rep is not None:
+                break
+        for e in range(beg + ctx.lane, end, warp_size):
+            u = yield ("ld", col_idx, e)
+            if v > u:
+                u_rep = yield from find(u, parent, recorder)
+                v_rep = yield from g_hook(v_rep, u_rep, parent)
+
+
+def k_compute3(ctx, row_ptr, col_idx, parent, wl, find, recorder):
+    """Block-granularity compute kernel (high-degree worklist side)."""
+    block = ctx.block_id
+    num_blocks = ctx.grid_size // ctx.block_dim
+    tib = ctx.global_id % ctx.block_dim
+    start = yield from wl.g_back_start()
+    for i in range(start + block, wl.capacity, num_blocks):
+        v = yield from wl.g_read(i)
+        beg = yield ("ld", row_ptr, v)
+        end = yield ("ld", row_ptr, v + 1)
+        yield from g_process_edges(
+            v, beg, end, tib, ctx.block_dim, col_idx, parent, find, recorder
+        )
+
+
+def k_finalize(ctx, parent, n, variant):
+    """Finalization kernel: make every parent point at its representative.
+
+    Fini3 (ECL-CC) matches the CUDA flatten kernel: traverse without
+    compression, then one conditional write.  Fini1/Fini2 compress along
+    the way (intermediate / multiple pointer jumping).
+    """
+    v = ctx.global_id
+    if v >= n:
+        return
+    vstat = yield ("ld", parent, v)
+    old = vstat
+    if variant == "Fini3":
+        while True:
+            nxt = yield ("ld", parent, vstat)
+            if vstat <= nxt:
+                break
+            vstat = nxt
+    elif variant == "Fini1":
+        prev = v
+        while True:
+            nxt = yield ("ld", parent, vstat)
+            if vstat <= nxt:
+                break
+            yield ("st", parent, prev, nxt)
+            prev = vstat
+            vstat = nxt
+    elif variant == "Fini2":
+        root = vstat
+        while True:
+            nxt = yield ("ld", parent, root)
+            if root <= nxt:
+                break
+            root = nxt
+        cur = vstat
+        while cur != root:
+            nxt = yield ("ld", parent, cur)
+            yield ("st", parent, cur, root)
+            cur = nxt
+        vstat = root
+    else:
+        raise SimulationError(f"unknown finalization variant {variant!r}")
+    if old != vstat:
+        yield ("st", parent, v, vstat)
+
+
+# ----------------------------------------------------------------------
+# Host orchestration
+# ----------------------------------------------------------------------
+@dataclass
+class GpuRunResult:
+    """Labels plus the per-kernel measurements of one ECL-CC GPU run."""
+
+    labels: np.ndarray
+    kernels: list[LaunchStats]
+    device: DeviceSpec
+    path_stats: PathStats | None = None
+    worklist_front: int = 0
+    worklist_back: int = 0
+
+    @property
+    def total_time_ms(self) -> float:
+        return sum(k.time_ms for k in self.kernels)
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(k.cycles for k in self.kernels)
+
+    def kernel_times_ms(self) -> dict[str, float]:
+        return {k.name: k.time_ms for k in self.kernels}
+
+    def cache_totals(self):
+        from ..gpusim.cache import CacheStats
+
+        agg = CacheStats()
+        for k in self.kernels:
+            for fld in vars(agg):
+                setattr(agg, fld, getattr(agg, fld) + getattr(k.cache, fld))
+        return agg
+
+
+def ecl_cc_gpu(
+    graph: CSRGraph,
+    *,
+    device: DeviceSpec = TITAN_X,
+    init: str = "Init3",
+    jump: str = "Jump4",
+    fini: str = "Fini3",
+    thresholds: tuple[int, int] = (DEFAULT_THRESH_MID, DEFAULT_THRESH_HIGH),
+    seed: int | None = None,
+    collect_paths: bool = False,
+    warp_broadcast: bool = False,
+    max_warps_kernel2: int = 256,
+    max_blocks_kernel3: int = 64,
+) -> GpuRunResult:
+    """Run ECL-CC on the simulated GPU; returns labels and measurements.
+
+    ``seed`` randomizes the warp scheduler (different benign-race
+    interleavings); ``None`` gives deterministic round-robin scheduling.
+    ``collect_paths`` enables the Table 4 path-length instrumentation.
+    ``warp_broadcast`` swaps the warp kernel for the lane-0-broadcast
+    variant (an ablation of the redundant per-lane find).
+    """
+    if jump not in JUMP_VARIANTS:
+        raise ValueError(f"unknown jump variant {jump!r}")
+    thresh_mid, thresh_high = thresholds
+    if thresh_mid > thresh_high:
+        raise ValueError("thresholds must satisfy mid <= high")
+    find = JUMP_VARIANTS[jump]
+    recorder = PathStats() if collect_paths else None
+
+    n = graph.num_vertices
+    gpu = GPU(device, seed=seed)
+    d_row = gpu.memory.to_device(graph.row_ptr, name="row_ptr")
+    d_col = gpu.memory.to_device(graph.col_idx, name="col_idx")
+    d_parent = gpu.memory.alloc(max(n, 1), name="parent")
+    wl = DoubleSidedWorklist(gpu.memory, n)
+
+    gpu.launch(k_init, n, d_row, d_col, d_parent, n, init, name="init")
+    gpu.launch(
+        k_compute1, n, d_row, d_col, d_parent, n, wl, find,
+        thresh_mid, thresh_high, recorder, name="compute1",
+    )
+    front, back = wl.front_count, wl.back_count
+    ws = device.warp_size
+    threads2 = min(max(front, 1), max_warps_kernel2) * ws if front else 0
+    kernel2 = k_compute2_bcast if warp_broadcast else k_compute2
+    gpu.launch(
+        kernel2, threads2, d_row, d_col, d_parent, wl, find, ws, recorder,
+        name="compute2",
+    )
+    threads3 = min(max(back, 1), max_blocks_kernel3) * device.block_threads if back else 0
+    gpu.launch(
+        k_compute3, threads3, d_row, d_col, d_parent, wl, find, recorder,
+        name="compute3",
+    )
+    gpu.launch(k_finalize, n, d_parent, n, fini, name="finalize")
+    # Fini1's compression writes can race with other threads' final writes
+    # (a stale intermediate landing after a root was stored).  The chains
+    # stay valid, so one extra flatten pass repairs it; Fini2/Fini3 always
+    # converge in a single pass.  Experiments measure kernels[0:5] only.
+    p = d_parent.data
+    while n and not np.array_equal(p, p[p]):
+        gpu.launch(k_finalize, n, d_parent, n, "Fini3", name="finalize-fixup")
+
+    return GpuRunResult(
+        labels=d_parent.data[:n].copy(),
+        kernels=list(gpu.launches),
+        device=device,
+        path_stats=recorder,
+        worklist_front=front,
+        worklist_back=back,
+    )

@@ -1,0 +1,77 @@
+"""Vectorized (NumPy) connected components in the ECL-CC style.
+
+Intermediate pointer jumping is inherently per-edge-sequential, so a
+data-parallel NumPy formulation cannot transcribe Fig. 5/6 literally.
+This backend keeps ECL-CC's two defining label conventions — enhanced
+initialization (Init1-3) and hooking the larger representative under the
+smaller — and replaces the asynchronous interleaving with bulk-synchronous
+rounds of
+
+1. full pointer doubling (flatten all parents to representatives), and
+2. vectorized hooking of every still-unmerged edge via ``np.minimum.at``
+   (conflicting hooks on one representative resolve to the smallest
+   candidate, which is a valid serialization of the CAS races).
+
+It converges in O(log n) rounds and is the fastest native backend for
+medium/large graphs, so it doubles as the reference runner for wall-clock
+benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from .variants import init_vectorized
+
+__all__ = ["NumpyRunStats", "ecl_cc_numpy"]
+
+
+@dataclass
+class NumpyRunStats:
+    """Round counts emitted by :func:`ecl_cc_numpy`."""
+
+    hook_rounds: int = 0
+    doubling_passes: int = 0
+
+
+def _flatten(parent: np.ndarray, stats: NumpyRunStats) -> np.ndarray:
+    """Pointer-double until every vertex points at its representative."""
+    while True:
+        grandparent = parent[parent]
+        stats.doubling_passes += 1
+        if np.array_equal(grandparent, parent):
+            return parent
+        parent = grandparent
+
+
+def ecl_cc_numpy(
+    graph: CSRGraph, *, init: str = "Init3"
+) -> tuple[np.ndarray, NumpyRunStats]:
+    """Label connected components; returns ``(labels, stats)``.
+
+    ``labels[v]`` is the minimum vertex ID of ``v``'s component, matching
+    every other backend in this library.
+    """
+    stats = NumpyRunStats()
+    parent = init_vectorized(graph, init)
+    if graph.num_vertices == 0:
+        return parent, stats
+    u, v = graph.edge_array()  # each undirected edge exactly once
+    parent = _flatten(parent, stats)
+    while True:
+        ru = parent[u]
+        rv = parent[v]
+        unmerged = ru != rv
+        if not unmerged.any():
+            break
+        stats.hook_rounds += 1
+        hi = np.maximum(ru[unmerged], rv[unmerged])
+        lo = np.minimum(ru[unmerged], rv[unmerged])
+        # Hook larger representatives under the smallest contender; both
+        # arrays index representatives because parent was just flattened.
+        np.minimum.at(parent, hi, lo)
+        parent = _flatten(parent, stats)
+    return parent, stats

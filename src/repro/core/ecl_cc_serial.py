@@ -1,0 +1,146 @@
+"""ECL-CC_SER: the paper's serial CPU implementation (§3, last paragraph).
+
+Same three phases and the same enhanced initialization and intermediate
+pointer jumping as the GPU code, but with no atomics: "since there are no
+calls to atomicCAS that could fail, the do-while loop ... [is] absent".
+Hooking simply rewrites the larger representative's parent and refreshes
+the cached representative of the vertex being processed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from ..unionfind.instrumented import PathLengthRecorder, PathStats
+from ..unionfind.variants import FIND_VARIANTS
+from .variants import INIT_VARIANTS, finalize
+
+__all__ = ["SerialRunStats", "ecl_cc_serial"]
+
+
+@dataclass
+class SerialRunStats:
+    """Optional instrumentation emitted by :func:`ecl_cc_serial`."""
+
+    finds: int = 0
+    hooks: int = 0
+    path_stats: PathStats = field(default_factory=PathStats)
+
+
+def ecl_cc_serial(
+    graph: CSRGraph,
+    *,
+    init: str = "Init3",
+    jump: str = "halving",
+    fini: str = "Fini3",
+    collect_stats: bool = False,
+) -> tuple[np.ndarray, SerialRunStats | None]:
+    """Label connected components serially; returns ``(labels, stats)``.
+
+    Parameters mirror the paper's ablation axes: ``init`` in Init1-3,
+    ``jump`` in {none, single, full, halving} (Jump3/2/1/4), ``fini`` in
+    Fini1-3.  Defaults are the ECL-CC choices (Init3/Jump4/Fini3).
+    """
+    n = graph.num_vertices
+    if init not in INIT_VARIANTS:
+        raise ValueError(f"unknown init variant {init!r}")
+    if jump not in FIND_VARIANTS:
+        raise ValueError(f"unknown jump variant {jump!r}")
+
+    stats = SerialRunStats() if collect_stats else None
+    if collect_stats:
+        recorder = PathLengthRecorder(jump)
+        find = recorder
+    else:
+        find = FIND_VARIANTS[jump]
+
+    # Phase 1: initialization (vectorized; identical to the per-vertex
+    # scalar definitions in repro.core.variants).
+    from .variants import init_vectorized
+
+    parent = init_vectorized(graph, init)
+
+    # Phase 2: computation.  Each undirected edge is visited exactly once
+    # (only the v > u direction is processed).  Like the C code, this
+    # phase runs over the flat CSR arrays directly; in CPython that means
+    # plain lists (per-element access on ndarrays costs ~5x more, which
+    # would charge ECL-CC_SER an overhead its C original does not pay).
+    row_ptr = graph.row_ptr.tolist()
+    col_idx = graph.col_idx.tolist()
+    if collect_stats:
+        for v in range(n):
+            v_rep = find(parent, v)
+            stats.finds += 1
+            for e in range(row_ptr[v], row_ptr[v + 1]):
+                u = col_idx[e]
+                if v > u:
+                    u_rep = find(parent, u)
+                    stats.finds += 1
+                    if v_rep < u_rep:
+                        parent[u_rep] = v_rep
+                        stats.hooks += 1
+                    elif v_rep > u_rep:
+                        parent[v_rep] = u_rep
+                        v_rep = u_rep
+                        stats.hooks += 1
+        finalize(parent, fini)
+        stats.path_stats = recorder.stats
+        return parent, stats
+
+    # Uninstrumented fast path: the parent array as a plain list with the
+    # find/hook logic inlined (Fig. 5 + the serial hooking of §3).
+    par_list = parent.tolist()
+    for v in range(n):
+        # find(v) with intermediate pointer jumping (or the variant).
+        v_rep = _find_list(par_list, v, jump)
+        for e in range(row_ptr[v], row_ptr[v + 1]):
+            u = col_idx[e]
+            if v > u:
+                u_rep = _find_list(par_list, u, jump)
+                if v_rep < u_rep:
+                    par_list[u_rep] = v_rep
+                elif v_rep > u_rep:
+                    par_list[v_rep] = u_rep
+                    v_rep = u_rep
+    parent = np.asarray(par_list, dtype=np.int64)
+    finalize(parent, fini)
+    return parent, stats
+
+
+def _find_list(parent: list, v: int, jump: str) -> int:
+    """The find variants over a plain list (same logic as
+    :mod:`repro.unionfind.variants`, list-typed for the serial fast path)."""
+    if jump == "halving":
+        par = parent[v]
+        if par != v:
+            prev = v
+            while par > (nxt := parent[par]):
+                parent[prev] = nxt
+                prev = par
+                par = nxt
+        return par
+    if jump == "none":
+        par = parent[v]
+        while par > (nxt := parent[par]):
+            par = nxt
+        return par
+    if jump == "single":
+        first = parent[v]
+        root = first
+        while root > (nxt := parent[root]):
+            root = nxt
+        if first != root:
+            parent[v] = root
+        return root
+    # "full": two-pass multiple pointer jumping.
+    root = parent[v]
+    while root > (nxt := parent[root]):
+        root = nxt
+    cur = v
+    while (nxt := parent[cur]) > root:
+        parent[cur] = root
+        cur = nxt
+    return root

@@ -1,0 +1,72 @@
+"""Component-label utilities shared by every implementation.
+
+All algorithms in this library emit a label array where ``labels[v]`` is
+the component representative of ``v`` and, by the hooking convention, that
+representative is the minimum vertex ID in the component.  These helpers
+canonicalize, compare and summarize such labelings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "num_components",
+    "component_sizes",
+    "canonicalize",
+    "equivalent_labelings",
+    "largest_component",
+]
+
+
+def num_components(labels: np.ndarray) -> int:
+    """Number of distinct labels."""
+    return int(np.unique(labels).size) if labels.size else 0
+
+
+def component_sizes(labels: np.ndarray) -> dict[int, int]:
+    """Mapping label -> component size."""
+    uniq, counts = np.unique(labels, return_counts=True)
+    return {int(k): int(v) for k, v in zip(uniq, counts)}
+
+
+def canonicalize(labels: np.ndarray) -> np.ndarray:
+    """Relabel so every component's label is its minimum member vertex.
+
+    Labelings produced by ECL-CC already satisfy this; labelings from
+    arbitrary third parties (e.g. networkx component indices) may not.
+    """
+    labels = np.asarray(labels)
+    order = np.argsort(labels, kind="stable")
+    sorted_labels = labels[order]
+    # First occurrence of each label value, in vertex order within groups.
+    boundaries = np.empty(sorted_labels.size, dtype=bool)
+    if sorted_labels.size:
+        boundaries[0] = True
+        np.not_equal(sorted_labels[1:], sorted_labels[:-1], out=boundaries[1:])
+    group_id = np.cumsum(boundaries) - 1
+    # Minimum vertex per group.
+    num_groups = int(group_id[-1]) + 1 if sorted_labels.size else 0
+    min_vertex = np.full(num_groups, np.iinfo(np.int64).max, dtype=np.int64)
+    np.minimum.at(min_vertex, group_id, order)
+    out = np.empty_like(labels, dtype=np.int64)
+    out[order] = min_vertex[group_id]
+    return out
+
+
+def equivalent_labelings(a: np.ndarray, b: np.ndarray) -> bool:
+    """Whether two labelings induce the same partition of the vertices."""
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.shape != b.shape:
+        return False
+    return bool(np.array_equal(canonicalize(a), canonicalize(b)))
+
+
+def largest_component(labels: np.ndarray) -> tuple[int, int]:
+    """Return ``(label, size)`` of the largest component."""
+    if labels.size == 0:
+        raise ValueError("empty labeling has no components")
+    uniq, counts = np.unique(labels, return_counts=True)
+    i = int(np.argmax(counts))
+    return int(uniq[i]), int(counts[i])

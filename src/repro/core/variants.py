@@ -1,0 +1,117 @@
+"""Pluggable phase variants: Init1-3 (Fig. 7) and Fini1-3 (Fig. 9).
+
+The computation-phase variants (Jump1-4) live in
+:mod:`repro.unionfind.variants`; this module holds the initialization and
+finalization policies, each in a plain-Python form (used by the serial and
+virtual-thread codes, and mirrored by the simulated-GPU kernels) and a
+NumPy-vectorized form (used by the ``numpy`` backend).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from ..unionfind.variants import FIND_VARIANTS
+
+__all__ = [
+    "INIT_VARIANTS",
+    "FINI_VARIANTS",
+    "init_own_id",
+    "init_min_neighbor",
+    "init_first_smaller_neighbor",
+    "init_vectorized",
+    "finalize",
+]
+
+
+# ----------------------------------------------------------------------
+# Initialization (one value per vertex)
+# ----------------------------------------------------------------------
+def init_own_id(graph: CSRGraph, v: int) -> int:
+    """Init1: the vertex's own ID (the classic starting point)."""
+    return v
+
+
+def init_min_neighbor(graph: CSRGraph, v: int) -> int:
+    """Init2: the smallest neighbor ID, if smaller than ``v``."""
+    nbrs = graph.neighbors(v)
+    if nbrs.size:
+        m = int(nbrs.min())
+        if m < v:
+            return m
+    return v
+
+
+def init_first_smaller_neighbor(graph: CSRGraph, v: int) -> int:
+    """Init3 (ECL-CC): first adjacency-list neighbor with a smaller ID.
+
+    Stops at the first hit, which is the whole point: near-Init2 label
+    quality at near-Init1 cost (§3 of the paper).
+    """
+    for u in graph.neighbors(v):
+        if u < v:
+            return int(u)
+    return v
+
+
+INIT_VARIANTS = {
+    "Init1": init_own_id,
+    "Init2": init_min_neighbor,
+    "Init3": init_first_smaller_neighbor,
+}
+
+
+def init_vectorized(graph: CSRGraph, variant: str = "Init3") -> np.ndarray:
+    """Whole-graph initialization without a Python-level vertex loop."""
+    n = graph.num_vertices
+    if variant == "Init1":
+        return np.arange(n, dtype=np.int64)
+    src, dst = graph.arc_array()
+    if variant == "Init2":
+        parent = np.arange(n, dtype=np.int64)
+        smaller = dst < src
+        np.minimum.at(parent, src[smaller], dst[smaller])
+        return parent
+    if variant == "Init3":
+        parent = np.arange(n, dtype=np.int64)
+        hits = np.flatnonzero(dst < src)
+        if hits.size:
+            # First qualifying arc per row: row_ptr gives each row's arc
+            # range; searchsorted finds the first hit at or after its start.
+            first = np.searchsorted(hits, graph.row_ptr[:-1])
+            valid = (first < hits.size)
+            rows = np.arange(n)[valid]
+            cand = hits[first[valid]]
+            in_row = cand < graph.row_ptr[rows + 1]
+            parent[rows[in_row]] = dst[cand[in_row]]
+        return parent
+    raise ValueError(f"unknown init variant {variant!r}")
+
+
+# ----------------------------------------------------------------------
+# Finalization (make every parent point directly at the representative)
+# ----------------------------------------------------------------------
+_FINI_TO_FIND = {
+    "Fini1": "halving",  # intermediate pointer jumping
+    "Fini2": "full",     # multiple pointer jumping
+    "Fini3": "none",     # plain traversal + single final write (ECL-CC)
+}
+
+FINI_VARIANTS = tuple(_FINI_TO_FIND)
+
+
+def finalize(parent: np.ndarray, variant: str = "Fini3") -> np.ndarray:
+    """Run the finalization phase in place and return ``parent``.
+
+    Every variant ends with ``parent[v] = representative(v)``; they differ
+    only in the side-effect writes their traversal performs, which is what
+    Fig. 9 measures.
+    """
+    try:
+        find = FIND_VARIANTS[_FINI_TO_FIND[variant]]
+    except KeyError:
+        raise ValueError(f"unknown finalization variant {variant!r}") from None
+    for v in range(parent.size):
+        parent[v] = find(parent, v)
+    return parent

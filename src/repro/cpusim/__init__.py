@@ -1,0 +1,6 @@
+"""Virtual-thread CPU substrate for the parallel-CPU comparisons."""
+
+from .pool import RegionStats, VirtualThreadPool
+from .spec import E5_2687W, X5690, CpuSpec
+
+__all__ = ["RegionStats", "VirtualThreadPool", "CpuSpec", "E5_2687W", "X5690"]

@@ -1,0 +1,165 @@
+"""Virtual-thread executor with an OpenMP-style cost model.
+
+CPython's GIL makes real thread-level parallel timing meaningless here, so
+the CPU-parallel comparison (Figs. 13/14, Tables 7/8) uses *virtual
+threads*: each ``parallel_for`` region is split into chunks (static or
+guided schedule, like OpenMP), chunks are executed natively and their
+wall-clock work time is measured, and the region's modeled parallel time
+is::
+
+    max(per-thread accumulated work) / relative_core_speed
+        + fork_join_overhead
+
+Chunks go to the least-loaded virtual thread (dynamic/guided dispatch).
+The modeled time therefore reflects each algorithm's *work*, *span* (load
+imbalance across threads) and *region count* (fork/join overhead) — the
+three quantities that drive the paper's CPU results — while all code runs
+the same Python interpreter, so constant factors cancel in the normalized
+charts.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .spec import CpuSpec, E5_2687W
+
+__all__ = ["RegionStats", "VirtualThreadPool"]
+
+
+@dataclass
+class RegionStats:
+    """Measurements of one parallel region (or serial section)."""
+
+    name: str
+    num_chunks: int
+    work_s: float        # summed chunk work
+    span_s: float        # busiest virtual thread
+    modeled_s: float     # span / core_speed + fork-join overhead
+    serial: bool = False
+
+
+class VirtualThreadPool:
+    """Executes parallel-for regions and accumulates modeled time."""
+
+    def __init__(self, spec: CpuSpec = E5_2687W) -> None:
+        self.spec = spec
+        self.regions: list[RegionStats] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def modeled_time_s(self) -> float:
+        """Total modeled runtime over all regions so far."""
+        return sum(r.modeled_s for r in self.regions)
+
+    @property
+    def modeled_time_ms(self) -> float:
+        return self.modeled_time_s * 1e3
+
+    def reset(self) -> None:
+        self.regions.clear()
+
+    # ------------------------------------------------------------------
+    def _chunks(self, n: int, schedule: str, chunk: int | None) -> list[tuple[int, int]]:
+        if n <= 0:
+            return []
+        if schedule == "static":
+            size = chunk or max(1, -(-n // self.spec.num_threads))
+            return [(i, min(i + size, n)) for i in range(0, n, size)]
+        if schedule == "guided":
+            # OpenMP guided: chunk ~ remaining / num_threads, decreasing.
+            min_chunk = chunk or 1
+            out = []
+            i = 0
+            while i < n:
+                size = max(min_chunk, (n - i) // (2 * self.spec.num_threads))
+                out.append((i, min(i + size, n)))
+                i += size
+            return out
+        if schedule == "dynamic":
+            size = chunk or max(1, n // (8 * self.spec.num_threads))
+            return [(i, min(i + size, n)) for i in range(0, n, size)]
+        raise ValueError(f"unknown schedule {schedule!r}")
+
+    def parallel_for(
+        self,
+        n: int,
+        body: Callable[[int, int], None],
+        *,
+        schedule: str = "guided",
+        chunk: int | None = None,
+        name: str = "parallel_for",
+    ) -> RegionStats:
+        """Run ``body(start, stop)`` over chunked ``[0, n)``.
+
+        ``body`` receives chunk bounds so implementations can use tight
+        inner loops (or vectorize a chunk); per-chunk wall time is
+        attributed to the least-loaded virtual thread.
+        """
+        loads = [(0.0, t) for t in range(self.spec.num_threads)]
+        heapq.heapify(loads)
+        total = 0.0
+        chunks = self._chunks(n, schedule, chunk)
+        for start, stop in chunks:
+            t0 = time.perf_counter()
+            body(start, stop)
+            dt = time.perf_counter() - t0
+            total += dt
+            load, tid = heapq.heappop(loads)
+            heapq.heappush(loads, (load + dt, tid))
+        span = max(load for load, _ in loads) if loads else 0.0
+        stats = RegionStats(
+            name=name,
+            num_chunks=len(chunks),
+            work_s=total,
+            span_s=span,
+            modeled_s=span / self.spec.relative_core_speed
+            + self.spec.fork_join_overhead_s,
+        )
+        self.regions.append(stats)
+        return stats
+
+    def parallel_bulk(self, fn: Callable[[], object], *, name: str = "bulk") -> object:
+        """Run a bulk data-parallel operation (sort, dedup, scan, ...).
+
+        The work is executed once natively but modeled as perfectly
+        parallel (``span = work / num_threads``) — appropriate for the
+        sort/scan/pack primitives frameworks like Ligra implement with
+        work-efficient parallel algorithms.
+        """
+        t0 = time.perf_counter()
+        result = fn()
+        dt = time.perf_counter() - t0
+        self.regions.append(
+            RegionStats(
+                name=name,
+                num_chunks=1,
+                work_s=dt,
+                span_s=dt / self.spec.num_threads,
+                modeled_s=dt
+                / self.spec.num_threads
+                / self.spec.relative_core_speed
+                + self.spec.fork_join_overhead_s,
+            )
+        )
+        return result
+
+    def serial(self, fn: Callable[[], object], *, name: str = "serial") -> object:
+        """Run a serial section; its full wall time is charged."""
+        t0 = time.perf_counter()
+        result = fn()
+        dt = time.perf_counter() - t0
+        self.regions.append(
+            RegionStats(
+                name=name,
+                num_chunks=1,
+                work_s=dt,
+                span_s=dt,
+                modeled_s=dt / self.spec.relative_core_speed,
+                serial=True,
+            )
+        )
+        return result

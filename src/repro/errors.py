@@ -1,0 +1,47 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised intentionally by this library derive from
+:class:`ReproError` so callers can catch library failures with a single
+``except`` clause while letting programming errors (``TypeError`` from
+misuse of NumPy, etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphFormatError(ReproError):
+    """A graph file or in-memory description is malformed."""
+
+
+class GraphValidationError(ReproError):
+    """A graph violates a structural invariant (CSR well-formedness,
+    symmetry, absence of self-loops, ...)."""
+
+
+class SimulationError(ReproError):
+    """The GPU/CPU simulator was driven into an invalid state
+    (out-of-bounds device access, kernel misuse, ...)."""
+
+
+class DeviceMemoryError(SimulationError):
+    """An access touched device memory outside any allocation."""
+
+
+class KernelLaunchError(SimulationError):
+    """A kernel launch had an invalid configuration."""
+
+
+class WorklistOverflowError(SimulationError):
+    """A double-sided worklist's two ends collided."""
+
+
+class VerificationError(ReproError):
+    """A connected-components labeling failed verification."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness was misconfigured or a run failed."""

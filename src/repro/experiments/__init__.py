@@ -1,0 +1,12 @@
+"""Experiment harness: one runner per table/figure of the paper."""
+
+from .registry import EXPERIMENTS, get_experiment, run_experiment
+from .report import ExperimentReport, geometric_mean
+
+__all__ = [
+    "EXPERIMENTS",
+    "get_experiment",
+    "run_experiment",
+    "ExperimentReport",
+    "geometric_mean",
+]

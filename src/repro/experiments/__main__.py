@@ -1,0 +1,50 @@
+"""Command-line front end: ``python -m repro.experiments [ids...]``.
+
+Examples::
+
+    python -m repro.experiments fig08                 # one experiment
+    python -m repro.experiments fig11 table5 --scale tiny
+    python -m repro.experiments all --names rmat16.sym europe_osm
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..generators.suite import SCALES, suite_names
+from .registry import EXPERIMENTS, run_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "ids",
+        nargs="+",
+        help=f"experiment ids ({', '.join(EXPERIMENTS)}) or 'all'",
+    )
+    parser.add_argument("--scale", choices=SCALES, default="small")
+    parser.add_argument(
+        "--names",
+        nargs="*",
+        default=None,
+        help=f"subset of input graphs (default: all 18); choices: {', '.join(suite_names())}",
+    )
+    parser.add_argument("--repeats", type=int, default=3, help="median-of-N for CPU codes")
+    args = parser.parse_args(argv)
+
+    ids = list(EXPERIMENTS) if args.ids == ["all"] else args.ids
+    for exp_id in ids:
+        report = run_experiment(
+            exp_id, scale=args.scale, names=args.names, repeats=args.repeats
+        )
+        print(report.render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,192 @@
+"""CPU runtime comparisons: Figs. 13-16 and Tables 7-10 (§5.3/§5.4).
+
+Parallel codes run on the virtual-thread executor under the two host
+configurations of §4 (dual 10-core E5-2687W with 40 hyperthreads; dual
+6-core X5690 with 12 threads).  Serial codes run natively; the host
+difference is modeled through ``relative_core_speed``.  Each measurement
+is the median of ``repeats`` runs, as in the paper.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from ..baselines.cpu import (
+    CPU_PARALLEL_BASELINES,
+    CPU_SERIAL_BASELINES,
+    UnsupportedGraphError,
+    ecl_cc_omp,
+)
+from ..core.ecl_cc_serial import ecl_cc_serial
+from ..cpusim.spec import E5_2687W, X5690, CpuSpec
+from .report import ExperimentReport
+from .runner import DEFAULT_REPEATS, DEFAULT_SCALE, suite_graphs
+
+__all__ = [
+    "run_fig13", "run_table7", "run_fig14", "run_table8",
+    "run_fig15", "run_table9", "run_fig16", "run_table10",
+]
+
+_PAR_ORDER = (
+    "Ligra+ BFSCC", "Ligra+ Comp", "CRONO", "ndHybrid", "Multistep", "Galois",
+)
+_SER_ORDER = ("Galois", "Boost", "Lemon", "igraph")
+
+
+def _median(fn, repeats):
+    return statistics.median(fn() for _ in range(repeats))
+
+
+# Fig/table pairs reuse one collection per configuration (the CPU numbers
+# are medians of wall-clock-derived models; rerunning them for the twin
+# table would only add noise).
+_CACHE: dict[tuple, list] = {}
+
+
+def _collect_parallel(scale, names, spec: CpuSpec, repeats: int):
+    key = ("par", scale, tuple(names) if names else None, spec.name, repeats)
+    if key in _CACHE:
+        return _CACHE[key]
+    rows = []
+    for g in suite_graphs(scale, names):
+        times: dict[str, float | None] = {
+            "ECL-CC_OMP": _median(lambda: ecl_cc_omp(g, spec=spec).modeled_time_ms, repeats)
+        }
+        for bname in _PAR_ORDER:
+            fn = CPU_PARALLEL_BASELINES[bname]
+            try:
+                times[bname] = _median(lambda: fn(g, spec=spec).modeled_time_ms, repeats)
+            except UnsupportedGraphError:
+                times[bname] = None
+        rows.append((g.name, times))
+    _CACHE[key] = rows
+    return rows
+
+
+def _collect_serial(scale, names, core_speed: float, repeats: int):
+    key = ("ser", scale, tuple(names) if names else None, core_speed, repeats)
+    if key in _CACHE:
+        return _CACHE[key]
+    rows = []
+    for g in suite_graphs(scale, names):
+        def ecl_once() -> float:
+            import time
+
+            t0 = time.perf_counter()
+            ecl_cc_serial(g)
+            return (time.perf_counter() - t0) / core_speed
+
+        times: dict[str, float | None] = {
+            "ECL-CC_SER": _median(ecl_once, repeats) * 1e3
+        }
+        for bname in _SER_ORDER:
+            fn = CPU_SERIAL_BASELINES[bname]
+            times[bname] = _median(lambda: fn(g)[1] / core_speed, repeats) * 1e3
+        rows.append((g.name, times))
+    _CACHE[key] = rows
+    return rows
+
+
+def _figure(exp_id, title, rows, order, baseline) -> ExperimentReport:
+    report = ExperimentReport(exp_id, title, ["Graph name", *order])
+    for gname, times in rows:
+        base = times[baseline]
+        report.add_row(
+            gname,
+            *(round(times[b] / base, 2) if times[b] is not None else None for b in order),
+        )
+    report.compute_geomean()
+    report.notes.append(f"runtime relative to {baseline}; higher is worse")
+    return report
+
+
+def _table(exp_id, title, rows, order, baseline) -> ExperimentReport:
+    cols = ["Graph name", baseline, *order]
+    report = ExperimentReport(exp_id, title, cols)
+    for gname, times in rows:
+        report.add_row(
+            gname,
+            *(round(times[c], 3) if times[c] is not None else None for c in cols[1:]),
+        )
+    report.notes.append("absolute modeled runtimes in milliseconds")
+    return report
+
+
+# ----------------------------------------------------------------------
+# Parallel CPU (Figs. 13/14, Tables 7/8)
+# ----------------------------------------------------------------------
+def run_fig13(scale: str = DEFAULT_SCALE, names=None, repeats: int = DEFAULT_REPEATS) -> ExperimentReport:
+    """Fig. 13: parallel E5-2687W runtime relative to ECL-CC_OMP."""
+    rows = _collect_parallel(scale, names, E5_2687W, repeats)
+    rep = _figure("fig13", "Parallel E5-2687W runtime relative to ECL-CC_OMP",
+                  rows, _PAR_ORDER, "ECL-CC_OMP")
+    rep.notes.append(
+        "paper geomeans: BFSCC 1.5, Comp 2.2, CRONO 3.5, ndHybrid 0.98, "
+        "Multistep 3.6, Galois 4.7"
+    )
+    return rep
+
+
+def run_table7(scale: str = DEFAULT_SCALE, names=None, repeats: int = DEFAULT_REPEATS) -> ExperimentReport:
+    """Table 7: absolute parallel runtimes (ms) on the E5-2687W."""
+    return _table("table7", "Absolute modeled parallel runtimes (ms), E5-2687W",
+                  _collect_parallel(scale, names, E5_2687W, repeats),
+                  _PAR_ORDER, "ECL-CC_OMP")
+
+
+def run_fig14(scale: str = DEFAULT_SCALE, names=None, repeats: int = DEFAULT_REPEATS) -> ExperimentReport:
+    """Fig. 14: parallel X5690 runtime relative to ECL-CC_OMP."""
+    rows = _collect_parallel(scale, names, X5690, repeats)
+    rep = _figure("fig14", "Parallel X5690 runtime relative to ECL-CC_OMP",
+                  rows, _PAR_ORDER, "ECL-CC_OMP")
+    rep.notes.append(
+        "paper geomeans: BFSCC 1.7, ndHybrid 1.9, Multistep 2.7, CRONO 6.8, "
+        "Comp 7.2, Galois 22.9"
+    )
+    return rep
+
+
+def run_table8(scale: str = DEFAULT_SCALE, names=None, repeats: int = DEFAULT_REPEATS) -> ExperimentReport:
+    """Table 8: absolute parallel runtimes (ms) on the X5690."""
+    return _table("table8", "Absolute modeled parallel runtimes (ms), X5690",
+                  _collect_parallel(scale, names, X5690, repeats),
+                  _PAR_ORDER, "ECL-CC_OMP")
+
+
+# ----------------------------------------------------------------------
+# Serial CPU (Figs. 15/16, Tables 9/10)
+# ----------------------------------------------------------------------
+def run_fig15(scale: str = DEFAULT_SCALE, names=None, repeats: int = DEFAULT_REPEATS) -> ExperimentReport:
+    """Fig. 15: serial E5-2687W runtime relative to ECL-CC_SER."""
+    rows = _collect_serial(scale, names, E5_2687W.relative_core_speed, repeats)
+    rep = _figure("fig15", "Serial E5-2687W runtime relative to ECL-CC_SER",
+                  rows, _SER_ORDER, "ECL-CC_SER")
+    rep.notes.append(
+        "paper geomeans: Galois 2.6, Boost 5.2, igraph 6.7, Lemon 9.1"
+    )
+    return rep
+
+
+def run_table9(scale: str = DEFAULT_SCALE, names=None, repeats: int = DEFAULT_REPEATS) -> ExperimentReport:
+    """Table 9: absolute serial runtimes (ms) on the E5-2687W."""
+    return _table("table9", "Absolute serial runtimes (ms), E5-2687W model",
+                  _collect_serial(scale, names, E5_2687W.relative_core_speed, repeats),
+                  _SER_ORDER, "ECL-CC_SER")
+
+
+def run_fig16(scale: str = DEFAULT_SCALE, names=None, repeats: int = DEFAULT_REPEATS) -> ExperimentReport:
+    """Fig. 16: serial X5690 runtime relative to ECL-CC_SER."""
+    rows = _collect_serial(scale, names, X5690.relative_core_speed, repeats)
+    rep = _figure("fig16", "Serial X5690 runtime relative to ECL-CC_SER",
+                  rows, _SER_ORDER, "ECL-CC_SER")
+    rep.notes.append(
+        "paper geomeans: Boost 5.3, igraph 7.9, Galois 8.1, Lemon 11"
+    )
+    return rep
+
+
+def run_table10(scale: str = DEFAULT_SCALE, names=None, repeats: int = DEFAULT_REPEATS) -> ExperimentReport:
+    """Table 10: absolute serial runtimes (ms) on the X5690."""
+    return _table("table10", "Absolute serial runtimes (ms), X5690 model",
+                  _collect_serial(scale, names, X5690.relative_core_speed, repeats),
+                  _SER_ORDER, "ECL-CC_SER")

@@ -1,0 +1,80 @@
+"""Fig. 17: geometric-mean runtime across devices, relative to ECL-CC on
+the Titan X (§5.5).
+
+Within each family (GPU codes; parallel CPU codes; serial CPU codes) the
+ratios come directly from our modeled runtimes.  The two cross-family
+anchors — how much slower ECL-CC_OMP and ECL-CC_SER are than ECL-CC on
+the GPU — mix two different time models (hardware-model milliseconds vs
+Python-work-derived milliseconds), so the *within-family ordering* is the
+reproducible claim; the figure's absolute cross-family gap inherits the
+paper's anchors only qualitatively (GPU codes fastest, then parallel CPU,
+then serial CPU).
+"""
+
+from __future__ import annotations
+
+from ..baselines.cpu import (
+    CPU_PARALLEL_BASELINES,
+    CPU_SERIAL_BASELINES,
+    UnsupportedGraphError,
+    ecl_cc_omp,
+)
+from ..baselines.gpu import GPU_BASELINES
+from ..core.ecl_cc_gpu import ecl_cc_gpu
+from ..core.ecl_cc_serial import ecl_cc_serial
+from ..cpusim.spec import E5_2687W
+from ..gpusim.device import TITAN_X
+from .report import ExperimentReport, geometric_mean
+from .runner import DEFAULT_SCALE, device_for, suite_graphs
+
+__all__ = ["run_fig17"]
+
+
+def run_fig17(scale: str = DEFAULT_SCALE, names=None, repeats: int = 1) -> ExperimentReport:
+    """Geomean runtime of every code, normalized to ECL-CC on Titan X."""
+    import time
+
+    graphs = suite_graphs(scale, names)
+    per_code: dict[str, list[float]] = {}
+
+    def record(code: str, value: float | None) -> None:
+        if value is not None:
+            per_code.setdefault(code, []).append(value)
+
+    for g in graphs:
+        dev = device_for(g, TITAN_X)
+        base = ecl_cc_gpu(g, device=dev).total_time_ms
+        record("ECL-CC (GPU)", 1.0)
+        for bname, fn in GPU_BASELINES.items():
+            record(f"{bname} (GPU)", fn(g, device=dev).total_time_ms / base)
+
+        omp = ecl_cc_omp(g, spec=E5_2687W).modeled_time_ms
+        record("ECL-CC_OMP (CPU par)", omp / base)
+        for bname, fn in CPU_PARALLEL_BASELINES.items():
+            try:
+                record(
+                    f"{bname} (CPU par)",
+                    fn(g, spec=E5_2687W).modeled_time_ms / base,
+                )
+            except UnsupportedGraphError:
+                pass
+
+        t0 = time.perf_counter()
+        ecl_cc_serial(g)
+        ser = (time.perf_counter() - t0) * 1e3 / E5_2687W.relative_core_speed
+        record("ECL-CC_SER (CPU ser)", ser / base)
+        for bname, fn in CPU_SERIAL_BASELINES.items():
+            record(f"{bname} (CPU ser)", fn(g)[1] * 1e3 / E5_2687W.relative_core_speed / base)
+
+    report = ExperimentReport(
+        "fig17",
+        "Geometric-mean runtime across devices relative to ECL-CC on Titan X",
+        ["Code", "Geomean relative runtime"],
+    )
+    for code, vals in sorted(per_code.items(), key=lambda kv: geometric_mean(kv[1])):
+        report.add_row(code, round(geometric_mean(vals), 2))
+    report.notes.append(
+        "paper: GPU codes 1.0-8.4, parallel CPU codes 18.7-89.6, serial CPU "
+        "codes 77.2-267.1; cross-family anchors here mix time models (see module doc)"
+    )
+    return report

@@ -1,0 +1,188 @@
+"""ECL-CC internal ablations: Figs. 7, 8, 9, 10 and Tables 3, 4 (§5.1).
+
+All runs use the simulated Titan X with the L2 scaled per graph, exactly
+as §5.1 reports results for the Titan X only.  Runtimes are the sum over
+the five kernels ("we report and compare the sum of the runtimes of all
+kernels ... since changes in one kernel can also affect the amount of
+work ... of the other kernels").
+"""
+
+from __future__ import annotations
+
+from ..core.ecl_cc_gpu import ecl_cc_gpu
+from ..gpusim.device import TITAN_X
+from .report import ExperimentReport
+from .runner import DEFAULT_SCALE, device_for, suite_graphs
+
+__all__ = ["run_fig07", "run_fig08", "run_fig09", "run_fig10", "run_table3", "run_table4"]
+
+_FIVE_KERNELS = ("init", "compute1", "compute2", "compute3", "finalize")
+
+
+def _total_ms(result) -> float:
+    """Sum of the five measured kernels (fixup launches excluded)."""
+    return sum(k.time_ms for k in result.kernels if k.name in _FIVE_KERNELS)
+
+
+def _variant_report(
+    exp_id: str,
+    title: str,
+    variants: dict[str, dict],
+    baseline: str,
+    scale: str,
+    names: list[str] | None,
+) -> ExperimentReport:
+    report = ExperimentReport(
+        exp_id, title, ["Graph name", *variants.keys()],
+    )
+    for g in suite_graphs(scale, names):
+        dev = device_for(g, TITAN_X)
+        times = {
+            label: _total_ms(ecl_cc_gpu(g, device=dev, **kwargs))
+            for label, kwargs in variants.items()
+        }
+        base = times[baseline]
+        report.add_row(g.name, *(round(times[k] / base, 3) for k in variants))
+    report.compute_geomean()
+    report.notes.append(f"values are runtimes relative to {baseline} (higher is worse)")
+    return report
+
+
+def run_fig07(scale: str = DEFAULT_SCALE, names: list[str] | None = None, repeats: int = 1) -> ExperimentReport:
+    """Fig. 7: relative runtime with different initialization kernels."""
+    return _variant_report(
+        "fig07",
+        "Relative runtime with different initialization kernels (Titan X)",
+        {
+            "Init1": {"init": "Init1"},
+            "Init2": {"init": "Init2"},
+            "Init3 (ECL-CC)": {"init": "Init3"},
+        },
+        "Init3 (ECL-CC)",
+        scale,
+        names,
+    )
+
+
+def run_fig08(scale: str = DEFAULT_SCALE, names: list[str] | None = None, repeats: int = 1) -> ExperimentReport:
+    """Fig. 8: relative runtime with different pointer-jumping versions."""
+    return _variant_report(
+        "fig08",
+        "Relative runtime with different pointer-jumping versions (Titan X)",
+        {
+            "Jump1": {"jump": "Jump1"},
+            "Jump2": {"jump": "Jump2"},
+            "Jump3": {"jump": "Jump3"},
+            "Jump4 (ECL-CC)": {"jump": "Jump4"},
+        },
+        "Jump4 (ECL-CC)",
+        scale,
+        names,
+    )
+
+
+def run_fig09(scale: str = DEFAULT_SCALE, names: list[str] | None = None, repeats: int = 1) -> ExperimentReport:
+    """Fig. 9: relative runtime of different finalizations."""
+    return _variant_report(
+        "fig09",
+        "Relative runtime of different finalization kernels (Titan X)",
+        {
+            "Fini1": {"fini": "Fini1"},
+            "Fini2": {"fini": "Fini2"},
+            "Fini3 (ECL-CC)": {"fini": "Fini3"},
+        },
+        "Fini3 (ECL-CC)",
+        scale,
+        names,
+    )
+
+
+def run_fig10(scale: str = DEFAULT_SCALE, names: list[str] | None = None, repeats: int = 1) -> ExperimentReport:
+    """Fig. 10: runtime distribution among the five CUDA kernels (%)."""
+    report = ExperimentReport(
+        "fig10",
+        "ECL-CC runtime distribution among the five kernels (Titan X, %)",
+        ["Graph name", "initialization", "compute 1", "compute 2", "compute 3", "finalization"],
+    )
+    sums = [0.0] * 5
+    count = 0
+    for g in suite_graphs(scale, names):
+        dev = device_for(g, TITAN_X)
+        res = ecl_cc_gpu(g, device=dev)
+        times = {k.name: k.time_ms for k in res.kernels if k.name in _FIVE_KERNELS}
+        total = sum(times.values())
+        pct = [100.0 * times[k] / total for k in _FIVE_KERNELS]
+        for i, p in enumerate(pct):
+            sums[i] += p
+        count += 1
+        report.add_row(g.name, *(round(p, 1) for p in pct))
+    if count:
+        report.geomean_row = ["Average", *(round(s / count, 1) for s in sums)]
+    report.notes.append(
+        "paper averages: init 9.8%, compute1 47.1%, compute2 26.5%, "
+        "compute3 10.9%, finalize 5.7%"
+    )
+    return report
+
+
+def run_table3(scale: str = DEFAULT_SCALE, names: list[str] | None = None, repeats: int = 1) -> ExperimentReport:
+    """Table 3: L2 read/write accesses of Jump1-3 relative to Jump4.
+
+    Uses a *cache-pressure* configuration (L1 shrunk to 2 kB alongside the
+    scaled L2): on the stand-in graphs a full-size L1 holds the entire
+    parent array, which would hide exactly the locality differences this
+    table exists to measure.  Under pressure the read ratios track the
+    paper closely; the write ratios do not reproduce (see the note) —
+    our write-back model coalesces Jump4's compression stores within a
+    single traversal window, while the Maxwell store path evidently does
+    not reward Jump1/Jump2's sparser store streams the same way.
+    """
+    import dataclasses
+
+    report = ExperimentReport(
+        "table3",
+        "L2 cache accesses relative to Jump4 (Titan X, cache-pressure config)",
+        ["Graph name", "rd Jump1", "rd Jump2", "rd Jump3",
+         "wr Jump1", "wr Jump2", "wr Jump3"],
+    )
+    for g in suite_graphs(scale, names):
+        dev = dataclasses.replace(device_for(g, TITAN_X), l1_bytes=2048)
+        counts = {}
+        for jump in ("Jump1", "Jump2", "Jump3", "Jump4"):
+            c = ecl_cc_gpu(g, device=dev, jump=jump).cache_totals()
+            counts[jump] = (c.l2_reads, c.l2_writes)
+        base_r, base_w = counts["Jump4"]
+        base_r, base_w = max(base_r, 1), max(base_w, 1)
+        report.add_row(
+            g.name,
+            *(round(counts[j][0] / base_r, 2) for j in ("Jump1", "Jump2", "Jump3")),
+            *(round(counts[j][1] / base_w, 2) for j in ("Jump1", "Jump2", "Jump3")),
+        )
+    report.compute_geomean()
+    report.notes.append(
+        "paper geomeans: reads 1.44 / 1.09 / 2.43, writes 4.19 / 3.45 / 0.50"
+    )
+    report.notes.append(
+        "read ratios reproduce; write ratios are a documented non-reproduction "
+        "(see EXPERIMENTS.md, Table 3)"
+    )
+    return report
+
+
+def run_table4(scale: str = DEFAULT_SCALE, names: list[str] | None = None, repeats: int = 1) -> ExperimentReport:
+    """Table 4: observed path lengths during the computation phase."""
+    report = ExperimentReport(
+        "table4",
+        "Observed parent-path lengths during computation (Titan X)",
+        ["Graph name", "Average path length", "Maximum path length"],
+    )
+    for g in suite_graphs(scale, names):
+        dev = device_for(g, TITAN_X)
+        res = ecl_cc_gpu(g, device=dev, collect_paths=True)
+        ps = res.path_stats
+        report.add_row(g.name, round(ps.average_length, 2), ps.max_length)
+    report.notes.append(
+        "paper: averages 1.0-1.6 on most inputs; europe_osm is the outlier "
+        "(4.26 avg, 122 max)"
+    )
+    return report

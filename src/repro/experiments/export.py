@@ -1,0 +1,72 @@
+"""Export experiment reports to machine-readable formats.
+
+The text renderer serves humans; these writers serve downstream tooling
+(plots, regression tracking, the EXPERIMENTS.md generator).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from .report import ExperimentReport
+
+__all__ = ["to_csv", "to_json", "to_markdown", "write_report"]
+
+
+def to_csv(report: ExperimentReport, path: str | Path) -> None:
+    """Write the table (plus any geomean row) as CSV."""
+    with open(path, "w", newline="", encoding="utf-8") as f:
+        writer = csv.writer(f)
+        writer.writerow(report.columns)
+        for row in report.rows:
+            writer.writerow(["n/a" if c is None else c for c in row])
+        if report.geomean_row:
+            writer.writerow(report.geomean_row)
+
+
+def to_json(report: ExperimentReport, path: str | Path) -> None:
+    """Write the full report (including notes) as JSON."""
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(report.as_dict(), f, indent=2)
+
+
+def to_markdown(report: ExperimentReport) -> str:
+    """Render as a GitHub-flavored markdown table."""
+    def fmt(cell) -> str:
+        if cell is None:
+            return "n/a"
+        if isinstance(cell, float):
+            return f"{cell:.3f}" if cell < 1000 else f"{cell:,.1f}"
+        return str(cell)
+
+    lines = [f"### {report.experiment_id}: {report.title}", ""]
+    lines.append("| " + " | ".join(report.columns) + " |")
+    lines.append("|" + "|".join("---" for _ in report.columns) + "|")
+    for row in report.rows:
+        lines.append("| " + " | ".join(fmt(c) for c in row) + " |")
+    if report.geomean_row:
+        lines.append(
+            "| " + " | ".join(f"**{fmt(c)}**" for c in report.geomean_row) + " |"
+        )
+    for note in report.notes:
+        lines.append("")
+        lines.append(f"*{note}*")
+    return "\n".join(lines)
+
+
+def write_report(report: ExperimentReport, directory: str | Path) -> dict[str, Path]:
+    """Write txt + csv + json siblings; returns the paths."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    base = directory / report.experiment_id
+    paths = {
+        "txt": base.with_suffix(".txt"),
+        "csv": base.with_suffix(".csv"),
+        "json": base.with_suffix(".json"),
+    }
+    paths["txt"].write_text(report.render() + "\n", encoding="utf-8")
+    to_csv(report, paths["csv"])
+    to_json(report, paths["json"])
+    return paths

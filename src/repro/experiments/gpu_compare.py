@@ -1,0 +1,85 @@
+"""GPU runtime comparison: Figs. 11/12 and Tables 5/6 (§5.2).
+
+ECL-CC against Groute, Gunrock, IrGL and Soman on the simulated Titan X
+and K40.  ``run_*`` returns the normalized figure; ``run_*_absolute``
+returns the corresponding absolute-runtime table.
+"""
+
+from __future__ import annotations
+
+from ..baselines.gpu import GPU_BASELINES
+from ..core.ecl_cc_gpu import ecl_cc_gpu
+from ..gpusim.device import K40, TITAN_X, DeviceSpec
+from .report import ExperimentReport
+from .runner import DEFAULT_SCALE, device_for, suite_graphs
+
+__all__ = ["run_fig11", "run_table5", "run_fig12", "run_table6"]
+
+_ORDER = ("Groute", "Gunrock", "IrGL", "Soman")
+
+# The fig/table pairs (11+5, 12+6) need identical measurements; the
+# simulator is deterministic, so one collection per configuration is
+# cached for the lifetime of the process.
+_CACHE: dict[tuple, list] = {}
+
+
+def _collect(scale: str, names: list[str] | None, base: DeviceSpec):
+    key = (scale, tuple(names) if names else None, base.name)
+    if key in _CACHE:
+        return _CACHE[key]
+    rows = []
+    for g in suite_graphs(scale, names):
+        dev = device_for(g, base)
+        times = {"ECL-CC": ecl_cc_gpu(g, device=dev).total_time_ms}
+        for bname in _ORDER:
+            times[bname] = GPU_BASELINES[bname](g, device=dev).total_time_ms
+        rows.append((g.name, times))
+    _CACHE[key] = rows
+    return rows
+
+
+def _figure(exp_id: str, title: str, rows) -> ExperimentReport:
+    report = ExperimentReport(exp_id, title, ["Graph name", *_ORDER])
+    for gname, times in rows:
+        base = times["ECL-CC"]
+        report.add_row(gname, *(round(times[b] / base, 2) for b in _ORDER))
+    report.compute_geomean()
+    report.notes.append("runtime relative to ECL-CC; higher is worse")
+    return report
+
+
+def _table(exp_id: str, title: str, rows) -> ExperimentReport:
+    cols = ["Graph name", "ECL-CC", *_ORDER]
+    report = ExperimentReport(exp_id, title, cols)
+    for gname, times in rows:
+        report.add_row(gname, *(round(times[c], 3) for c in cols[1:]))
+    report.notes.append("absolute modeled runtimes in milliseconds")
+    return report
+
+
+def run_fig11(scale: str = DEFAULT_SCALE, names: list[str] | None = None, repeats: int = 1) -> ExperimentReport:
+    """Fig. 11: Titan X runtime relative to ECL-CC."""
+    rows = _collect(scale, names, TITAN_X)
+    rep = _figure("fig11", "Titan X runtime relative to ECL-CC", rows)
+    rep.notes.append("paper geomeans: Groute 1.8, Soman 4.0, IrGL 6.4, Gunrock 8.4")
+    return rep
+
+
+def run_table5(scale: str = DEFAULT_SCALE, names: list[str] | None = None, repeats: int = 1) -> ExperimentReport:
+    """Table 5: absolute runtimes (ms) on the Titan X."""
+    return _table("table5", "Absolute modeled runtimes (ms) on the Titan X",
+                  _collect(scale, names, TITAN_X))
+
+
+def run_fig12(scale: str = DEFAULT_SCALE, names: list[str] | None = None, repeats: int = 1) -> ExperimentReport:
+    """Fig. 12: K40 runtime relative to ECL-CC."""
+    rows = _collect(scale, names, K40)
+    rep = _figure("fig12", "K40 runtime relative to ECL-CC", rows)
+    rep.notes.append("paper geomeans: Groute 1.6, Soman 4.3, IrGL 5.8, Gunrock 11.2")
+    return rep
+
+
+def run_table6(scale: str = DEFAULT_SCALE, names: list[str] | None = None, repeats: int = 1) -> ExperimentReport:
+    """Table 6: absolute runtimes (ms) on the K40."""
+    return _table("table6", "Absolute modeled runtimes (ms) on the K40",
+                  _collect(scale, names, K40))

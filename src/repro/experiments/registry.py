@@ -1,0 +1,65 @@
+"""Registry mapping experiment ids to their runners.
+
+Each runner has the signature ``run(scale, names=None, repeats=...) ->
+ExperimentReport``.  The ids follow the paper's table/figure numbering;
+``python -m repro.experiments <id> ...`` runs and prints them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import ExperimentError
+from . import (
+    cpu_compare,
+    cross_device,
+    ecl_internals,
+    gpu_compare,
+    scaling,
+    table2_inputs,
+    workchar,
+)
+from .report import ExperimentReport
+
+__all__ = ["EXPERIMENTS", "get_experiment", "run_experiment"]
+
+EXPERIMENTS: dict[str, Callable[..., ExperimentReport]] = {
+    "table2": table2_inputs.run,
+    "fig07": ecl_internals.run_fig07,
+    "fig08": ecl_internals.run_fig08,
+    "fig09": ecl_internals.run_fig09,
+    "fig10": ecl_internals.run_fig10,
+    "table3": ecl_internals.run_table3,
+    "table4": ecl_internals.run_table4,
+    "fig11": gpu_compare.run_fig11,
+    "table5": gpu_compare.run_table5,
+    "fig12": gpu_compare.run_fig12,
+    "table6": gpu_compare.run_table6,
+    "fig13": cpu_compare.run_fig13,
+    "table7": cpu_compare.run_table7,
+    "fig14": cpu_compare.run_fig14,
+    "table8": cpu_compare.run_table8,
+    "fig15": cpu_compare.run_fig15,
+    "table9": cpu_compare.run_table9,
+    "fig16": cpu_compare.run_fig16,
+    "table10": cpu_compare.run_table10,
+    "fig17": cross_device.run_fig17,
+    # Beyond the paper: work characterization of ECL-CC itself.
+    "workchar": workchar.run_workchar,
+    "scaling": scaling.run_scaling,
+}
+
+
+def get_experiment(exp_id: str) -> Callable[..., ExperimentReport]:
+    """Look up a runner by id; raises :class:`ExperimentError` if unknown."""
+    try:
+        return EXPERIMENTS[exp_id]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown experiment {exp_id!r}; known: {', '.join(EXPERIMENTS)}"
+        ) from None
+
+
+def run_experiment(exp_id: str, **kwargs) -> ExperimentReport:
+    """Run one experiment by id."""
+    return get_experiment(exp_id)(**kwargs)

@@ -1,0 +1,101 @@
+"""Experiment report objects and text rendering.
+
+Every experiment produces an :class:`ExperimentReport`: a titled table
+with per-graph rows, optional geometric-mean summary row, and free-form
+notes.  The text renderer is what ``python -m repro.experiments`` and the
+benchmark harness print, mirroring the layout of the paper's tables and
+(normalized-runtime) figures.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = ["ExperimentReport", "geometric_mean"]
+
+
+def geometric_mean(values: list[float]) -> float:
+    """Geometric mean of positive values (the paper's summary statistic)."""
+    vals = [v for v in values if v is not None]
+    if not vals:
+        return float("nan")
+    if any(v <= 0 for v in vals):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+@dataclass
+class ExperimentReport:
+    """A rendered experiment: header columns, one row per input graph."""
+
+    experiment_id: str
+    title: str
+    columns: list[str]
+    rows: list[list] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+    geomean_row: list | None = None
+
+    def add_row(self, *values) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} cells, header has {len(self.columns)}"
+            )
+        self.rows.append(list(values))
+
+    def compute_geomean(self, label: str = "Geometric Mean") -> None:
+        """Fill the summary row with per-column geomeans (first column is
+        the label column; non-numeric and non-positive cells — e.g. the
+        "n/a" entries CRONO produces — are skipped, as in the paper)."""
+        out: list = [label]
+        for c in range(1, len(self.columns)):
+            vals = [
+                float(r[c])
+                for r in self.rows
+                if isinstance(r[c], (int, float)) and r[c] > 0
+            ]
+            out.append(round(geometric_mean(vals), 3) if vals else "n/a")
+        self.geomean_row = out
+
+    # ------------------------------------------------------------------
+    def _fmt(self, cell) -> str:
+        if isinstance(cell, float):
+            if cell >= 1000:
+                return f"{cell:,.1f}"
+            if cell >= 10:
+                return f"{cell:.2f}"
+            return f"{cell:.3f}"
+        if cell is None:
+            return "n/a"
+        return str(cell)
+
+    def render(self) -> str:
+        """Render as an aligned text table."""
+        body = [[self._fmt(c) for c in row] for row in self.rows]
+        if self.geomean_row:
+            body.append([self._fmt(c) for c in self.geomean_row])
+        widths = [
+            max(len(self.columns[i]), *(len(r[i]) for r in body)) if body else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        lines.append("  ".join(self.columns[i].ljust(widths[i]) for i in range(len(widths))))
+        lines.append("  ".join("-" * w for w in widths))
+        for i, r in enumerate(body):
+            if self.geomean_row and i == len(body) - 1:
+                lines.append("  ".join("-" * w for w in widths))
+            lines.append("  ".join(r[j].ljust(widths[j]) for j in range(len(widths))))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def as_dict(self) -> dict:
+        """JSON-friendly form (for EXPERIMENTS.md tooling and tests)."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "columns": self.columns,
+            "rows": self.rows,
+            "geomean_row": self.geomean_row,
+            "notes": self.notes,
+        }

@@ -1,0 +1,45 @@
+"""Shared measurement helpers for the experiment modules.
+
+The paper "repeated each experiment three times and report[s] the median
+computation time" (§4).  The simulated-GPU runs are deterministic under
+round-robin scheduling, so one run suffices there; the CPU codes'
+modeled times are derived from wall-clock chunk measurements, so they
+are run ``repeats`` times and the median is reported.
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import Callable
+
+from ..generators.suite import load, suite_names
+from ..gpusim.device import DeviceSpec, scaled_device
+from ..graph.csr import CSRGraph
+
+__all__ = [
+    "median_of",
+    "suite_graphs",
+    "device_for",
+    "DEFAULT_SCALE",
+    "DEFAULT_REPEATS",
+]
+
+DEFAULT_SCALE = "small"
+DEFAULT_REPEATS = 3
+
+
+def median_of(fn: Callable[[], float], repeats: int = DEFAULT_REPEATS) -> float:
+    """Median over ``repeats`` invocations of a time-returning callable."""
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    return statistics.median(fn() for _ in range(repeats))
+
+
+def suite_graphs(scale: str, names: list[str] | None = None) -> list[CSRGraph]:
+    """The evaluation inputs at the requested scale (paper order)."""
+    return [load(n, scale) for n in (names or suite_names())]
+
+
+def device_for(graph: CSRGraph, base: DeviceSpec) -> DeviceSpec:
+    """The base device with its L2 scaled to the stand-in graph's size."""
+    return scaled_device(base, graph.num_arcs)

@@ -1,0 +1,59 @@
+"""Scaling study (beyond the paper's artifacts).
+
+ECL-CC's modeled runtime as a function of input size within one graph
+family — the check that the simulator's cost model scales linearly in
+edges for this O(n + m alpha(n)) algorithm, and the experiment a
+reviewer would ask for first when absolute sizes are scaled down.
+"""
+
+from __future__ import annotations
+
+from ..core.ecl_cc_gpu import ecl_cc_gpu
+from ..generators.grid import grid2d
+from ..generators.rmat import rmat
+from ..generators.roads import road_mesh
+from ..gpusim.device import TITAN_X, scaled_device
+from .report import ExperimentReport
+
+__all__ = ["run_scaling"]
+
+_FAMILIES = {
+    "grid": lambda k: grid2d(12 << k, 12 << k),
+    "rmat": lambda k: rmat(8 + 2 * k, 8.0, seed=22),
+    "road": lambda k: road_mesh(16 << k, 16 << k, keep_prob=0.25, seed=27),
+}
+
+
+def run_scaling(
+    scale: str = "small", names: list[str] | None = None, repeats: int = 1
+) -> ExperimentReport:
+    """Sweep each family over 3 sizes; report ms and ms-per-megaarc.
+
+    ``scale`` selects the top size: ``tiny`` sweeps k=0..1, anything
+    else k=0..2.  ``names`` filters the families.
+    """
+    levels = 2 if scale == "tiny" else 3
+    report = ExperimentReport(
+        "scaling",
+        "ECL-CC modeled runtime vs input size (Titan X, scaled L2)",
+        ["Family", "k", "Vertices", "Arcs", "Time (ms)", "ms per Marc"],
+    )
+    for family, factory in _FAMILIES.items():
+        if names and family not in names:
+            continue
+        for k in range(levels):
+            g = factory(k)
+            dev = scaled_device(TITAN_X, g.num_arcs)
+            res = ecl_cc_gpu(g, device=dev)
+            report.add_row(
+                family,
+                k,
+                g.num_vertices,
+                g.num_arcs,
+                round(res.total_time_ms, 4),
+                round(res.total_time_ms / max(g.num_arcs, 1) * 1e6, 3),
+            )
+    report.notes.append(
+        "ms per Marc should stay roughly flat within a family (linear work)"
+    )
+    return report

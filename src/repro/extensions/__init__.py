@@ -1,0 +1,25 @@
+"""Extensions beyond connected components (the paper's future work)."""
+
+from .afforest import AfforestResult, afforest_cc
+from .imaging import Region, label_image, mask_to_graph, regions
+from .incremental import IncrementalConnectivity
+from .spanning_forest import (
+    SpanningForest,
+    boruvka_msf_gpu,
+    forest_weight,
+    kruskal_msf,
+)
+
+__all__ = [
+    "AfforestResult",
+    "afforest_cc",
+    "Region",
+    "label_image",
+    "mask_to_graph",
+    "regions",
+    "IncrementalConnectivity",
+    "SpanningForest",
+    "boruvka_msf_gpu",
+    "forest_weight",
+    "kruskal_msf",
+]

@@ -1,0 +1,101 @@
+"""Connected-component labeling for images.
+
+The paper's first motivating application (§1: "in computer vision, it is
+used for object detection (the pixels of an object are typically
+connected)").  This module provides that application as a first-class
+API: binary masks in, per-pixel component labels out, powered by the
+vectorized CC backend over an implicitly-constructed pixel adjacency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.ecl_cc_numpy import ecl_cc_numpy
+from ..graph.build import from_arc_arrays
+from ..graph.csr import CSRGraph
+
+__all__ = ["label_image", "regions", "Region", "mask_to_graph"]
+
+BACKGROUND = -1
+
+
+def mask_to_graph(mask: np.ndarray, *, connectivity: int = 4) -> CSRGraph:
+    """Adjacency graph over the foreground pixels of a binary mask.
+
+    Background pixels stay as isolated vertices so pixel index equals
+    vertex id.  ``connectivity`` is 4 (edges/von Neumann) or 8 (adds the
+    diagonals/Moore).
+    """
+    mask = np.asarray(mask, dtype=bool)
+    if mask.ndim != 2:
+        raise ValueError("mask must be a 2-D array")
+    if connectivity not in (4, 8):
+        raise ValueError("connectivity must be 4 or 8")
+    h, w = mask.shape
+    idx = np.arange(h * w).reshape(h, w)
+    srcs: list[np.ndarray] = []
+    dsts: list[np.ndarray] = []
+
+    def link(a_slice, b_slice) -> None:
+        both = mask[a_slice] & mask[b_slice]
+        srcs.append(idx[a_slice][both])
+        dsts.append(idx[b_slice][both])
+
+    link(np.s_[:, :-1], np.s_[:, 1:])    # horizontal
+    link(np.s_[:-1, :], np.s_[1:, :])    # vertical
+    if connectivity == 8:
+        link(np.s_[:-1, :-1], np.s_[1:, 1:])   # diagonal down-right
+        link(np.s_[:-1, 1:], np.s_[1:, :-1])   # diagonal down-left
+    src = np.concatenate(srcs) if srcs else np.empty(0, dtype=np.int64)
+    dst = np.concatenate(dsts) if dsts else np.empty(0, dtype=np.int64)
+    return from_arc_arrays(src, dst, h * w, name="image-mask")
+
+
+def label_image(mask: np.ndarray, *, connectivity: int = 4) -> np.ndarray:
+    """Label the connected foreground regions of a binary mask.
+
+    Returns an int array of the mask's shape: background pixels get
+    ``-1``, foreground pixels get their region's label (the flat index
+    of the region's first pixel in row-major order — the image analogue
+    of the library's minimum-member convention).
+    """
+    mask = np.asarray(mask, dtype=bool)
+    g = mask_to_graph(mask, connectivity=connectivity)
+    labels, _ = ecl_cc_numpy(g)
+    out = labels.reshape(mask.shape)
+    return np.where(mask, out, BACKGROUND)
+
+
+@dataclass(frozen=True)
+class Region:
+    """One labeled foreground region."""
+
+    label: int
+    size: int
+    bbox: tuple[int, int, int, int]  # (row0, col0, row1, col1), exclusive
+    centroid: tuple[float, float]
+
+
+def regions(label_img: np.ndarray) -> list[Region]:
+    """Region table (size, bounding box, centroid) from a label image,
+    largest region first — the measurements an object-detection pipeline
+    consumes after CC labeling."""
+    label_img = np.asarray(label_img)
+    out: list[Region] = []
+    fg = label_img != BACKGROUND
+    for lab in np.unique(label_img[fg]) if fg.any() else []:
+        rows, cols = np.nonzero(label_img == lab)
+        out.append(
+            Region(
+                label=int(lab),
+                size=int(rows.size),
+                bbox=(int(rows.min()), int(cols.min()),
+                      int(rows.max()) + 1, int(cols.max()) + 1),
+                centroid=(float(rows.mean()), float(cols.mean())),
+            )
+        )
+    out.sort(key=lambda r: -r.size)
+    return out

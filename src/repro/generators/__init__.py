@@ -1,0 +1,32 @@
+"""Synthetic graph generators and the paper's 18-input stand-in suite."""
+
+from .delaunay import delaunay_graph
+from .grid import grid2d, grid3d
+from .random_regular import random_gnm, random_out_degree
+from .rmat import kronecker_g500, rmat
+from .small_world import small_world
+from .roads import caterpillar, long_path, road_mesh
+from .suite import SCALES, SUITE, GraphSpec, load, load_suite, suite_names
+from .web import community_power_law, preferential_attachment
+
+__all__ = [
+    "delaunay_graph",
+    "grid2d",
+    "grid3d",
+    "random_gnm",
+    "random_out_degree",
+    "kronecker_g500",
+    "rmat",
+    "small_world",
+    "caterpillar",
+    "long_path",
+    "road_mesh",
+    "community_power_law",
+    "preferential_attachment",
+    "SCALES",
+    "SUITE",
+    "GraphSpec",
+    "load",
+    "load_suite",
+    "suite_names",
+]

@@ -1,0 +1,30 @@
+"""Delaunay triangulations (stand-in for ``delaunay_n24``).
+
+SuiteSparse's ``delaunay_n24`` is the Delaunay triangulation of 2^24 random
+points in the unit square: planar, degree ~6 on average, one component.  We
+build the same object at smaller scale with :mod:`scipy.spatial`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.spatial import Delaunay
+
+from ..graph.build import from_arc_arrays
+from ..graph.csr import CSRGraph
+
+__all__ = ["delaunay_graph"]
+
+
+def delaunay_graph(num_points: int, *, seed: int = 0, name: str | None = None) -> CSRGraph:
+    """Delaunay triangulation of ``num_points`` uniform random 2-D points."""
+    if num_points < 3:
+        raise ValueError("need at least 3 points to triangulate")
+    rng = np.random.default_rng(seed)
+    pts = rng.random((num_points, 2))
+    tri = Delaunay(pts)
+    simplices = tri.simplices.astype(np.int64)
+    # Each triangle contributes its three sides.
+    src = np.concatenate([simplices[:, 0], simplices[:, 1], simplices[:, 2]])
+    dst = np.concatenate([simplices[:, 1], simplices[:, 2], simplices[:, 0]])
+    return from_arc_arrays(src, dst, num_points, name=name or f"delaunay-{num_points}")

@@ -1,0 +1,61 @@
+"""Regular grid graphs (stand-in for ``2d-2e20.sym``).
+
+The Galois input ``2d-2e20.sym`` is a 2-D grid with 2^20 vertices, degree
+2..4 and a single component.  :func:`grid2d` produces the same structure at
+any scale; :func:`grid3d` is provided for extension experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.build import from_arc_arrays
+from ..graph.csr import CSRGraph
+
+__all__ = ["grid2d", "grid3d"]
+
+
+def grid2d(rows: int, cols: int, *, periodic: bool = False, name: str | None = None) -> CSRGraph:
+    """4-neighbor grid of ``rows x cols`` vertices.
+
+    Vertices are numbered row-major.  With ``periodic`` the grid wraps into
+    a torus (every vertex has degree exactly 4).
+    """
+    if rows < 1 or cols < 1:
+        raise ValueError("grid dimensions must be positive")
+    idx = np.arange(rows * cols, dtype=np.int64).reshape(rows, cols)
+    srcs: list[np.ndarray] = []
+    dsts: list[np.ndarray] = []
+    # Horizontal edges.
+    srcs.append(idx[:, :-1].ravel())
+    dsts.append(idx[:, 1:].ravel())
+    # Vertical edges.
+    srcs.append(idx[:-1, :].ravel())
+    dsts.append(idx[1:, :].ravel())
+    if periodic:
+        if cols > 2:
+            srcs.append(idx[:, -1])
+            dsts.append(idx[:, 0])
+        if rows > 2:
+            srcs.append(idx[-1, :])
+            dsts.append(idx[0, :])
+    src = np.concatenate(srcs) if srcs else np.empty(0, dtype=np.int64)
+    dst = np.concatenate(dsts) if dsts else np.empty(0, dtype=np.int64)
+    return from_arc_arrays(
+        src, dst, rows * cols, name=name or f"grid2d-{rows}x{cols}"
+    )
+
+
+def grid3d(nx_: int, ny: int, nz: int, *, name: str | None = None) -> CSRGraph:
+    """6-neighbor cubic grid (extension beyond the paper's inputs)."""
+    if min(nx_, ny, nz) < 1:
+        raise ValueError("grid dimensions must be positive")
+    idx = np.arange(nx_ * ny * nz, dtype=np.int64).reshape(nx_, ny, nz)
+    srcs = [idx[:-1, :, :].ravel(), idx[:, :-1, :].ravel(), idx[:, :, :-1].ravel()]
+    dsts = [idx[1:, :, :].ravel(), idx[:, 1:, :].ravel(), idx[:, :, 1:].ravel()]
+    return from_arc_arrays(
+        np.concatenate(srcs),
+        np.concatenate(dsts),
+        nx_ * ny * nz,
+        name=name or f"grid3d-{nx_}x{ny}x{nz}",
+    )

@@ -1,0 +1,69 @@
+"""Uniform-degree random graphs (stand-in for ``r4-2e23.sym``).
+
+Galois' ``r4-2e23.sym`` is a random graph where every vertex picks 4
+random neighbors (degree concentrates near 8 after symmetrization, one
+giant component).  :func:`random_out_degree` reproduces that construction;
+:func:`random_gnm` gives classic Erdős–Rényi G(n, m).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.build import from_arc_arrays
+from ..graph.csr import CSRGraph
+
+__all__ = ["random_out_degree", "random_gnm"]
+
+
+def random_out_degree(
+    num_vertices: int, out_degree: int, *, seed: int = 0, name: str | None = None
+) -> CSRGraph:
+    """Every vertex draws ``out_degree`` uniform random targets.
+
+    Matches the Galois r4 generator: self-loops and duplicates are cleaned
+    up by the standard preprocessing, so realized average degree is close
+    to ``2 * out_degree``.
+    """
+    if num_vertices < 1:
+        raise ValueError("num_vertices must be positive")
+    if out_degree < 0:
+        raise ValueError("out_degree must be non-negative")
+    rng = np.random.default_rng(seed)
+    src = np.repeat(np.arange(num_vertices, dtype=np.int64), out_degree)
+    dst = rng.integers(0, num_vertices, size=src.size, dtype=np.int64)
+    return from_arc_arrays(
+        src, dst, num_vertices, name=name or f"r{out_degree}-{num_vertices}"
+    )
+
+
+def random_gnm(
+    num_vertices: int, num_edges: int, *, seed: int = 0, name: str | None = None
+) -> CSRGraph:
+    """Erdős–Rényi G(n, m): ``num_edges`` distinct uniform random pairs.
+
+    Oversamples and dedupes, retrying until enough distinct non-loop edges
+    exist (or the complete graph is exhausted).
+    """
+    if num_vertices < 1:
+        raise ValueError("num_vertices must be positive")
+    max_edges = num_vertices * (num_vertices - 1) // 2
+    if num_edges > max_edges:
+        raise ValueError(f"num_edges={num_edges} exceeds complete-graph size {max_edges}")
+    rng = np.random.default_rng(seed)
+    chosen = np.empty((0, 2), dtype=np.int64)
+    while chosen.shape[0] < num_edges:
+        need = num_edges - chosen.shape[0]
+        cand = rng.integers(0, num_vertices, size=(need * 2 + 16, 2), dtype=np.int64)
+        cand = cand[cand[:, 0] != cand[:, 1]]
+        lo = np.minimum(cand[:, 0], cand[:, 1])
+        hi = np.maximum(cand[:, 0], cand[:, 1])
+        cand = np.column_stack([lo, hi])
+        chosen = np.unique(np.vstack([chosen, cand]), axis=0)
+    if chosen.shape[0] > num_edges:
+        pick = rng.choice(chosen.shape[0], size=num_edges, replace=False)
+        chosen = chosen[pick]
+    return from_arc_arrays(
+        chosen[:, 0], chosen[:, 1], num_vertices,
+        name=name or f"gnm-{num_vertices}-{num_edges}",
+    )

@@ -1,0 +1,76 @@
+"""RMAT / Kronecker generators.
+
+Stand-ins for four of the paper's inputs: ``rmat16.sym`` and ``rmat22.sym``
+(Galois RMAT graphs, many components, skewed degrees) and
+``kron_g500-logn21`` (Graph500 Kronecker: extremely skewed, hundreds of
+thousands of tiny components plus one dense core).  The recursive-matrix
+construction follows Chakrabarti et al.; Graph500 parameters are
+``(a, b, c) = (0.57, 0.19, 0.19)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.build import from_arc_arrays
+from ..graph.csr import CSRGraph
+
+__all__ = ["rmat", "kronecker_g500"]
+
+
+def rmat(
+    scale: int,
+    edge_factor: float,
+    *,
+    a: float = 0.45,
+    b: float = 0.22,
+    c: float = 0.22,
+    seed: int = 0,
+    name: str | None = None,
+) -> CSRGraph:
+    """Generate an RMAT graph with ``2**scale`` vertices.
+
+    ``edge_factor`` is the number of generated arcs per vertex before
+    cleanup (Graph500 convention).  ``a + b + c`` must be < 1; the
+    remaining mass ``d = 1 - a - b - c`` goes to the lower-right quadrant.
+    """
+    if scale < 0:
+        raise ValueError("scale must be non-negative")
+    if not 0 < a + b + c < 1:
+        raise ValueError("require 0 < a + b + c < 1")
+    n = 1 << scale
+    num_arcs = int(round(n * edge_factor))
+    rng = np.random.default_rng(seed)
+
+    src = np.zeros(num_arcs, dtype=np.int64)
+    dst = np.zeros(num_arcs, dtype=np.int64)
+    # Drop one quadrant decision per bit, vectorized over all arcs.
+    ab = a + b
+    abc = a + b + c
+    for bit in range(scale):
+        r = rng.random(num_arcs)
+        go_right = (r >= a) & (r < ab) | (r >= abc)  # quadrants b and d
+        go_down = r >= ab  # quadrants c and d
+        src = (src << 1) | go_down.astype(np.int64)
+        dst = (dst << 1) | go_right.astype(np.int64)
+    return from_arc_arrays(src, dst, n, name=name or f"rmat{scale}")
+
+
+def kronecker_g500(
+    scale: int, edge_factor: float = 16.0, *, seed: int = 0, name: str | None = None
+) -> CSRGraph:
+    """Graph500-style Kronecker graph (RMAT with a=0.57, b=c=0.19).
+
+    Produces the ``kron_g500`` character: a dense core, a heavy-tailed
+    degree distribution with isolated vertices, and a very large number of
+    connected components.
+    """
+    return rmat(
+        scale,
+        edge_factor,
+        a=0.57,
+        b=0.19,
+        c=0.19,
+        seed=seed,
+        name=name or f"kron_g500-logn{scale}",
+    )

@@ -1,0 +1,109 @@
+"""Road-network-like graphs (stand-ins for ``USA-road-d.*`` and
+``europe_osm``).
+
+Road networks are nearly planar, have tiny degrees (average 2-3, max < 15),
+a single giant component, and an enormous diameter — the property that
+makes ``europe_osm`` the paper's pathological case for pointer jumping
+(Table 4 shows its paths are by far the longest).  We reproduce that
+character with a sparse grid whose edges are randomly thinned until long
+corridors appear, plus optional highway shortcuts, keeping the graph
+connected by construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.build import from_arc_arrays
+from ..graph.csr import CSRGraph
+
+__all__ = ["road_mesh", "long_path", "caterpillar"]
+
+
+def road_mesh(
+    rows: int,
+    cols: int,
+    *,
+    keep_prob: float = 0.45,
+    shortcuts: int = 0,
+    seed: int = 0,
+    name: str | None = None,
+) -> CSRGraph:
+    """A connected, high-diameter, low-degree mesh.
+
+    A spanning tree of the ``rows x cols`` grid (random serpentine DFS
+    order) guarantees connectivity and huge diameter; each remaining grid
+    edge is kept with probability ``keep_prob`` (degree stays <= 4, average
+    around 2-3 like a road map); ``shortcuts`` extra random long-range
+    edges model highways.
+    """
+    if rows < 1 or cols < 1:
+        raise ValueError("grid dimensions must be positive")
+    if not 0.0 <= keep_prob <= 1.0:
+        raise ValueError("keep_prob must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    n = rows * cols
+    idx = np.arange(n, dtype=np.int64).reshape(rows, cols)
+
+    # Backbone: every row is a full path (east-west roads).  Adjacent rows
+    # are linked by a sparse random subset of the vertical edges, at least
+    # one per row pair, so the graph stays connected while the diameter
+    # grows like rows * cols / (vertical density) — a few times sqrt(n),
+    # matching real road networks' huge-but-sublinear diameters.
+    row_src = idx[:, :-1].ravel()
+    row_dst = idx[:, 1:].ravel()
+
+    vert_src_parts = []
+    vert_dst_parts = []
+    if rows > 1:
+        v_src = idx[:-1, :].ravel()
+        v_dst = idx[1:, :].ravel()
+        keep = rng.random(v_src.size) < keep_prob
+        # Guarantee one connection per adjacent row pair.
+        guaranteed = rng.integers(0, cols, size=rows - 1)
+        keep = keep.reshape(rows - 1, cols)
+        keep[np.arange(rows - 1), guaranteed] = True
+        keep = keep.ravel()
+        vert_src_parts.append(v_src[keep])
+        vert_dst_parts.append(v_dst[keep])
+
+    parts_src = [row_src] + vert_src_parts
+    parts_dst = [row_dst] + vert_dst_parts
+    if shortcuts > 0:
+        parts_src.append(rng.integers(0, n, size=shortcuts, dtype=np.int64))
+        parts_dst.append(rng.integers(0, n, size=shortcuts, dtype=np.int64))
+    return from_arc_arrays(
+        np.concatenate(parts_src),
+        np.concatenate(parts_dst),
+        n,
+        name=name or f"road-{rows}x{cols}",
+    )
+
+
+def long_path(num_vertices: int, *, name: str | None = None) -> CSRGraph:
+    """A simple path graph — the worst case for pointer-jumping depth."""
+    if num_vertices < 1:
+        raise ValueError("num_vertices must be positive")
+    v = np.arange(num_vertices, dtype=np.int64)
+    return from_arc_arrays(v[:-1], v[1:], num_vertices, name=name or f"path-{num_vertices}")
+
+
+def caterpillar(
+    spine: int, legs_per_vertex: int, *, name: str | None = None
+) -> CSRGraph:
+    """Path with pendant vertices — long diameter plus degree variety."""
+    if spine < 1 or legs_per_vertex < 0:
+        raise ValueError("invalid caterpillar parameters")
+    s = np.arange(spine, dtype=np.int64)
+    src = [s[:-1]]
+    dst = [s[1:]]
+    leg_ids = spine + np.arange(spine * legs_per_vertex, dtype=np.int64)
+    if legs_per_vertex:
+        src.append(np.repeat(s, legs_per_vertex))
+        dst.append(leg_ids)
+    return from_arc_arrays(
+        np.concatenate(src),
+        np.concatenate(dst),
+        spine * (1 + legs_per_vertex),
+        name=name or f"caterpillar-{spine}x{legs_per_vertex}",
+    )

@@ -1,0 +1,197 @@
+"""The 18-input evaluation suite (scaled-down stand-ins for Table 2).
+
+The paper evaluates on eighteen graphs up to 523M directed arcs.  Those
+exact files (SNAP / SuiteSparse / DIMACS / Galois downloads) are not
+available offline and would be far too large for a pure-Python simulated
+GPU, so each input is replaced by a *structural stand-in* built with the
+generators in this package: same graph family, same degree character, same
+single-vs-many-components character, at a configurable scale.
+
+Three scale tiers are provided:
+
+* ``tiny``   — hundreds of edges, for unit tests.
+* ``small``  — thousands of edges, the default for simulated-GPU sweeps.
+* ``medium`` — hundreds of thousands of edges, for native wall-clock runs.
+
+Every stand-in uses a fixed seed so all experiments see identical inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..graph.csr import CSRGraph
+from .delaunay import delaunay_graph
+from .grid import grid2d
+from .random_regular import random_out_degree
+from .rmat import kronecker_g500, rmat
+from .roads import road_mesh
+from .web import community_power_law, preferential_attachment
+
+__all__ = ["GraphSpec", "SCALES", "SUITE", "suite_names", "load", "load_suite"]
+
+SCALES = ("tiny", "small", "medium")
+
+
+@dataclass(frozen=True)
+class GraphSpec:
+    """A named input: factory per scale plus the paper's reference stats."""
+
+    name: str
+    family: str
+    paper_vertices: int
+    paper_arcs: int
+    paper_ccs: int
+    factories: dict  # scale -> Callable[[], CSRGraph]
+
+    def build(self, scale: str = "small") -> CSRGraph:
+        if scale not in self.factories:
+            raise KeyError(f"unknown scale {scale!r}; choose from {SCALES}")
+        g = self.factories[scale]()
+        return g.with_name(self.name)
+
+
+def _spec(
+    name: str,
+    family: str,
+    pv: int,
+    pa: int,
+    pc: int,
+    tiny: Callable[[], CSRGraph],
+    small: Callable[[], CSRGraph],
+    medium: Callable[[], CSRGraph],
+) -> GraphSpec:
+    return GraphSpec(name, family, pv, pa, pc, {"tiny": tiny, "small": small, "medium": medium})
+
+
+SUITE: dict[str, GraphSpec] = {
+    s.name: s
+    for s in [
+        _spec(
+            "2d-2e20.sym", "grid", 1_048_576, 4_190_208, 1,
+            lambda: grid2d(12, 12),
+            lambda: grid2d(48, 48),
+            lambda: grid2d(512, 512),
+        ),
+        _spec(
+            "amazon0601", "co-purchases", 403_394, 4_886_816, 7,
+            lambda: community_power_law(160, 12.0, locality=0.85, num_islands=3, seed=11),
+            lambda: community_power_law(2_000, 12.0, locality=0.85, num_islands=7, seed=11),
+            lambda: community_power_law(120_000, 12.0, locality=0.85, num_islands=7, seed=11),
+        ),
+        _spec(
+            "as-skitter", "Int. topology", 1_696_415, 22_190_596, 756,
+            lambda: community_power_law(200, 13.0, exponent=2.0, locality=0.5, num_islands=8, seed=12),
+            lambda: community_power_law(3_000, 13.0, exponent=2.0, locality=0.5, num_islands=40, seed=12),
+            lambda: community_power_law(150_000, 13.0, exponent=2.0, locality=0.5, num_islands=750, seed=12),
+        ),
+        _spec(
+            "citationCiteseer", "pub. citations", 268_495, 2_313_294, 1,
+            lambda: preferential_attachment(120, 4, seed=13),
+            lambda: preferential_attachment(1_500, 4, seed=13),
+            lambda: preferential_attachment(60_000, 4, seed=13),
+        ),
+        _spec(
+            "cit-Patents", "pat. citations", 3_774_768, 33_037_894, 3_627,
+            lambda: community_power_law(250, 9.0, locality=0.7, num_islands=10, seed=14),
+            lambda: community_power_law(4_000, 9.0, locality=0.7, num_islands=60, seed=14),
+            lambda: community_power_law(200_000, 9.0, locality=0.7, num_islands=3_000, seed=14),
+        ),
+        _spec(
+            "coPapersDBLP", "pub. citations", 540_486, 30_491_458, 1,
+            lambda: preferential_attachment(80, 14, seed=15),
+            lambda: preferential_attachment(800, 28, seed=15),
+            lambda: preferential_attachment(20_000, 28, seed=15),
+        ),
+        _spec(
+            "delaunay_n24", "triangulation", 16_777_216, 100_663_202, 1,
+            lambda: delaunay_graph(100, seed=16),
+            lambda: delaunay_graph(3_000, seed=16),
+            lambda: delaunay_graph(200_000, seed=16),
+        ),
+        _spec(
+            "europe_osm", "road map", 50_912_018, 108_109_320, 1,
+            lambda: road_mesh(16, 16, keep_prob=0.05, seed=17),
+            lambda: road_mesh(80, 80, keep_prob=0.05, seed=17),
+            lambda: road_mesh(600, 600, keep_prob=0.05, seed=17),
+        ),
+        _spec(
+            "in-2004", "web links", 1_382_908, 27_182_946, 134,
+            lambda: community_power_law(200, 20.0, locality=0.9, num_islands=5, seed=18),
+            lambda: community_power_law(2_500, 20.0, locality=0.9, num_islands=30, seed=18),
+            lambda: community_power_law(100_000, 20.0, locality=0.9, num_islands=134, seed=18),
+        ),
+        _spec(
+            "internet", "Int. topology", 124_651, 387_240, 1,
+            lambda: preferential_attachment(120, 2, seed=19),
+            lambda: preferential_attachment(1_800, 2, seed=19),
+            lambda: preferential_attachment(60_000, 2, seed=19),
+        ),
+        _spec(
+            "kron_g500-logn21", "Kronecker", 2_097_152, 182_081_864, 553_159,
+            lambda: kronecker_g500(8, 8.0, seed=20),
+            lambda: kronecker_g500(12, 16.0, seed=20),
+            lambda: kronecker_g500(17, 16.0, seed=20),
+        ),
+        _spec(
+            "r4-2e23.sym", "random", 8_388_608, 67_108_846, 1,
+            lambda: random_out_degree(150, 4, seed=21),
+            lambda: random_out_degree(2_500, 4, seed=21),
+            lambda: random_out_degree(150_000, 4, seed=21),
+        ),
+        _spec(
+            "rmat16.sym", "RMAT", 65_536, 967_866, 3_900,
+            lambda: rmat(8, 8.0, seed=22),
+            lambda: rmat(11, 8.0, seed=22),
+            lambda: rmat(16, 8.0, seed=22),
+        ),
+        _spec(
+            "rmat22.sym", "RMAT", 4_194_304, 65_660_814, 428_640,
+            lambda: rmat(9, 8.0, seed=23),
+            lambda: rmat(13, 8.0, seed=23),
+            lambda: rmat(18, 8.0, seed=23),
+        ),
+        _spec(
+            "soc-LiveJournal1", "j. community", 4_847_571, 85_702_474, 1_876,
+            lambda: community_power_law(220, 18.0, exponent=2.1, locality=0.6, num_islands=6, seed=24),
+            lambda: community_power_law(3_500, 18.0, exponent=2.1, locality=0.6, num_islands=50, seed=24),
+            lambda: community_power_law(180_000, 18.0, exponent=2.1, locality=0.6, num_islands=1_800, seed=24),
+        ),
+        _spec(
+            "uk-2002", "web links", 18_520_486, 523_574_516, 38_359,
+            lambda: community_power_law(260, 28.0, locality=0.9, num_islands=12, seed=25),
+            lambda: community_power_law(5_000, 28.0, locality=0.9, num_islands=120, seed=25),
+            lambda: community_power_law(250_000, 28.0, locality=0.9, num_islands=6_000, seed=25),
+        ),
+        _spec(
+            "USA-road-d.NY", "road map", 264_346, 730_100, 1,
+            lambda: road_mesh(12, 12, keep_prob=0.35, seed=26),
+            lambda: road_mesh(40, 40, keep_prob=0.35, seed=26),
+            lambda: road_mesh(400, 400, keep_prob=0.35, seed=26),
+        ),
+        _spec(
+            "USA-road-d.USA", "road map", 23_947_347, 57_708_624, 1,
+            lambda: road_mesh(16, 16, keep_prob=0.25, seed=27),
+            lambda: road_mesh(90, 90, keep_prob=0.25, seed=27),
+            lambda: road_mesh(700, 700, keep_prob=0.25, seed=27),
+        ),
+    ]
+}
+
+
+def suite_names() -> list[str]:
+    """All eighteen input names, in the paper's (alphabetical) order."""
+    return list(SUITE)
+
+
+def load(name: str, scale: str = "small") -> CSRGraph:
+    """Build one named stand-in at the requested scale."""
+    if name not in SUITE:
+        raise KeyError(f"unknown suite graph {name!r}")
+    return SUITE[name].build(scale)
+
+
+def load_suite(scale: str = "small", names: list[str] | None = None) -> list[CSRGraph]:
+    """Build all (or the selected) stand-ins at the requested scale."""
+    return [load(n, scale) for n in (names or suite_names())]

@@ -1,0 +1,26 @@
+"""Simulated-GPU substrate: device specs, memory, caches, kernels."""
+
+from .cache import CacheModel, CacheStats
+from .device import K40, TITAN_X, DeviceSpec, scaled_device
+from .kernel import GPU, LaunchStats, ThreadCtx
+from .memory import DeviceArray, DeviceMemory
+from .trace import KernelProfile, profile_launches, render_profile
+from .worklist import DoubleSidedWorklist
+
+__all__ = [
+    "CacheModel",
+    "CacheStats",
+    "DeviceSpec",
+    "TITAN_X",
+    "K40",
+    "scaled_device",
+    "GPU",
+    "LaunchStats",
+    "ThreadCtx",
+    "DeviceArray",
+    "DeviceMemory",
+    "KernelProfile",
+    "profile_launches",
+    "render_profile",
+    "DoubleSidedWorklist",
+]

@@ -1,0 +1,174 @@
+"""Two-level cache model (per-SM L1, shared L2) with access counters.
+
+This is a *statistics* model: values always come from the backing NumPy
+arrays (the simulator is sequentially consistent), the caches only decide
+what to count.  That is exactly what the paper uses its profiler for —
+Table 3 compares L2 read/write access counts across pointer-jumping
+variants to explain their locality behaviour.
+
+Policy modeled:
+
+* L1: per-SM, LRU, write-back, write-allocate (no fetch-on-write-miss).
+  Reads that miss count one **L2 read**; dirty evictions count one
+  **L2 write**.
+* L2: shared, LRU, write-back.  Fills that miss count a DRAM read, dirty
+  L2 evictions a DRAM write.
+* Atomics bypass L1 and execute at L2 (CUDA semantics): each atomic
+  counts one L2 read and one L2 write and invalidates the line in every
+  L1 (dirty copies are written back first).
+* :meth:`flush` writes back all dirty lines; called at kernel end so
+  counters reflect whole-kernel traffic.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+__all__ = ["CacheStats", "CacheModel"]
+
+
+@dataclass
+class CacheStats:
+    """Cumulative access counters."""
+
+    l1_read_hits: int = 0
+    l1_write_hits: int = 0
+    l2_reads: int = 0
+    l2_writes: int = 0
+    l2_read_hits: int = 0
+    dram_reads: int = 0
+    dram_writes: int = 0
+    atomics: int = 0
+
+    def snapshot(self) -> "CacheStats":
+        return CacheStats(**vars(self))
+
+    def delta(self, earlier: "CacheStats") -> "CacheStats":
+        """Counters accumulated since ``earlier``."""
+        return CacheStats(
+            **{k: getattr(self, k) - getattr(earlier, k) for k in vars(self)}
+        )
+
+
+@dataclass
+class _AccessCost:
+    """Where an access was served, for the scheduler's cycle accounting."""
+
+    L1 = "l1"
+    L2 = "l2"
+    DRAM = "dram"
+
+
+class CacheModel:
+    """LRU two-level cache hierarchy keyed by global line numbers."""
+
+    def __init__(self, num_sms: int, l1_bytes: int, l2_bytes: int, line_bytes: int) -> None:
+        if num_sms < 1:
+            raise ValueError("need at least one SM")
+        self.num_sms = num_sms
+        self.line_bytes = line_bytes
+        self.l1_lines = max(1, l1_bytes // line_bytes)
+        self.l2_lines = max(1, l2_bytes // line_bytes)
+        # line -> dirty flag; OrderedDict gives O(1) LRU.
+        self._l1: list[OrderedDict[int, bool]] = [OrderedDict() for _ in range(num_sms)]
+        self._l2: OrderedDict[int, bool] = OrderedDict()
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    # L2 internals
+    # ------------------------------------------------------------------
+    def _l2_touch(self, line: int, *, dirty: bool) -> str:
+        """Access ``line`` at L2 level; returns 'l2' or 'dram' service tier."""
+        l2 = self._l2
+        if line in l2:
+            l2.move_to_end(line)
+            if dirty:
+                l2[line] = True
+            self.stats.l2_read_hits += 1
+            return _AccessCost.L2
+        self.stats.dram_reads += 1
+        l2[line] = dirty
+        if len(l2) > self.l2_lines:
+            _evicted, was_dirty = l2.popitem(last=False)
+            if was_dirty:
+                self.stats.dram_writes += 1
+        return _AccessCost.DRAM
+
+    def _l1_insert(self, sm: int, line: int, *, dirty: bool) -> None:
+        l1 = self._l1[sm]
+        l1[line] = dirty
+        if len(l1) > self.l1_lines:
+            evicted, was_dirty = l1.popitem(last=False)
+            if was_dirty:
+                self.stats.l2_writes += 1
+                self._l2_writeback(evicted)
+
+    def _l2_writeback(self, line: int) -> None:
+        l2 = self._l2
+        if line in l2:
+            l2.move_to_end(line)
+            l2[line] = True
+        else:
+            l2[line] = True
+            if len(l2) > self.l2_lines:
+                _evicted, was_dirty = l2.popitem(last=False)
+                if was_dirty:
+                    self.stats.dram_writes += 1
+
+    # ------------------------------------------------------------------
+    # Public interface used by the scheduler
+    # ------------------------------------------------------------------
+    def read(self, sm: int, line: int) -> str:
+        """Load access; returns the service tier ('l1' / 'l2' / 'dram')."""
+        l1 = self._l1[sm]
+        if line in l1:
+            l1.move_to_end(line)
+            self.stats.l1_read_hits += 1
+            return _AccessCost.L1
+        self.stats.l2_reads += 1
+        tier = self._l2_touch(line, dirty=False)
+        self._l1_insert(sm, line, dirty=False)
+        return tier
+
+    def write(self, sm: int, line: int) -> str:
+        """Store access (write-back, write-allocate without fetch)."""
+        l1 = self._l1[sm]
+        if line in l1:
+            l1.move_to_end(line)
+            l1[line] = True
+            self.stats.l1_write_hits += 1
+            return _AccessCost.L1
+        self._l1_insert(sm, line, dirty=True)
+        return _AccessCost.L1
+
+    def atomic(self, line: int) -> str:
+        """Atomic RMW: executes at L2, invalidating all L1 copies."""
+        self.stats.atomics += 1
+        for sm, l1 in enumerate(self._l1):
+            if line in l1:
+                if l1.pop(line):
+                    self.stats.l2_writes += 1
+                    self._l2_writeback(line)
+        self.stats.l2_reads += 1
+        tier = self._l2_touch(line, dirty=True)
+        self.stats.l2_writes += 1
+        return tier
+
+    def flush_l1(self) -> None:
+        """Write back and invalidate every L1 line (kernel boundary:
+        CUDA L1 caches are not coherent across launches, L2 persists)."""
+        for l1 in self._l1:
+            for line, dirty in l1.items():
+                if dirty:
+                    self.stats.l2_writes += 1
+                    self._l2_writeback(line)
+            l1.clear()
+
+    def flush(self) -> None:
+        """Write back every dirty line in every cache level."""
+        self.flush_l1()
+        for _line, dirty in self._l2.items():
+            if dirty:
+                self.stats.dram_writes += 1
+        self._l2.clear()

@@ -1,0 +1,130 @@
+"""Simulated GPU device descriptions.
+
+The two presets correspond to the paper's evaluation hardware (§4):
+
+* ``TITAN_X`` — GeForce GTX Titan X (Maxwell): 24 SMs, 48 kB L1 per SM,
+  2 MB shared L2, 1.1 GHz.
+* ``K40`` — Tesla K40c (Kepler): 15 SMs, 48 kB L1 per SM, 1.5 MB shared
+  L2, 745 MHz.
+
+Because our stand-in graphs are ~1000x smaller than the paper's, the
+*full-size* caches would swallow every working set and hide all locality
+effects.  :meth:`DeviceSpec.scaled` shrinks both cache levels by the same
+factor as the graphs, preserving the capacity-to-working-set ratio that
+drives Table 3.  Latency weights are in cycles and follow published
+microbenchmark orders of magnitude for these generations; absolute
+milliseconds from the cost model are estimates, only *relative* runtimes
+are meaningful (which is also how the paper presents its charts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["DeviceSpec", "TITAN_X", "K40", "scaled_device"]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of a simulated GPU."""
+
+    name: str
+    num_sms: int
+    warp_size: int
+    block_threads: int
+    max_resident_blocks: int
+    l1_bytes: int
+    l2_bytes: int
+    line_bytes: int
+    clock_ghz: float
+    # Per-SM cost weights (cycles).  These are *residual* latencies: on a
+    # real GPU tens of resident warps hide most access latency, so the
+    # per-SM charge is small and the memory wall is modeled by the global
+    # bandwidth terms below (kernel time = max(busiest SM, memory system)).
+    issue_cycles: int = 2
+    l1_hit_cycles: int = 1
+    l2_hit_cycles: int = 2
+    dram_cycles: int = 6
+    atomic_cycles: int = 12
+    # Global memory-system throughput costs (cycles per transaction,
+    # serialized across the whole device).
+    dram_txn_cycles: float = 3.0
+    l2_txn_cycles: float = 0.5
+    atomic_txn_cycles: float = 3.0
+    # Fixed host-side cost per kernel launch (driver + sync), the term
+    # that penalizes iterative multi-launch algorithms on small inputs.
+    # Scaled to our ~1000x smaller graphs (real launches cost 5-20 us).
+    launch_overhead_ms: float = 0.0015
+
+    def __post_init__(self) -> None:
+        if self.num_sms < 1 or self.warp_size < 1 or self.block_threads < 1:
+            raise ValueError("device dimensions must be positive")
+        if self.block_threads % self.warp_size:
+            raise ValueError("block_threads must be a multiple of warp_size")
+        if self.line_bytes < 8 or self.line_bytes & (self.line_bytes - 1):
+            raise ValueError("line_bytes must be a power of two >= 8")
+
+    @property
+    def warps_per_block(self) -> int:
+        return self.block_threads // self.warp_size
+
+    def scaled(self, factor: float) -> "DeviceSpec":
+        """Return a copy with the **L2** capacity divided by ``factor``.
+
+        Used to keep the L2-to-working-set ratio realistic when running
+        the scaled-down input suite.  L1 is deliberately left full-size:
+        its role is intra-warp spatial reuse (a function of warp width
+        and line size, not of graph scale), and shrinking it would
+        destroy the streaming locality every real kernel enjoys.  At
+        least 16 L2 lines are retained.
+        """
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        return replace(
+            self,
+            name=f"{self.name}/÷{factor:g}",
+            l2_bytes=max(16 * self.line_bytes, int(self.l2_bytes / factor)),
+        )
+
+
+TITAN_X = DeviceSpec(
+    name="TitanX",
+    num_sms=24,
+    warp_size=32,
+    block_threads=256,
+    max_resident_blocks=8,
+    l1_bytes=48 * 1024,
+    l2_bytes=2 * 1024 * 1024,
+    line_bytes=128,
+    clock_ghz=1.1,
+)
+
+K40 = DeviceSpec(
+    name="K40",
+    num_sms=15,
+    warp_size=32,
+    block_threads=256,
+    max_resident_blocks=8,
+    l1_bytes=48 * 1024,
+    l2_bytes=int(1.5 * 1024 * 1024),
+    line_bytes=128,
+    clock_ghz=0.745,
+    l2_hit_cycles=3,        # Kepler's L2 is slower per access
+    dram_cycles=8,
+    atomic_cycles=24,       # pre-Maxwell atomics are notably slower
+    dram_txn_cycles=3.2,    # 288 vs 336 GB/s at a lower clock
+    l2_txn_cycles=0.7,
+    atomic_txn_cycles=4.0,
+    launch_overhead_ms=0.0015,
+)
+
+
+def scaled_device(base: DeviceSpec, graph_arcs: int, paper_arcs: int = 100_000_000) -> DeviceSpec:
+    """Scale ``base``'s caches to match a stand-in graph's size.
+
+    ``paper_arcs`` is a representative arc count for the paper's inputs;
+    the cache-shrink factor is the ratio of that to the actual graph.
+    """
+    if graph_arcs < 1:
+        return base.scaled(paper_arcs)
+    return base.scaled(max(1.0, paper_arcs / graph_arcs))

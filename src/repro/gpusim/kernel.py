@@ -1,0 +1,411 @@
+"""Kernel-launch machinery and the warp scheduler.
+
+Simulated kernels are *generator functions*: every device-memory access is
+``yield``-ed as a small tuple op and the scheduler applies it, feeds the
+result back in, and charges cycles.  A kernel therefore executes with real
+interleaving between warps — the same property that makes ECL-CC's benign
+data races and atomicCAS retry loops meaningful on real hardware.
+
+Op protocol (what a kernel lane may yield):
+
+====================================  =======================================
+``("ld",  arr, idx)``                 load; the yield's value is the element
+``("st",  arr, idx, value)``          store
+``("cas", arr, idx, expected, new)``  atomicCAS; yields the old value
+``("add", arr, idx, delta)``          atomicAdd; yields the old value
+``("min", arr, idx, value)``          atomicMin; yields the old value
+``("nop",)``                          placeholder costing one issue slot
+``("sync",)``                         block barrier (__syncthreads); the lane
+                                      parks until every still-running lane of
+                                      its block has synced or exited
+``("wput", key, value)``              write a warp-shared slot (__shfl-style)
+``("wget", key)``                     read a warp-shared slot (None if unset)
+====================================  =======================================
+
+Execution model: one thread per lane, 32 lanes per warp (configurable via
+the device spec), ``block_threads`` per block, blocks assigned round-robin
+to SMs with bounded residency.  Each scheduler step advances every live
+lane of one warp by one op (lockstep issue); the warp to step is chosen
+round-robin, or uniformly at random when the launch is seeded — the seed
+is the knob that exercises different benign-race interleavings.
+
+Cycle accounting: a warp step costs one issue slot plus the service
+latency of each *distinct* cache line it touches (intra-warp coalescing),
+plus a serialization charge per atomic.  Per-SM cycle counters advance
+independently; kernel time is the maximum over SMs, converted to
+milliseconds with the device clock.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from ..errors import KernelLaunchError, SimulationError
+from .cache import CacheModel, CacheStats
+from .device import DeviceSpec, TITAN_X
+from .memory import DeviceArray, DeviceMemory
+
+__all__ = ["ThreadCtx", "LaunchStats", "GPU"]
+
+
+@dataclass(frozen=True)
+class ThreadCtx:
+    """Per-thread identity handed to kernel generator functions."""
+
+    global_id: int
+    lane: int
+    warp_id: int
+    block_id: int
+    block_dim: int
+    grid_size: int  # total launched threads
+
+
+@dataclass
+class LaunchStats:
+    """Everything measured about one kernel launch."""
+
+    name: str
+    num_threads: int
+    cycles: int = 0
+    sm_cycles: tuple = ()
+    mem_cycles: int = 0  # global bandwidth term (DRAM/L2/atomic throughput)
+    warp_steps: int = 0
+    instructions: int = 0
+    op_counts: dict = field(default_factory=dict)
+    cache: CacheStats = field(default_factory=CacheStats)
+    clock_ghz: float = 1.0
+    launch_overhead_ms: float = 0.0
+
+    @property
+    def time_ms(self) -> float:
+        """Modeled kernel time in milliseconds, including launch overhead.
+
+        ``cycles`` is already ``max(busiest SM, memory system)``: compute-
+        bound kernels are limited by their slowest SM, memory-bound ones
+        by aggregate DRAM/L2/atomic throughput.
+        """
+        return self.cycles / (self.clock_ghz * 1e6) + self.launch_overhead_ms
+
+
+class _Lane:
+    __slots__ = ("gen", "value", "done", "waiting")
+
+    def __init__(self, gen) -> None:
+        self.gen = gen
+        self.value = None
+        self.done = False
+        self.waiting = False  # parked at a block barrier
+
+
+class _Warp:
+    __slots__ = ("lanes", "sm", "block", "shared", "parked")
+
+    def __init__(self, lanes: list[_Lane], sm: int, block: "_Block") -> None:
+        self.lanes = lanes
+        self.sm = sm
+        self.block = block
+        self.shared = {}     # warp-shared slots ("wput"/"wget", models __shfl)
+        self.parked = False  # all lanes waiting at the barrier
+
+
+class _Block:
+    __slots__ = ("live_warps", "warps", "alive_lanes", "waiting_lanes")
+
+    def __init__(self, live_warps: int) -> None:
+        self.live_warps = live_warps
+        self.warps: list[_Warp] = []
+        self.alive_lanes = 0
+        self.waiting_lanes = 0
+
+    def barrier_ready(self) -> bool:
+        """All still-running lanes of the block have reached the barrier."""
+        return self.alive_lanes > 0 and self.waiting_lanes >= self.alive_lanes
+
+    def release_barrier(self) -> list[_Warp]:
+        """Wake every lane; returns warps that must rejoin the ready list."""
+        woken = []
+        for warp in self.warps:
+            for lane in warp.lanes:
+                lane.waiting = False
+            if warp.parked:
+                warp.parked = False
+                woken.append(warp)
+        self.waiting_lanes = 0
+        return woken
+
+
+class GPU:
+    """A simulated GPU: device spec + memory + caches + launch queue.
+
+    Typical use::
+
+        gpu = GPU(TITAN_X)
+        d_parent = gpu.memory.to_device(parent, name="parent")
+        stats = gpu.launch(my_kernel, n, d_parent, name="init")
+    """
+
+    def __init__(self, device: DeviceSpec = TITAN_X, *, seed: int | None = None) -> None:
+        self.device = device
+        self.memory = DeviceMemory(device.line_bytes)
+        self.cache = CacheModel(
+            device.num_sms, device.l1_bytes, device.l2_bytes, device.line_bytes
+        )
+        self._rng = random.Random(seed) if seed is not None else None
+        self.launches: list[LaunchStats] = []
+        self.max_warp_steps = 200_000_000  # runaway-kernel backstop
+
+    # ------------------------------------------------------------------
+    def launch(
+        self,
+        kernel: Callable,
+        num_threads: int,
+        *args,
+        name: str | None = None,
+        block_threads: int | None = None,
+    ) -> LaunchStats:
+        """Run ``kernel`` over ``num_threads`` threads and record stats.
+
+        ``kernel(ctx, *args)`` must be a generator function following the
+        op protocol.  Threads are rounded up to whole blocks; kernels must
+        bounds-check their ``ctx.global_id`` themselves (as CUDA code
+        does).
+        """
+        dev = self.device
+        bt = block_threads or dev.block_threads
+        if bt % dev.warp_size:
+            raise KernelLaunchError("block_threads must be a multiple of warp_size")
+        if num_threads < 0:
+            raise KernelLaunchError("num_threads must be non-negative")
+        stats = LaunchStats(
+            name=name or getattr(kernel, "__name__", "kernel"),
+            num_threads=num_threads,
+            clock_ghz=dev.clock_ghz,
+            launch_overhead_ms=dev.launch_overhead_ms,
+        )
+        cache_mark = self.cache.stats.snapshot()
+        if num_threads == 0:
+            stats.sm_cycles = tuple([0] * dev.num_sms)
+            self.launches.append(stats)
+            return stats
+
+        num_blocks = -(-num_threads // bt)
+        grid_size = num_blocks * bt
+        warp_size = dev.warp_size
+
+        # Build pending block descriptors lazily (generators are created
+        # only when the block becomes resident, keeping memory bounded).
+        def make_block(block_id: int, sm: int) -> tuple[_Block, list[_Warp]]:
+            warps_in_block = bt // warp_size
+            block = _Block(warps_in_block)
+            warps = []
+            for w in range(warps_in_block):
+                lanes = []
+                for lane_idx in range(warp_size):
+                    tid = block_id * bt + w * warp_size + lane_idx
+                    ctx = ThreadCtx(
+                        global_id=tid,
+                        lane=lane_idx,
+                        warp_id=tid // warp_size,
+                        block_id=block_id,
+                        block_dim=bt,
+                        grid_size=grid_size,
+                    )
+                    lanes.append(_Lane(kernel(ctx, *args)))
+                warps.append(_Warp(lanes, sm, block))
+            block.warps = warps
+            block.alive_lanes = warps_in_block * warp_size
+            return block, warps
+
+        pending = list(range(num_blocks))
+        pending.reverse()  # pop() takes block 0 first
+        sm_resident = [0] * dev.num_sms
+        sm_cycles = [0] * dev.num_sms
+        ready: list[_Warp] = []
+
+        def feed_sm(sm: int) -> None:
+            while pending and sm_resident[sm] < dev.max_resident_blocks:
+                block_id = pending.pop()
+                _block, warps = make_block(block_id, sm)
+                ready.extend(warps)
+                sm_resident[sm] += 1
+
+        for sm in range(dev.num_sms):
+            feed_sm(sm)
+
+        # Hoisted locals for the hot loop.
+        cache = self.cache
+        rng = self._rng
+        issue = dev.issue_cycles
+        tier_cost = {
+            "l1": dev.l1_hit_cycles,
+            "l2": dev.l2_hit_cycles,
+            "dram": dev.dram_cycles,
+        }
+        atomic_cycles = dev.atomic_cycles
+        op_counts = stats.op_counts
+        warp_steps = 0
+        instructions = 0
+        rr = 0
+        parked_count = 0
+        max_steps = self.max_warp_steps
+
+        while ready:
+            if rng is not None:
+                idx = rng.randrange(len(ready))
+            else:
+                idx = rr % len(ready)
+                rr += 1
+            warp = ready[idx]
+            sm = warp.sm
+            block = warp.block
+            cost = issue
+            step_lines: dict[tuple[int, str], None] = {}
+            alive = 0
+            for lane in warp.lanes:
+                if lane.done or lane.waiting:
+                    continue
+                try:
+                    op = lane.gen.send(lane.value)
+                except StopIteration:
+                    lane.done = True
+                    block.alive_lanes -= 1
+                    continue
+                alive += 1
+                kind = op[0]
+                if kind == "ld":
+                    arr = op[1]
+                    i = op[2]
+                    lane.value = int(arr.data[i])
+                    line = (arr.addr + i * arr.itemsize) >> arr._line_shift
+                    key = (line, "r")
+                    if key not in step_lines:
+                        step_lines[key] = None
+                        cost += tier_cost[cache.read(sm, line)]
+                elif kind == "st":
+                    arr = op[1]
+                    i = op[2]
+                    arr.data[i] = op[3]
+                    lane.value = None
+                    line = (arr.addr + i * arr.itemsize) >> arr._line_shift
+                    key = (line, "w")
+                    if key not in step_lines:
+                        step_lines[key] = None
+                        cost += tier_cost[cache.write(sm, line)]
+                elif kind == "cas":
+                    arr = op[1]
+                    i = op[2]
+                    old = int(arr.data[i])
+                    if old == op[3]:
+                        arr.data[i] = op[4]
+                    lane.value = old
+                    line = (arr.addr + i * arr.itemsize) >> arr._line_shift
+                    cost += tier_cost[cache.atomic(line)] + atomic_cycles
+                elif kind == "add":
+                    arr = op[1]
+                    i = op[2]
+                    old = int(arr.data[i])
+                    arr.data[i] = old + op[3]
+                    lane.value = old
+                    line = (arr.addr + i * arr.itemsize) >> arr._line_shift
+                    cost += tier_cost[cache.atomic(line)] + atomic_cycles
+                elif kind == "min":
+                    arr = op[1]
+                    i = op[2]
+                    old = int(arr.data[i])
+                    if op[3] < old:
+                        arr.data[i] = op[3]
+                    lane.value = old
+                    line = (arr.addr + i * arr.itemsize) >> arr._line_shift
+                    cost += tier_cost[cache.atomic(line)] + atomic_cycles
+                elif kind == "nop":
+                    lane.value = None
+                elif kind == "sync":
+                    # Block-wide barrier (__syncthreads): park the lane.
+                    lane.waiting = True
+                    lane.value = None
+                    block.waiting_lanes += 1
+                elif kind == "wput":
+                    # Warp-shared slot write (models __shfl/broadcast).
+                    warp.shared[op[1]] = op[2]
+                    lane.value = None
+                elif kind == "wget":
+                    lane.value = warp.shared.get(op[1])
+                else:
+                    raise SimulationError(f"unknown op kind {kind!r}")
+                op_counts[kind] = op_counts.get(kind, 0) + 1
+
+            if alive:
+                sm_cycles[sm] += cost
+                warp_steps += 1
+                instructions += alive
+                if warp_steps > max_steps:
+                    raise SimulationError(
+                        f"kernel {stats.name!r} exceeded {max_steps} warp steps"
+                    )
+
+            # Barrier release: once every still-running lane of the block
+            # has arrived, wake all parked warps.  (Retired lanes stopped
+            # counting toward the barrier via alive_lanes above.)
+            if block.waiting_lanes and block.barrier_ready():
+                for woken in block.release_barrier():
+                    ready.append(woken)
+                    parked_count -= 1
+
+            if not alive:
+                # No lane advanced: the warp is fully done, or fully
+                # done-or-parked-at-the-barrier.
+                if any(lane.waiting for lane in warp.lanes):
+                    warp.parked = True
+                    parked_count += 1
+                    last = ready.pop()
+                    if last is not warp:
+                        ready[idx] = last
+                elif all(lane.done for lane in warp.lanes):
+                    # Warp retired; swap-remove, maybe start a new block.
+                    last = ready.pop()
+                    if last is not warp:
+                        ready[idx] = last
+                    block.live_warps -= 1
+                    if block.live_warps == 0:
+                        sm_resident[sm] -= 1
+                        feed_sm(sm)
+
+        if parked_count:
+            raise SimulationError(
+                f"kernel {stats.name!r} deadlocked: {parked_count} warp(s) "
+                "still parked at a block barrier after all runnable warps "
+                "finished (lanes must not diverge around 'sync')"
+            )
+        cache.flush_l1()
+        stats.cache = delta = cache.stats.delta(cache_mark)
+        stats.sm_cycles = tuple(sm_cycles)
+        # Global memory-system throughput: every DRAM and L2 transaction
+        # (and every serialized atomic) competes for shared bandwidth.
+        stats.mem_cycles = int(
+            (delta.dram_reads + delta.dram_writes) * dev.dram_txn_cycles
+            + (delta.l2_reads + delta.l2_writes) * dev.l2_txn_cycles
+            + delta.atomics * dev.atomic_txn_cycles
+        )
+        stats.cycles = max(max(sm_cycles), stats.mem_cycles)
+        stats.warp_steps = warp_steps
+        stats.instructions = instructions
+        self.launches.append(stats)
+        return stats
+
+    # ------------------------------------------------------------------
+    def total_time_ms(self, names: Iterable[str] | None = None) -> float:
+        """Sum of modeled kernel times, optionally filtered by name."""
+        sel = None if names is None else set(names)
+        return sum(
+            s.time_ms for s in self.launches if sel is None or s.name in sel
+        )
+
+    def total_cache(self) -> CacheStats:
+        """Aggregate cache counters over all launches so far."""
+        agg = CacheStats()
+        for s in self.launches:
+            for k in vars(agg):
+                setattr(agg, k, getattr(agg, k) + getattr(s.cache, k))
+        return agg

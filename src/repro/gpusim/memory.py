@@ -1,0 +1,82 @@
+"""Simulated device memory.
+
+Device arrays are ordinary NumPy arrays wrapped with a base *byte address*
+assigned by a bump allocator, so the cache model can map any element access
+to a cache line exactly as real hardware would (two arrays never share a
+line, and neighboring elements of one array do).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import DeviceMemoryError
+
+__all__ = ["DeviceArray", "DeviceMemory"]
+
+
+class DeviceArray:
+    """A 1-D array resident in simulated device memory."""
+
+    __slots__ = ("data", "addr", "itemsize", "name", "_line_shift")
+
+    def __init__(self, data: np.ndarray, addr: int, name: str, line_bytes: int) -> None:
+        self.data = data
+        self.addr = addr
+        self.itemsize = data.itemsize
+        self.name = name
+        self._line_shift = line_bytes.bit_length() - 1
+
+    def __len__(self) -> int:
+        return self.data.size
+
+    def line_of(self, idx: int) -> int:
+        """Cache-line number containing element ``idx``."""
+        return (self.addr + idx * self.itemsize) >> self._line_shift
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DeviceArray({self.name!r}, len={self.data.size}, addr={self.addr:#x})"
+
+
+class DeviceMemory:
+    """Bump allocator for simulated global memory.
+
+    Allocations are aligned to the cache-line size so distinct arrays
+    never produce false line sharing.
+    """
+
+    def __init__(self, line_bytes: int = 128) -> None:
+        if line_bytes < 8 or line_bytes & (line_bytes - 1):
+            raise ValueError("line_bytes must be a power of two >= 8")
+        self.line_bytes = line_bytes
+        self._next_addr = line_bytes  # keep address 0 unused
+        self.arrays: list[DeviceArray] = []
+
+    def alloc(self, size: int, *, name: str, dtype=np.int64, fill: int | None = None) -> DeviceArray:
+        """Allocate a zero/fill-initialized device array."""
+        if size < 0:
+            raise DeviceMemoryError(f"negative allocation for {name!r}")
+        data = np.zeros(size, dtype=dtype)
+        if fill is not None:
+            data[:] = fill
+        return self._register(data, name)
+
+    def to_device(self, host: np.ndarray, *, name: str) -> DeviceArray:
+        """Copy a host array into device memory."""
+        data = np.array(host, copy=True)
+        if data.ndim != 1:
+            raise DeviceMemoryError("device arrays must be 1-D")
+        return self._register(data, name)
+
+    def _register(self, data: np.ndarray, name: str) -> DeviceArray:
+        addr = self._next_addr
+        nbytes = max(int(data.nbytes), 1)
+        # Align the next allocation up to a line boundary.
+        self._next_addr = (addr + nbytes + self.line_bytes - 1) & ~(self.line_bytes - 1)
+        arr = DeviceArray(data, addr, name, self.line_bytes)
+        self.arrays.append(arr)
+        return arr
+
+    @property
+    def bytes_allocated(self) -> int:
+        return self._next_addr - self.line_bytes

@@ -1,0 +1,84 @@
+"""Profiling summaries over kernel launches.
+
+The paper's analysis leans on profiler output (Table 3's L2 access
+counts, Fig. 10's per-kernel breakdown).  This module is the simulator's
+"nvprof": aggregate any list of :class:`~repro.gpusim.kernel.LaunchStats`
+by kernel name and render the standard profile columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .cache import CacheStats
+from .kernel import LaunchStats
+
+__all__ = ["KernelProfile", "profile_launches", "render_profile"]
+
+
+@dataclass
+class KernelProfile:
+    """Aggregated measurements for one kernel name."""
+
+    name: str
+    launches: int = 0
+    time_ms: float = 0.0
+    cycles: int = 0
+    mem_cycles: int = 0
+    warp_steps: int = 0
+    instructions: int = 0
+    op_counts: dict = field(default_factory=dict)
+    cache: CacheStats = field(default_factory=CacheStats)
+
+    @property
+    def ipc(self) -> float:
+        """Instructions per (modeled) cycle — the divergence signal."""
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def l1_read_hit_rate(self) -> float:
+        total = self.cache.l1_read_hits + self.cache.l2_reads
+        return self.cache.l1_read_hits / total if total else 0.0
+
+
+def profile_launches(launches: list[LaunchStats]) -> dict[str, KernelProfile]:
+    """Aggregate launches by kernel name (insertion-ordered)."""
+    out: dict[str, KernelProfile] = {}
+    for launch in launches:
+        prof = out.setdefault(launch.name, KernelProfile(launch.name))
+        prof.launches += 1
+        prof.time_ms += launch.time_ms
+        prof.cycles += launch.cycles
+        prof.mem_cycles += launch.mem_cycles
+        prof.warp_steps += launch.warp_steps
+        prof.instructions += launch.instructions
+        for op, count in launch.op_counts.items():
+            prof.op_counts[op] = prof.op_counts.get(op, 0) + count
+        for fld in vars(prof.cache):
+            setattr(
+                prof.cache,
+                fld,
+                getattr(prof.cache, fld) + getattr(launch.cache, fld),
+            )
+    return out
+
+
+def render_profile(launches: list[LaunchStats]) -> str:
+    """Text profile table over a run's launches (nvprof-style)."""
+    profiles = profile_launches(launches)
+    total_ms = sum(p.time_ms for p in profiles.values()) or 1e-12
+    header = (
+        f"{'kernel':<14s} {'calls':>5s} {'time(ms)':>9s} {'%':>6s} "
+        f"{'insts':>9s} {'IPC':>6s} {'L1 hit':>7s} {'L2 rd':>8s} "
+        f"{'L2 wr':>8s} {'atomics':>8s}"
+    )
+    lines = [header, "-" * len(header)]
+    for p in profiles.values():
+        lines.append(
+            f"{p.name:<14s} {p.launches:>5d} {p.time_ms:>9.4f} "
+            f"{100 * p.time_ms / total_ms:>5.1f}% {p.instructions:>9d} "
+            f"{p.ipc:>6.2f} {100 * p.l1_read_hit_rate:>6.1f}% "
+            f"{p.cache.l2_reads:>8d} {p.cache.l2_writes:>8d} "
+            f"{p.cache.atomics:>8d}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,95 @@
+"""Double-sided worklist (§3 of the paper).
+
+ECL-CC's first compute kernel processes low-degree vertices immediately
+and routes the rest to the other two kernels through **one** array of size
+``n``: medium-degree vertices are pushed at the front (an atomically
+incremented cursor growing rightward) and high-degree vertices at the back
+(a cursor growing leftward).  "To save memory space, ECL-CC utilizes a
+double-sided worklist of size n" — two separate worklists would each need
+to be size n to be overflow-safe.
+
+The push/iterate helpers are generator functions following the kernel op
+protocol, so all worklist traffic goes through the simulated memory
+hierarchy and atomics, exactly like the parent-array traffic.
+"""
+
+from __future__ import annotations
+
+from ..errors import WorklistOverflowError
+from .memory import DeviceArray, DeviceMemory
+
+__all__ = ["DoubleSidedWorklist"]
+
+
+class DoubleSidedWorklist:
+    """Device-resident double-sided worklist.
+
+    Layout: ``slots[0 .. front-1]`` holds front-side entries,
+    ``slots[back+1 .. n-1]`` holds back-side entries, where ``front``
+    and ``back`` live in a two-element device counter array
+    (``counters[0] = front cursor``, ``counters[1] = back cursor``).
+    """
+
+    def __init__(self, memory: DeviceMemory, capacity: int, *, name: str = "worklist") -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        self.capacity = capacity
+        self.slots: DeviceArray = memory.alloc(max(capacity, 1), name=f"{name}.slots")
+        self.counters: DeviceArray = memory.alloc(2, name=f"{name}.counters")
+        self.counters.data[0] = 0
+        self.counters.data[1] = capacity - 1
+
+    # ------------------------------------------------------------------
+    # Kernel-side generator helpers
+    # ------------------------------------------------------------------
+    def g_push_front(self, value: int):
+        """Append ``value`` to the front side (medium-degree vertices)."""
+        slot = yield ("add", self.counters, 0, 1)
+        back = yield ("ld", self.counters, 1)
+        if slot > back:
+            raise WorklistOverflowError(
+                f"double-sided worklist overflow: front {slot} passed back {back}"
+            )
+        yield ("st", self.slots, slot, value)
+
+    def g_push_back(self, value: int):
+        """Append ``value`` to the back side (high-degree vertices)."""
+        slot = yield ("add", self.counters, 1, -1)
+        front = yield ("ld", self.counters, 0)
+        if slot < front:
+            raise WorklistOverflowError(
+                f"double-sided worklist overflow: back {slot} passed front {front}"
+            )
+        yield ("st", self.slots, slot, value)
+
+    def g_front_count(self):
+        """Number of front-side entries (a device load)."""
+        count = yield ("ld", self.counters, 0)
+        return count
+
+    def g_back_start(self):
+        """First occupied back-side slot index (a device load)."""
+        cursor = yield ("ld", self.counters, 1)
+        return cursor + 1
+
+    def g_read(self, idx: int):
+        """Load one worklist slot."""
+        value = yield ("ld", self.slots, idx)
+        return value
+
+    # ------------------------------------------------------------------
+    # Host-side views (for assertions and tests)
+    # ------------------------------------------------------------------
+    @property
+    def front_count(self) -> int:
+        return int(self.counters.data[0])
+
+    @property
+    def back_count(self) -> int:
+        return self.capacity - 1 - int(self.counters.data[1])
+
+    def front_items(self) -> list[int]:
+        return self.slots.data[: self.front_count].tolist()
+
+    def back_items(self) -> list[int]:
+        return self.slots.data[int(self.counters.data[1]) + 1 : self.capacity].tolist()

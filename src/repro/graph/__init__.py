@@ -1,0 +1,70 @@
+"""Graph substrate: CSR storage, builders, I/O, conversion, stats."""
+
+from .build import (
+    empty_graph,
+    from_adjacency,
+    from_arc_arrays,
+    from_edges,
+    relabel_compact,
+)
+from .convert import from_networkx, from_scipy_sparse, to_networkx, to_scipy_sparse
+from .csr import CSRGraph
+from .io import (
+    load_csr_npz,
+    read_auto,
+    read_dimacs,
+    read_edge_list,
+    read_galois_gr,
+    read_matrix_market,
+    save_csr_npz,
+    write_dimacs,
+    write_edge_list,
+    write_galois_gr,
+    write_matrix_market,
+)
+from .subgraph import (
+    contract,
+    extract_component,
+    filter_edges,
+    induced_subgraph,
+    remove_vertices,
+    split_components,
+)
+from .stats import GraphStats, approx_diameter, graph_stats, stats_table
+from .validate import is_valid_undirected, validate_undirected
+
+__all__ = [
+    "CSRGraph",
+    "empty_graph",
+    "from_adjacency",
+    "from_arc_arrays",
+    "from_edges",
+    "relabel_compact",
+    "from_networkx",
+    "to_networkx",
+    "from_scipy_sparse",
+    "to_scipy_sparse",
+    "read_auto",
+    "read_dimacs",
+    "read_edge_list",
+    "read_galois_gr",
+    "read_matrix_market",
+    "write_galois_gr",
+    "contract",
+    "extract_component",
+    "filter_edges",
+    "induced_subgraph",
+    "remove_vertices",
+    "split_components",
+    "load_csr_npz",
+    "save_csr_npz",
+    "write_dimacs",
+    "write_edge_list",
+    "write_matrix_market",
+    "GraphStats",
+    "approx_diameter",
+    "graph_stats",
+    "stats_table",
+    "is_valid_undirected",
+    "validate_undirected",
+]

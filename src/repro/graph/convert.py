@@ -1,0 +1,62 @@
+"""Interoperability with networkx and scipy.sparse.
+
+networkx serves as the independent oracle in our verification path (the
+paper verifies every run against its serial implementation; we additionally
+verify the serial implementation against networkx).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import scipy.sparse as sp
+
+from .build import from_arc_arrays
+from .csr import CSRGraph
+
+__all__ = [
+    "from_networkx",
+    "to_networkx",
+    "from_scipy_sparse",
+    "to_scipy_sparse",
+]
+
+
+def from_networkx(g: nx.Graph, *, name: str | None = None) -> CSRGraph:
+    """Convert an (un)directed networkx graph.
+
+    Node labels must be integers in ``[0, n)``; use
+    ``networkx.convert_node_labels_to_integers`` first otherwise.
+    """
+    n = g.number_of_nodes()
+    edges = np.asarray(list(g.edges()), dtype=np.int64).reshape(-1, 2)
+    return from_arc_arrays(
+        edges[:, 0], edges[:, 1], num_vertices=n, name=name or (g.name or "graph")
+    )
+
+
+def to_networkx(graph: CSRGraph) -> nx.Graph:
+    """Convert to a networkx undirected graph (isolated vertices kept)."""
+    g = nx.Graph(name=graph.name)
+    g.add_nodes_from(range(graph.num_vertices))
+    u, v = graph.edge_array()
+    g.add_edges_from(zip(u.tolist(), v.tolist()))
+    return g
+
+
+def from_scipy_sparse(matrix: sp.spmatrix | sp.sparray, *, name: str = "graph") -> CSRGraph:
+    """Interpret a sparse matrix pattern as an undirected adjacency."""
+    coo = sp.coo_matrix(matrix)
+    n = max(coo.shape)
+    return from_arc_arrays(
+        coo.row.astype(np.int64), coo.col.astype(np.int64), n, name=name
+    )
+
+
+def to_scipy_sparse(graph: CSRGraph) -> sp.csr_matrix:
+    """Return the symmetric adjacency pattern as ``scipy.sparse.csr_matrix``."""
+    n = graph.num_vertices
+    data = np.ones(graph.num_arcs, dtype=np.int8)
+    return sp.csr_matrix(
+        (data, graph.col_idx, graph.row_ptr), shape=(n, n)
+    )

@@ -1,0 +1,140 @@
+"""Compressed sparse row (CSR) graph representation.
+
+This is the on-device format the paper uses: an undirected graph is stored
+as two directed arcs per edge, with a ``row_ptr`` array of length ``n + 1``
+and a ``col_idx`` array of length ``2m`` (``m`` = number of undirected
+edges).  All algorithms in :mod:`repro.core` and :mod:`repro.baselines`
+consume this structure.
+
+The class is deliberately immutable: the arrays are created once, marked
+non-writeable, and shared by reference between host code and the simulated
+device.  Construction helpers that clean up arbitrary edge lists live in
+:mod:`repro.graph.build`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from ..errors import GraphValidationError
+
+__all__ = ["CSRGraph"]
+
+
+@dataclass(frozen=True)
+class CSRGraph:
+    """An undirected graph in CSR form.
+
+    Attributes
+    ----------
+    row_ptr:
+        ``int64`` array of length ``num_vertices + 1``; neighbors of vertex
+        ``v`` are ``col_idx[row_ptr[v]:row_ptr[v + 1]]``.
+    col_idx:
+        ``int64`` array of directed arcs.  For an undirected graph each
+        edge ``{u, v}`` appears twice, once in each adjacency list, matching
+        the storage convention of Table 2 in the paper.
+    name:
+        Optional label used in experiment reports.
+    """
+
+    row_ptr: np.ndarray
+    col_idx: np.ndarray
+    name: str = field(default="graph", compare=False)
+
+    def __post_init__(self) -> None:
+        row_ptr = np.ascontiguousarray(self.row_ptr, dtype=np.int64)
+        col_idx = np.ascontiguousarray(self.col_idx, dtype=np.int64)
+        object.__setattr__(self, "row_ptr", row_ptr)
+        object.__setattr__(self, "col_idx", col_idx)
+        self._check_wellformed()
+        row_ptr.setflags(write=False)
+        col_idx.setflags(write=False)
+
+    def _check_wellformed(self) -> None:
+        if self.row_ptr.ndim != 1 or self.col_idx.ndim != 1:
+            raise GraphValidationError("row_ptr and col_idx must be 1-D arrays")
+        if self.row_ptr.size == 0:
+            raise GraphValidationError("row_ptr must have at least one entry")
+        if self.row_ptr[0] != 0:
+            raise GraphValidationError("row_ptr[0] must be 0")
+        if self.row_ptr[-1] != self.col_idx.size:
+            raise GraphValidationError(
+                f"row_ptr[-1] ({self.row_ptr[-1]}) must equal "
+                f"len(col_idx) ({self.col_idx.size})"
+            )
+        if self.row_ptr.size > 1 and np.any(np.diff(self.row_ptr) < 0):
+            raise GraphValidationError("row_ptr must be non-decreasing")
+        n = self.num_vertices
+        if self.col_idx.size and (
+            self.col_idx.min() < 0 or self.col_idx.max() >= n
+        ):
+            raise GraphValidationError("col_idx contains out-of-range vertex ids")
+
+    # ------------------------------------------------------------------
+    # Size accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices ``n``."""
+        return self.row_ptr.size - 1
+
+    @property
+    def num_arcs(self) -> int:
+        """Number of stored directed arcs (``2m`` for an undirected graph)."""
+        return self.col_idx.size
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges ``m`` (arc count halved)."""
+        return self.col_idx.size // 2
+
+    # ------------------------------------------------------------------
+    # Adjacency accessors
+    # ------------------------------------------------------------------
+    def neighbors(self, v: int) -> np.ndarray:
+        """Read-only view of the adjacency list of ``v``."""
+        return self.col_idx[self.row_ptr[v] : self.row_ptr[v + 1]]
+
+    def degree(self, v: int) -> int:
+        """Degree (adjacency-list length) of ``v``."""
+        return int(self.row_ptr[v + 1] - self.row_ptr[v])
+
+    def degrees(self) -> np.ndarray:
+        """Array of all vertex degrees."""
+        return np.diff(self.row_ptr)
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate over undirected edges once each, as ``(u, v)`` with
+        ``u < v`` (the paper's one-direction-only convention)."""
+        for u in range(self.num_vertices):
+            for v in self.neighbors(u):
+                if v > u:
+                    yield (u, int(v))
+
+    def arc_array(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(src, dst)`` arrays covering every stored arc."""
+        src = np.repeat(np.arange(self.num_vertices, dtype=np.int64), self.degrees())
+        return src, self.col_idx.copy()
+
+    def edge_array(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(u, v)`` arrays with one row per undirected edge, u < v."""
+        src, dst = self.arc_array()
+        keep = dst > src
+        return src[keep], dst[keep]
+
+    # ------------------------------------------------------------------
+    # Misc
+    # ------------------------------------------------------------------
+    def with_name(self, name: str) -> "CSRGraph":
+        """Return the same graph relabeled for reports (arrays shared)."""
+        return CSRGraph(self.row_ptr, self.col_idx, name=name)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CSRGraph(name={self.name!r}, n={self.num_vertices}, "
+            f"m={self.num_edges})"
+        )

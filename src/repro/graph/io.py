@@ -1,0 +1,295 @@
+"""Graph file I/O.
+
+The paper's inputs come from four sources with three on-disk formats; the
+authors "changed the code that reads in the input graph or wrote graph
+converters such that all programs could be run with the same inputs" (§4).
+This module plays that role: readers and writers for
+
+* SNAP/Galois-style whitespace edge lists (``.txt`` / ``.el``),
+* DIMACS challenge-9 graph files (``.gr``),
+* MatrixMarket pattern files as used by the SuiteSparse collection
+  (``.mtx``),
+* a simple binary CSR container (``.csr.npz``) for fast round-trips.
+
+Every reader funnels through :func:`repro.graph.build.from_arc_arrays`, so
+all inputs receive the same cleanup (self-loop removal, deduplication,
+symmetrization).
+"""
+
+from __future__ import annotations
+
+import io as _io
+from pathlib import Path
+from typing import TextIO
+
+import numpy as np
+
+from ..errors import GraphFormatError
+from .build import from_arc_arrays
+from .csr import CSRGraph
+
+__all__ = [
+    "read_edge_list",
+    "write_edge_list",
+    "read_dimacs",
+    "write_dimacs",
+    "read_matrix_market",
+    "write_matrix_market",
+    "read_galois_gr",
+    "write_galois_gr",
+    "save_csr_npz",
+    "load_csr_npz",
+    "read_auto",
+]
+
+
+def _open_text(path_or_file: str | Path | TextIO, mode: str = "r") -> TextIO:
+    if isinstance(path_or_file, (str, Path)):
+        return open(path_or_file, mode, encoding="ascii")
+    return path_or_file
+
+
+def _parse_pairs(lines: list[str], what: str) -> np.ndarray:
+    if not lines:
+        return np.empty((0, 2), dtype=np.int64)
+    try:
+        arr = np.loadtxt(_io.StringIO("\n".join(lines)), dtype=np.int64, ndmin=2)
+    except ValueError as exc:
+        raise GraphFormatError(f"malformed {what} line: {exc}") from exc
+    if arr.shape[1] < 2:
+        raise GraphFormatError(f"{what} lines need at least two columns")
+    return arr[:, :2]
+
+
+# ----------------------------------------------------------------------
+# SNAP / Galois edge lists
+# ----------------------------------------------------------------------
+def read_edge_list(
+    path_or_file: str | Path | TextIO,
+    *,
+    num_vertices: int | None = None,
+    name: str | None = None,
+) -> CSRGraph:
+    """Read a whitespace-separated edge list; ``#`` and ``%`` start comments."""
+    f = _open_text(path_or_file)
+    try:
+        lines = [
+            ln
+            for ln in (raw.strip() for raw in f)
+            if ln and not ln.startswith(("#", "%"))
+        ]
+    finally:
+        if isinstance(path_or_file, (str, Path)):
+            f.close()
+    arr = _parse_pairs(lines, "edge-list")
+    gname = name or (Path(path_or_file).stem if isinstance(path_or_file, (str, Path)) else "graph")
+    return from_arc_arrays(arr[:, 0], arr[:, 1], num_vertices, name=gname)
+
+
+def write_edge_list(graph: CSRGraph, path_or_file: str | Path | TextIO) -> None:
+    """Write each undirected edge once as ``u v``."""
+    f = _open_text(path_or_file, "w")
+    try:
+        f.write(f"# {graph.name}: {graph.num_vertices} vertices, {graph.num_edges} edges\n")
+        u, v = graph.edge_array()
+        np.savetxt(f, np.column_stack([u, v]), fmt="%d")
+    finally:
+        if isinstance(path_or_file, (str, Path)):
+            f.close()
+
+
+# ----------------------------------------------------------------------
+# DIMACS challenge-9 (.gr): "p sp n m" header, "a u v [w]" arcs, 1-based
+# ----------------------------------------------------------------------
+def read_dimacs(path_or_file: str | Path | TextIO, *, name: str | None = None) -> CSRGraph:
+    """Read a DIMACS ``.gr`` file (1-based ``a u v [w]`` arc lines)."""
+    f = _open_text(path_or_file)
+    n_declared: int | None = None
+    srcs: list[int] = []
+    dsts: list[int] = []
+    try:
+        for raw in f:
+            ln = raw.strip()
+            if not ln or ln.startswith("c"):
+                continue
+            parts = ln.split()
+            if parts[0] == "p":
+                if len(parts) < 4:
+                    raise GraphFormatError(f"bad DIMACS problem line: {ln!r}")
+                n_declared = int(parts[2])
+            elif parts[0] == "a" or parts[0] == "e":
+                if len(parts) < 3:
+                    raise GraphFormatError(f"bad DIMACS arc line: {ln!r}")
+                srcs.append(int(parts[1]) - 1)
+                dsts.append(int(parts[2]) - 1)
+            else:
+                raise GraphFormatError(f"unrecognized DIMACS line: {ln!r}")
+    finally:
+        if isinstance(path_or_file, (str, Path)):
+            f.close()
+    src = np.asarray(srcs, dtype=np.int64)
+    dst = np.asarray(dsts, dtype=np.int64)
+    if src.size and src.min() < 0 or dst.size and dst.min() < 0:
+        raise GraphFormatError("DIMACS vertex ids must be >= 1")
+    gname = name or (Path(path_or_file).stem if isinstance(path_or_file, (str, Path)) else "graph")
+    return from_arc_arrays(src, dst, n_declared, name=gname)
+
+
+def write_dimacs(graph: CSRGraph, path_or_file: str | Path | TextIO) -> None:
+    """Write a DIMACS ``.gr`` file with both arc directions."""
+    f = _open_text(path_or_file, "w")
+    try:
+        f.write(f"c {graph.name}\n")
+        f.write(f"p sp {graph.num_vertices} {graph.num_arcs}\n")
+        src, dst = graph.arc_array()
+        np.savetxt(f, np.column_stack([src + 1, dst + 1]), fmt="a %d %d")
+    finally:
+        if isinstance(path_or_file, (str, Path)):
+            f.close()
+
+
+# ----------------------------------------------------------------------
+# MatrixMarket pattern (.mtx), 1-based coordinate format
+# ----------------------------------------------------------------------
+def read_matrix_market(path_or_file: str | Path | TextIO, *, name: str | None = None) -> CSRGraph:
+    """Read a MatrixMarket coordinate file as an undirected graph.
+
+    Both ``symmetric`` and ``general`` matrices are accepted; any value
+    column is ignored (pattern semantics), and the adjacency structure is
+    symmetrized either way.
+    """
+    f = _open_text(path_or_file)
+    try:
+        header = f.readline()
+        if not header.startswith("%%MatrixMarket"):
+            raise GraphFormatError("missing %%MatrixMarket header")
+        size_line = None
+        for raw in f:
+            ln = raw.strip()
+            if ln and not ln.startswith("%"):
+                size_line = ln
+                break
+        if size_line is None:
+            raise GraphFormatError("missing MatrixMarket size line")
+        dims = size_line.split()
+        if len(dims) != 3:
+            raise GraphFormatError(f"bad MatrixMarket size line: {size_line!r}")
+        rows, cols, _nnz = (int(x) for x in dims)
+        lines = [ln for ln in (raw.strip() for raw in f) if ln and not ln.startswith("%")]
+    finally:
+        if isinstance(path_or_file, (str, Path)):
+            f.close()
+    arr = _parse_pairs(lines, "MatrixMarket entry")
+    gname = name or (Path(path_or_file).stem if isinstance(path_or_file, (str, Path)) else "graph")
+    return from_arc_arrays(arr[:, 0] - 1, arr[:, 1] - 1, max(rows, cols), name=gname)
+
+
+def write_matrix_market(graph: CSRGraph, path_or_file: str | Path | TextIO) -> None:
+    """Write the lower-triangular pattern of the adjacency matrix."""
+    f = _open_text(path_or_file, "w")
+    try:
+        u, v = graph.edge_array()
+        n = graph.num_vertices
+        f.write("%%MatrixMarket matrix coordinate pattern symmetric\n")
+        f.write(f"% {graph.name}\n")
+        f.write(f"{n} {n} {u.size}\n")
+        np.savetxt(f, np.column_stack([v + 1, u + 1]), fmt="%d")
+    finally:
+        if isinstance(path_or_file, (str, Path)):
+            f.close()
+
+
+# ----------------------------------------------------------------------
+# Galois binary .gr (version-1 CSR container)
+# ----------------------------------------------------------------------
+#
+# Three of the paper's inputs (2d-2e20.sym, r4-2e23.sym, rmat*.sym) ship
+# in this format.  Layout (little-endian):
+#   u64 version (1) | u64 sizeof_edge_data | u64 num_nodes | u64 num_edges
+#   u64 row_end[num_nodes]          (CSR end offsets, i.e. row_ptr[1:])
+#   u32 dst[num_edges]              (padded to an 8-byte boundary)
+#   edge data (absent when sizeof_edge_data == 0)
+def read_galois_gr(path: str | Path, *, name: str | None = None) -> CSRGraph:
+    """Read a Galois binary ``.gr`` (version 1, unweighted or weighted;
+    weights are ignored — CC is a pattern computation)."""
+    raw = Path(path).read_bytes()
+    if len(raw) < 32:
+        raise GraphFormatError("truncated Galois .gr header")
+    header = np.frombuffer(raw[:32], dtype="<u8")
+    version, sizeof_edge, num_nodes, num_edges = (int(x) for x in header)
+    if version != 1:
+        raise GraphFormatError(f"unsupported Galois .gr version {version}")
+    off = 32
+    need = num_nodes * 8
+    if len(raw) < off + need:
+        raise GraphFormatError("truncated Galois .gr row offsets")
+    row_end = np.frombuffer(raw[off : off + need], dtype="<u8").astype(np.int64)
+    off += need
+    need = num_edges * 4
+    if len(raw) < off + need:
+        raise GraphFormatError("truncated Galois .gr edge array")
+    dst = np.frombuffer(raw[off : off + need], dtype="<u4").astype(np.int64)
+    row_ptr = np.zeros(num_nodes + 1, dtype=np.int64)
+    row_ptr[1:] = row_end
+    if row_end.size and row_end[-1] != num_edges:
+        raise GraphFormatError(
+            f"Galois .gr inconsistent: last offset {row_end[-1]} != "
+            f"num_edges {num_edges}"
+        )
+    src = np.repeat(np.arange(num_nodes, dtype=np.int64), np.diff(row_ptr))
+    gname = name or Path(path).stem
+    # Standard cleanup (symmetrize/dedupe), as for every other reader.
+    return from_arc_arrays(src, dst, num_nodes, name=gname)
+
+
+def write_galois_gr(graph: CSRGraph, path: str | Path) -> None:
+    """Write a Galois binary ``.gr`` (version 1, unweighted)."""
+    if graph.num_vertices and graph.col_idx.size and graph.col_idx.max() >= 2**32:
+        raise GraphFormatError("Galois .gr stores 32-bit destinations")
+    with open(path, "wb") as f:
+        header = np.array(
+            [1, 0, graph.num_vertices, graph.num_arcs], dtype="<u8"
+        )
+        f.write(header.tobytes())
+        f.write(graph.row_ptr[1:].astype("<u8").tobytes())
+        dst = graph.col_idx.astype("<u4")
+        f.write(dst.tobytes())
+        if dst.nbytes % 8:  # pad the u32 array to an 8-byte boundary
+            f.write(b"\0" * (8 - dst.nbytes % 8))
+
+
+# ----------------------------------------------------------------------
+# Binary CSR container
+# ----------------------------------------------------------------------
+def save_csr_npz(graph: CSRGraph, path: str | Path) -> None:
+    """Save the CSR arrays to a compressed ``.npz`` container."""
+    np.savez_compressed(
+        path,
+        row_ptr=graph.row_ptr,
+        col_idx=graph.col_idx,
+        name=np.array(graph.name),
+    )
+
+
+def load_csr_npz(path: str | Path) -> CSRGraph:
+    """Load a graph previously stored by :func:`save_csr_npz`."""
+    with np.load(path, allow_pickle=False) as data:
+        return CSRGraph(data["row_ptr"], data["col_idx"], name=str(data["name"]))
+
+
+def read_auto(path: str | Path) -> CSRGraph:
+    """Dispatch on file extension (.gr DIMACS-or-Galois, .mtx, .npz, else edge list)."""
+    p = Path(path)
+    suffix = p.suffix.lower()
+    if suffix == ".gr":
+        # .gr is overloaded: DIMACS text vs Galois binary; sniff the start.
+        with open(p, "rb") as f:
+            head = f.read(8)
+        if head == (1).to_bytes(8, "little"):
+            return read_galois_gr(p)
+        return read_dimacs(p)
+    if suffix == ".mtx":
+        return read_matrix_market(p)
+    if suffix == ".npz":
+        return load_csr_npz(p)
+    return read_edge_list(p)

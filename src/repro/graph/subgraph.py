@@ -1,0 +1,151 @@
+"""Subgraph extraction and edge filtering.
+
+Connected-components labelings are rarely the end of a pipeline: the
+paper's motivating applications (tumor detection, object detection,
+protein complexes) all proceed to *extract* the components they found.
+These helpers cover that next step: induced subgraphs, per-component
+extraction, and predicate-based edge filtering — all returning clean
+:class:`~repro.graph.csr.CSRGraph` instances plus the index mappings
+needed to relate results back to the original graph.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..errors import GraphFormatError
+from .build import from_arc_arrays
+from .csr import CSRGraph
+
+__all__ = [
+    "induced_subgraph",
+    "extract_component",
+    "split_components",
+    "filter_edges",
+    "remove_vertices",
+    "contract",
+]
+
+
+def induced_subgraph(
+    graph: CSRGraph, vertices: np.ndarray, *, name: str | None = None
+) -> tuple[CSRGraph, np.ndarray]:
+    """Subgraph induced by ``vertices``.
+
+    Returns ``(subgraph, old_ids)`` where ``old_ids[new_id]`` maps the
+    compact new vertex numbering back to the original ids.  Vertex order
+    (and therefore the min-ID labeling convention) is preserved.
+    """
+    vertices = np.unique(np.asarray(vertices, dtype=np.int64))
+    if vertices.size and (
+        vertices[0] < 0 or vertices[-1] >= graph.num_vertices
+    ):
+        raise GraphFormatError("vertex ids out of range")
+    new_id = np.full(graph.num_vertices, -1, dtype=np.int64)
+    new_id[vertices] = np.arange(vertices.size, dtype=np.int64)
+    src, dst = graph.arc_array()
+    keep = (new_id[src] >= 0) & (new_id[dst] >= 0)
+    sub = from_arc_arrays(
+        new_id[src[keep]],
+        new_id[dst[keep]],
+        vertices.size,
+        name=name or f"{graph.name}[{vertices.size}]",
+    )
+    return sub, vertices
+
+
+def extract_component(
+    graph: CSRGraph, labels: np.ndarray, component: int
+) -> tuple[CSRGraph, np.ndarray]:
+    """Induced subgraph of one component of a labeling.
+
+    ``component`` is a label value (canonically the component's minimum
+    vertex id).  Returns ``(subgraph, old_ids)``.
+    """
+    labels = np.asarray(labels)
+    if labels.shape != (graph.num_vertices,):
+        raise GraphFormatError("labels must have one entry per vertex")
+    members = np.flatnonzero(labels == component)
+    if members.size == 0:
+        raise GraphFormatError(f"no vertices carry label {component}")
+    return induced_subgraph(
+        graph, members, name=f"{graph.name}/cc{component}"
+    )
+
+
+def split_components(
+    graph: CSRGraph, labels: np.ndarray
+) -> list[tuple[CSRGraph, np.ndarray]]:
+    """Split a graph into one subgraph per component (largest first)."""
+    labels = np.asarray(labels)
+    uniq, counts = np.unique(labels, return_counts=True)
+    order = np.argsort(-counts, kind="stable")
+    return [extract_component(graph, labels, int(uniq[i])) for i in order]
+
+
+def filter_edges(
+    graph: CSRGraph,
+    predicate: Callable[[np.ndarray, np.ndarray], np.ndarray],
+    *,
+    name: str | None = None,
+) -> CSRGraph:
+    """Keep the edges for which ``predicate(u, v)`` is true.
+
+    ``predicate`` receives the endpoint arrays of every undirected edge
+    (with ``u < v``) and returns a boolean mask — e.g.
+    ``lambda u, v: v - u > 1`` drops consecutive-id edges.
+    """
+    u, v = graph.edge_array()
+    keep = np.asarray(predicate(u, v), dtype=bool)
+    if keep.shape != u.shape:
+        raise GraphFormatError("predicate must return one flag per edge")
+    return from_arc_arrays(
+        u[keep], v[keep], graph.num_vertices, name=name or f"{graph.name}/filtered"
+    )
+
+
+def contract(
+    graph: CSRGraph, clusters: np.ndarray, *, name: str | None = None
+) -> tuple[CSRGraph, np.ndarray]:
+    """Contract each cluster to one vertex (the ndHybrid/Borůvka quotient).
+
+    ``clusters`` assigns every vertex a cluster id (any integers).  The
+    result keeps one edge per connected cluster pair, drops intra-cluster
+    edges, and numbers the new vertices ``0..k-1`` in ascending order of
+    the original cluster ids.  Returns ``(quotient, cluster_of)`` where
+    ``cluster_of[old_vertex]`` is the new vertex id.
+    """
+    clusters = np.asarray(clusters, dtype=np.int64)
+    if clusters.shape != (graph.num_vertices,):
+        raise GraphFormatError("clusters must have one entry per vertex")
+    uniq, cluster_of = np.unique(clusters, return_inverse=True)
+    src, dst = graph.arc_array()
+    cs, cd = cluster_of[src], cluster_of[dst]
+    keep = cs != cd
+    quotient = from_arc_arrays(
+        cs[keep], cd[keep], uniq.size, name=name or f"{graph.name}/contracted"
+    )
+    return quotient, cluster_of.astype(np.int64)
+
+
+def remove_vertices(
+    graph: CSRGraph, vertices: np.ndarray, *, name: str | None = None
+) -> tuple[CSRGraph, np.ndarray]:
+    """Delete ``vertices`` (and their edges); keep ids compact.
+
+    Returns ``(subgraph, old_ids)`` like :func:`induced_subgraph`.
+    """
+    drop = np.zeros(graph.num_vertices, dtype=bool)
+    vertices = np.asarray(vertices, dtype=np.int64)
+    if vertices.size and (
+        vertices.min() < 0 or vertices.max() >= graph.num_vertices
+    ):
+        raise GraphFormatError("vertex ids out of range")
+    drop[vertices] = True
+    return induced_subgraph(
+        graph,
+        np.flatnonzero(~drop),
+        name=name or f"{graph.name}/-{vertices.size}v",
+    )

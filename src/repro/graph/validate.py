@@ -1,0 +1,75 @@
+"""Structural validation of CSR graphs.
+
+:class:`~repro.graph.csr.CSRGraph` guarantees CSR well-formedness at
+construction time; the checks here validate the *semantic* invariants the
+paper's preprocessing establishes: symmetry (every arc has a back arc), no
+self-loops and no duplicate arcs.  Algorithms in :mod:`repro.core` assume
+these hold.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import GraphValidationError
+from .csr import CSRGraph
+
+__all__ = [
+    "check_no_self_loops",
+    "check_no_duplicate_arcs",
+    "check_symmetric",
+    "validate_undirected",
+    "is_valid_undirected",
+]
+
+
+def _arc_keys(graph: CSRGraph) -> np.ndarray:
+    src, dst = graph.arc_array()
+    return src * np.int64(max(graph.num_vertices, 1)) + dst
+
+
+def check_no_self_loops(graph: CSRGraph) -> None:
+    """Raise :class:`GraphValidationError` if any vertex lists itself."""
+    src, dst = graph.arc_array()
+    bad = np.flatnonzero(src == dst)
+    if bad.size:
+        raise GraphValidationError(
+            f"graph {graph.name!r} has {bad.size} self-loop(s), "
+            f"first at vertex {int(src[bad[0]])}"
+        )
+
+
+def check_no_duplicate_arcs(graph: CSRGraph) -> None:
+    """Raise if the same arc appears twice in one adjacency list."""
+    keys = _arc_keys(graph)
+    uniq = np.unique(keys)
+    if uniq.size != keys.size:
+        raise GraphValidationError(
+            f"graph {graph.name!r} has {keys.size - uniq.size} duplicate arc(s)"
+        )
+
+
+def check_symmetric(graph: CSRGraph) -> None:
+    """Raise unless every arc ``u -> v`` has the back arc ``v -> u``."""
+    src, dst = graph.arc_array()
+    n = max(graph.num_vertices, 1)
+    fwd = np.sort(src * np.int64(n) + dst)
+    bwd = np.sort(dst * np.int64(n) + src)
+    if fwd.size != bwd.size or not np.array_equal(fwd, bwd):
+        raise GraphValidationError(f"graph {graph.name!r} is not symmetric")
+
+
+def validate_undirected(graph: CSRGraph) -> None:
+    """Run all semantic checks; raise on the first violation."""
+    check_no_self_loops(graph)
+    check_no_duplicate_arcs(graph)
+    check_symmetric(graph)
+
+
+def is_valid_undirected(graph: CSRGraph) -> bool:
+    """Boolean form of :func:`validate_undirected`."""
+    try:
+        validate_undirected(graph)
+    except GraphValidationError:
+        return False
+    return True

@@ -1,0 +1,28 @@
+"""Union-find substrate: serial structure, find variants, concurrency."""
+
+from .base import DisjointSet
+from .concurrent import compare_and_swap, hook, hook_atomic_min
+from .instrumented import PathLengthRecorder, PathStats
+from .variants import (
+    FIND_VARIANTS,
+    JUMP_NAMES,
+    find_halving,
+    find_multiple,
+    find_none,
+    find_single,
+)
+
+__all__ = [
+    "DisjointSet",
+    "compare_and_swap",
+    "hook",
+    "hook_atomic_min",
+    "PathLengthRecorder",
+    "PathStats",
+    "FIND_VARIANTS",
+    "JUMP_NAMES",
+    "find_halving",
+    "find_multiple",
+    "find_none",
+    "find_single",
+]

@@ -1,0 +1,65 @@
+"""Concurrent (CAS-based) union-find primitives.
+
+The paper's hooking operation (Fig. 6) retries an ``atomicCAS`` on the
+parent of the larger representative until it wins the race.  These helpers
+implement that loop against a shared ``parent`` array, parameterized over
+the CAS primitive so the same code runs
+
+* natively (plain array update — CPython's GIL makes it atomic),
+* under the virtual-thread CPU executor (:mod:`repro.cpusim`), and
+* inside simulated GPU kernels (:mod:`repro.gpusim`), where the generator
+  variants in :mod:`repro.core.ecl_cc_gpu` are used instead.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["compare_and_swap", "hook", "hook_atomic_min"]
+
+
+def compare_and_swap(parent: np.ndarray, idx: int, expected: int, desired: int) -> int:
+    """CAS on one array slot; returns the value observed before the swap."""
+    old = int(parent[idx])
+    if old == expected:
+        parent[idx] = desired
+    return old
+
+
+def hook(
+    u_rep: int,
+    v_rep: int,
+    parent: np.ndarray,
+    cas: Callable[[np.ndarray, int, int, int], int] = compare_and_swap,
+) -> int:
+    """Hook two representatives together (Fig. 6's do-while loop).
+
+    Retries until the larger representative's parent is successfully
+    swapped from itself to the smaller representative, refreshing the
+    stale representative after every lost race.  Returns the representative
+    both endpoints share afterwards (the smaller of the final pair).
+    """
+    while True:
+        if v_rep == u_rep:
+            return u_rep
+        if v_rep < u_rep:
+            ret = cas(parent, u_rep, u_rep, v_rep)
+            if ret == u_rep:
+                return v_rep
+            u_rep = ret
+        else:
+            ret = cas(parent, v_rep, v_rep, u_rep)
+            if ret == v_rep:
+                return u_rep
+            v_rep = ret
+
+
+def hook_atomic_min(parent: np.ndarray, idx: int, value: int) -> int:
+    """Atomic-min style hooking used by Shiloach-Vishkin-family baselines:
+    lower ``parent[idx]`` to ``value`` if smaller; returns the old value."""
+    old = int(parent[idx])
+    if value < old:
+        parent[idx] = value
+    return old

@@ -1,0 +1,91 @@
+"""The four find/path-compression policies studied in the paper (Fig. 8).
+
+All four operate on a NumPy ``parent`` array in which parent chains are
+*strictly decreasing* until the root (hooking always points the larger
+representative at the smaller one), which is why Fig. 5's loop can test
+``par > parent[par]`` instead of ``par != parent[par]``.
+
+===========  =====================  =====================================
+Paper name   Here                   Behaviour
+===========  =====================  =====================================
+Jump1        :func:`find_multiple`  two traversals; every element on the
+                                    path ends up pointing at the root
+Jump2        :func:`find_single`    one traversal; only the start vertex
+                                    is re-pointed at the root
+Jump3        :func:`find_none`      pure traversal, no compression
+Jump4        :func:`find_halving`   intermediate pointer jumping: each
+                                    element skips over the next, halving
+                                    the path per traversal (Fig. 5)
+===========  =====================  =====================================
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "find_none",
+    "find_single",
+    "find_multiple",
+    "find_halving",
+    "FIND_VARIANTS",
+]
+
+
+def find_none(parent: np.ndarray, v: int) -> int:
+    """Jump3: follow parent pointers to the root; write nothing."""
+    par = parent[v]
+    while par > (nxt := parent[par]):
+        par = nxt
+    return int(par)
+
+
+def find_single(parent: np.ndarray, v: int) -> int:
+    """Jump2: find the root, then point ``v`` (only) directly at it."""
+    root = parent[v]
+    while root > (nxt := parent[root]):
+        root = nxt
+    if parent[v] != root:
+        parent[v] = root
+    return int(root)
+
+
+def find_multiple(parent: np.ndarray, v: int) -> int:
+    """Jump1: two passes — find the root, then re-point the whole path."""
+    root = parent[v]
+    while root > (nxt := parent[root]):
+        root = nxt
+    cur = v
+    while (nxt := parent[cur]) != root:
+        parent[cur] = root
+        cur = nxt
+    return int(root)
+
+
+def find_halving(parent: np.ndarray, v: int) -> int:
+    """Jump4: intermediate pointer jumping, a line-for-line transcription
+    of Fig. 5 of the paper (Patwary et al.'s path halving)."""
+    par = parent[v]
+    if par != v:
+        prev = v
+        while par > (nxt := parent[par]):
+            parent[prev] = nxt
+            prev = par
+            par = nxt
+    return int(par)
+
+
+FIND_VARIANTS: dict[str, "callable"] = {
+    "none": find_none,
+    "single": find_single,
+    "full": find_multiple,
+    "halving": find_halving,
+}
+
+# The paper's Jump1..Jump4 nomenclature, for the experiment harness.
+JUMP_NAMES: dict[str, str] = {
+    "Jump1": "full",
+    "Jump2": "single",
+    "Jump3": "none",
+    "Jump4": "halving",
+}

@@ -1,0 +1,44 @@
+"""Shared fixtures: small reference graphs with known components."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.build import empty_graph, from_edges
+
+
+@pytest.fixture
+def triangle_plus_edge():
+    """Two components: {0,1,2} (a triangle) and {3,4}; vertex 5 isolated."""
+    return from_edges([(0, 1), (1, 2), (2, 0), (3, 4)], num_vertices=6, name="tri+e")
+
+
+@pytest.fixture
+def path_graph():
+    """A 10-vertex path: one component, maximum diameter."""
+    return from_edges([(i, i + 1) for i in range(9)], name="path10")
+
+
+@pytest.fixture
+def star_graph():
+    """A star with center 0 and 8 leaves."""
+    return from_edges([(0, i) for i in range(1, 9)], name="star9")
+
+
+@pytest.fixture
+def isolated_graph():
+    """Five isolated vertices: five components, no edges."""
+    return empty_graph(5)
+
+
+@pytest.fixture
+def two_cliques():
+    """Two K4 cliques: components {0..3} and {4..7}."""
+    edges = [(i, j) for i in range(4) for j in range(i + 1, 4)]
+    edges += [(i, j) for i in range(4, 8) for j in range(i + 1, 8)]
+    return from_edges(edges, name="2xK4")
+
+
+def expected_labels_triangle_plus_edge():
+    return np.array([0, 0, 0, 3, 3, 5], dtype=np.int64)

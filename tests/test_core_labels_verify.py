@@ -1,0 +1,91 @@
+"""Tests for label utilities and the verification oracle."""
+
+import numpy as np
+import pytest
+
+from repro.core.labels import (
+    canonicalize,
+    component_sizes,
+    equivalent_labelings,
+    largest_component,
+    num_components,
+)
+from repro.core.verify import (
+    assert_valid_labels,
+    bfs_labels,
+    reference_labels,
+    verify_labels,
+)
+from repro.errors import VerificationError
+from repro.graph.build import empty_graph, from_edges
+
+
+class TestLabels:
+    def test_num_components(self):
+        assert num_components(np.array([0, 0, 3, 3, 5])) == 3
+        assert num_components(np.empty(0, dtype=np.int64)) == 0
+
+    def test_component_sizes(self):
+        sizes = component_sizes(np.array([0, 0, 3, 3, 3]))
+        assert sizes == {0: 2, 3: 3}
+
+    def test_canonicalize_arbitrary_ids(self):
+        # Component ids 7 and 9 map to min member vertices 0 and 2.
+        labels = np.array([7, 7, 9, 9])
+        assert canonicalize(labels).tolist() == [0, 0, 2, 2]
+
+    def test_canonicalize_idempotent(self):
+        labels = np.array([0, 0, 2, 2, 2])
+        assert canonicalize(canonicalize(labels)).tolist() == labels.tolist()
+
+    def test_equivalent_labelings(self):
+        a = np.array([0, 0, 1, 1])
+        b = np.array([9, 9, 4, 4])
+        c = np.array([0, 1, 1, 1])
+        assert equivalent_labelings(a, b)
+        assert not equivalent_labelings(a, c)
+        assert not equivalent_labelings(a, np.array([0, 0, 1]))
+
+    def test_largest_component(self):
+        label, size = largest_component(np.array([0, 0, 0, 3, 3]))
+        assert (label, size) == (0, 3)
+        with pytest.raises(ValueError):
+            largest_component(np.empty(0, dtype=np.int64))
+
+
+class TestOracles:
+    def test_reference_matches_bfs(self, triangle_plus_edge, two_cliques, path_graph):
+        for g in (triangle_plus_edge, two_cliques, path_graph):
+            assert np.array_equal(reference_labels(g), bfs_labels(g))
+
+    def test_reference_empty(self):
+        assert reference_labels(empty_graph(0)).size == 0
+
+    def test_reference_isolated(self, isolated_graph):
+        assert reference_labels(isolated_graph).tolist() == [0, 1, 2, 3, 4]
+
+    def test_known_labels(self, triangle_plus_edge):
+        assert reference_labels(triangle_plus_edge).tolist() == [0, 0, 0, 3, 3, 5]
+
+
+class TestVerify:
+    def test_accepts_correct(self, triangle_plus_edge):
+        labels = np.array([0, 0, 0, 3, 3, 5])
+        assert verify_labels(triangle_plus_edge, labels)
+        assert_valid_labels(triangle_plus_edge, labels)
+
+    def test_rejects_wrong_partition(self, triangle_plus_edge):
+        labels = np.array([0, 0, 0, 0, 0, 0])
+        assert not verify_labels(triangle_plus_edge, labels)
+        with pytest.raises(VerificationError, match="wrong partition"):
+            assert_valid_labels(triangle_plus_edge, labels)
+
+    def test_rejects_non_canonical(self, triangle_plus_edge):
+        labels = np.array([1, 1, 1, 4, 4, 5])  # right partition, wrong ids
+        with pytest.raises(VerificationError, match="not canonical"):
+            assert_valid_labels(triangle_plus_edge, labels)
+
+    def test_rejects_wrong_shape(self, triangle_plus_edge):
+        assert not verify_labels(triangle_plus_edge, np.array([0, 0]))
+        with pytest.raises(VerificationError, match="shape"):
+            assert_valid_labels(triangle_plus_edge, np.array([0, 0]))

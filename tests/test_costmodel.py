@@ -1,0 +1,78 @@
+"""Tests pinning the cost model's qualitative behaviour."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.ecl_cc_gpu import ecl_cc_gpu
+from repro.generators import load
+from repro.gpusim.device import K40, TITAN_X
+from repro.gpusim.kernel import GPU
+
+
+def k_stream(ctx, arr, n):
+    i = ctx.global_id
+    if i >= n:
+        return
+    val = yield ("ld", arr, i)
+    yield ("st", arr, i, val + 1)
+
+
+def k_scatter(ctx, arr, idx, n):
+    i = ctx.global_id
+    if i >= n:
+        return
+    j = yield ("ld", idx, i)
+    val = yield ("ld", arr, j)
+    yield ("st", arr, j, val + 1)
+
+
+class TestTimeModel:
+    def test_slower_clock_means_slower_kernel(self):
+        def run(dev):
+            gpu = GPU(dev)
+            arr = gpu.memory.to_device(np.arange(4096), name="a")
+            return gpu.launch(k_stream, 4096, arr, 4096).time_ms
+
+        assert run(K40) > run(TITAN_X)
+
+    def test_launch_overhead_floor(self):
+        gpu = GPU(TITAN_X)
+        arr = gpu.memory.to_device(np.arange(32), name="a")
+        stats = gpu.launch(k_stream, 32, arr, 32)
+        assert stats.time_ms >= TITAN_X.launch_overhead_ms
+
+    def test_random_access_costs_more_than_streaming(self):
+        n = 8192
+        dev = dataclasses.replace(TITAN_X, l2_bytes=16 * 128)  # force misses
+
+        gpu1 = GPU(dev)
+        a1 = gpu1.memory.to_device(np.zeros(n, dtype=np.int64), name="a")
+        stream = gpu1.launch(k_stream, n, a1, n)
+
+        rng = np.random.default_rng(0)
+        gpu2 = GPU(dev)
+        a2 = gpu2.memory.to_device(np.zeros(n, dtype=np.int64), name="a")
+        idx = gpu2.memory.to_device(rng.permutation(n), name="idx")
+        scatter = gpu2.launch(k_scatter, n, a2, idx, n)
+
+        assert scatter.cycles > stream.cycles
+        assert scatter.cache.dram_reads > stream.cache.dram_reads
+
+    def test_mem_bound_kernel_limited_by_bandwidth_term(self):
+        n = 16384
+        dev = dataclasses.replace(TITAN_X, l2_bytes=16 * 128)
+        gpu = GPU(dev)
+        arr = gpu.memory.to_device(np.zeros(n, dtype=np.int64), name="a")
+        idx = gpu.memory.to_device(
+            np.random.default_rng(1).permutation(n), name="idx"
+        )
+        stats = gpu.launch(k_scatter, n, arr, idx, n)
+        assert stats.cycles == max(max(stats.sm_cycles), stats.mem_cycles)
+
+    def test_k40_slower_than_titanx_on_ecl(self):
+        g = load("rmat16.sym", "tiny")
+        t_titan = ecl_cc_gpu(g, device=TITAN_X).total_time_ms
+        t_k40 = ecl_cc_gpu(g, device=K40).total_time_ms
+        assert t_k40 > t_titan

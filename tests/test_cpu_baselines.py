@@ -1,0 +1,204 @@
+"""Tests for the CPU baselines (parallel virtual-thread and serial)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.cpu import (
+    CPU_PARALLEL_BASELINES,
+    CPU_SERIAL_BASELINES,
+    UnsupportedGraphError,
+    boost_cc,
+    crono_cc,
+    ecl_cc_omp,
+    galois_async_cc,
+    galois_serial_cc,
+    igraph_cc,
+    lemon_cc,
+    ligra_bfscc,
+    ligra_comp,
+    multistep_cc,
+    ndhybrid_cc,
+    serial_union_find_cc,
+)
+from repro.core.labels import canonicalize
+from repro.core.verify import reference_labels
+from repro.cpusim import X5690
+from repro.generators import load, load_suite
+from repro.graph.build import empty_graph, from_edges
+
+PARALLEL = dict(CPU_PARALLEL_BASELINES, **{"ECL-CC_OMP": ecl_cc_omp})
+
+
+class TestParallelCorrectness:
+    @pytest.mark.parametrize("name", sorted(PARALLEL))
+    def test_known_graph(self, name, triangle_plus_edge):
+        res = PARALLEL[name](triangle_plus_edge)
+        assert np.array_equal(
+            canonicalize(res.labels), reference_labels(triangle_plus_edge)
+        )
+
+    @pytest.mark.parametrize("name", sorted(PARALLEL))
+    def test_isolated(self, name, isolated_graph):
+        res = PARALLEL[name](isolated_graph)
+        assert canonicalize(res.labels).tolist() == [0, 1, 2, 3, 4]
+
+    @pytest.mark.parametrize("name", sorted(PARALLEL))
+    def test_tiny_suite_subset(self, name):
+        for g in load_suite("tiny", names=["rmat16.sym", "europe_osm", "cit-Patents"]):
+            try:
+                res = PARALLEL[name](g)
+            except UnsupportedGraphError:
+                pytest.skip(f"{name} rejects {g.name} (dense-matrix cap)")
+            assert np.array_equal(
+                canonicalize(res.labels), reference_labels(g)
+            ), g.name
+
+    @pytest.mark.parametrize("name", sorted(PARALLEL))
+    def test_alternate_spec(self, name):
+        g = load("internet", "tiny")
+        res = PARALLEL[name](g, spec=X5690)
+        assert np.array_equal(canonicalize(res.labels), reference_labels(g))
+
+    @pytest.mark.parametrize("name", sorted(PARALLEL))
+    def test_modeled_time_positive(self, name, two_cliques):
+        res = PARALLEL[name](two_cliques)
+        assert res.modeled_time_s > 0
+        assert res.modeled_time_ms == pytest.approx(res.modeled_time_s * 1e3)
+
+
+class TestEclOmp:
+    def test_regions_are_three_phases(self, two_cliques):
+        res = ecl_cc_omp(two_cliques)
+        assert [r.name for r in res.regions] == ["init", "compute", "finalize"]
+
+    def test_variants(self, path_graph):
+        for init in ("Init1", "Init2", "Init3"):
+            for jump in ("none", "single", "full", "halving"):
+                res = ecl_cc_omp(path_graph, init=init, jump=jump)
+                assert np.array_equal(res.labels, reference_labels(path_graph))
+
+    def test_cas_injection_retry_path(self, two_cliques):
+        """Inject CAS failures to force Fig. 6's repeat branch."""
+        from repro.unionfind.concurrent import compare_and_swap
+
+        failures = {"count": 0}
+
+        def flaky_cas(parent, idx, expected, desired):
+            if failures["count"] < 5 and parent[idx] == expected and expected != desired:
+                failures["count"] += 1
+                # Simulate another thread winning the race with the very
+                # same hook: the CAS observes the new value and must retry.
+                parent[idx] = desired
+                return desired
+            return compare_and_swap(parent, idx, expected, desired)
+
+        res = ecl_cc_omp(two_cliques, init="Init1", cas=flaky_cas)
+        assert np.array_equal(
+            canonicalize(res.labels), reference_labels(two_cliques)
+        )
+        assert failures["count"] > 0
+
+
+class TestCrono:
+    def test_rejects_high_degree(self):
+        g = from_edges([(0, i) for i in range(1, 200)])  # star, dmax=199
+        with pytest.raises(UnsupportedGraphError):
+            crono_cc(g, matrix_cap=1000)
+
+    def test_accepts_with_big_cap(self):
+        g = from_edges([(0, i) for i in range(1, 50)])
+        res = crono_cc(g, matrix_cap=10_000)
+        assert np.all(canonicalize(res.labels) == 0)
+
+    def test_iterates_on_path(self, path_graph):
+        res = crono_cc(path_graph)
+        assert res.iterations >= 2
+
+
+class TestLigra:
+    def test_comp_counts_iterations(self, path_graph):
+        res = ligra_comp(path_graph)
+        # A 10-vertex path needs several propagation rounds.
+        assert res.iterations >= 3
+
+    def test_bfscc_one_bfs_per_component(self, triangle_plus_edge):
+        res = ligra_bfscc(triangle_plus_edge)
+        assert res.iterations == 3  # {0,1,2}, {3,4}, {5}
+
+    def test_bfscc_empty(self):
+        res = ligra_bfscc(empty_graph(0))
+        assert res.labels.size == 0
+
+
+class TestMultistep:
+    def test_giant_component_claimed_by_bfs(self, two_cliques):
+        res = multistep_cc(two_cliques)
+        assert np.array_equal(canonicalize(res.labels), reference_labels(two_cliques))
+
+    def test_serial_tail_on_small_leftover(self):
+        # Giant clique + one small separate edge: leftover below cutoff.
+        edges = [(i, j) for i in range(20) for j in range(i + 1, 20)]
+        edges.append((20, 21))
+        g = from_edges(edges)
+        res = multistep_cc(g)
+        assert np.array_equal(canonicalize(res.labels), reference_labels(g))
+
+    def test_empty(self):
+        res = multistep_cc(empty_graph(0))
+        assert res.labels.size == 0
+
+
+class TestNdHybrid:
+    def test_contraction_terminates(self):
+        g = load("citationCiteseer", "tiny")
+        res = ndhybrid_cc(g)
+        assert res.iterations < 64
+        assert np.array_equal(canonicalize(res.labels), reference_labels(g))
+
+    def test_seed_changes_decomposition_not_answer(self):
+        g = load("as-skitter", "tiny")
+        a = ndhybrid_cc(g, seed=1)
+        b = ndhybrid_cc(g, seed=2)
+        assert np.array_equal(canonicalize(a.labels), canonicalize(b.labels))
+
+
+class TestGalois:
+    def test_async_lock_overhead_structures(self, two_cliques):
+        res = galois_async_cc(two_cliques)
+        assert np.array_equal(canonicalize(res.labels), reference_labels(two_cliques))
+
+    def test_serial_returns_time(self, path_graph):
+        labels, dt = galois_serial_cc(path_graph)
+        assert dt > 0
+        assert np.array_equal(canonicalize(labels), reference_labels(path_graph))
+
+
+class TestSerialBaselines:
+    @pytest.mark.parametrize("name", sorted(CPU_SERIAL_BASELINES))
+    def test_known_graph(self, name, triangle_plus_edge):
+        labels, dt = CPU_SERIAL_BASELINES[name](triangle_plus_edge)
+        assert dt >= 0
+        assert np.array_equal(
+            canonicalize(labels), reference_labels(triangle_plus_edge)
+        )
+
+    @pytest.mark.parametrize(
+        "fn", [boost_cc, igraph_cc, lemon_cc, serial_union_find_cc, galois_serial_cc]
+    )
+    def test_tiny_suite_subset(self, fn):
+        for g in load_suite("tiny", names=["kron_g500-logn21", "USA-road-d.NY"]):
+            labels, _ = fn(g)
+            assert np.array_equal(canonicalize(labels), reference_labels(g)), g.name
+
+    @pytest.mark.parametrize(
+        "fn", [boost_cc, igraph_cc, lemon_cc, serial_union_find_cc]
+    )
+    def test_empty(self, fn):
+        labels, _ = fn(empty_graph(0))
+        assert labels.size == 0
+
+    def test_min_id_convention(self, two_cliques):
+        # All serial codes emit canonical min-id labels directly.
+        for fn in (boost_cc, igraph_cc, lemon_cc, serial_union_find_cc):
+            labels, _ = fn(two_cliques)
+            assert np.array_equal(labels, reference_labels(two_cliques))

@@ -1,0 +1,224 @@
+"""Tests for the five-kernel ECL-CC GPU implementation."""
+
+import numpy as np
+import pytest
+
+from repro.core.ecl_cc_gpu import (
+    DEFAULT_THRESH_HIGH,
+    DEFAULT_THRESH_MID,
+    ecl_cc_gpu,
+    g_find_halving,
+)
+from repro.core.verify import reference_labels
+from repro.generators import load, load_suite
+from repro.generators.roads import caterpillar, long_path
+from repro.gpusim.device import K40, TITAN_X
+from repro.graph.build import empty_graph, from_edges
+
+JUMPS = ("Jump1", "Jump2", "Jump3", "Jump4")
+INITS = ("Init1", "Init2", "Init3")
+FINIS = ("Fini1", "Fini2", "Fini3")
+
+
+class TestCorrectness:
+    def test_known_graph(self, triangle_plus_edge):
+        res = ecl_cc_gpu(triangle_plus_edge)
+        assert res.labels.tolist() == [0, 0, 0, 3, 3, 5]
+
+    @pytest.mark.parametrize("jump", JUMPS)
+    def test_jump_variants(self, jump):
+        g = load("rmat16.sym", "tiny")
+        res = ecl_cc_gpu(g, jump=jump)
+        assert np.array_equal(res.labels, reference_labels(g))
+
+    @pytest.mark.parametrize("init", INITS)
+    @pytest.mark.parametrize("fini", FINIS)
+    def test_init_fini_variants(self, init, fini):
+        g = load("kron_g500-logn21", "tiny")
+        res = ecl_cc_gpu(g, init=init, fini=fini)
+        assert np.array_equal(res.labels, reference_labels(g))
+
+    @pytest.mark.parametrize("seed", [None, 0, 1, 7, 99])
+    def test_scheduler_seeds_do_not_change_answer(self, seed):
+        g = load("soc-LiveJournal1", "tiny")
+        res = ecl_cc_gpu(g, seed=seed)
+        assert np.array_equal(res.labels, reference_labels(g))
+
+    def test_empty_graph(self):
+        res = ecl_cc_gpu(empty_graph(0))
+        assert res.labels.size == 0
+
+    def test_isolated_vertices(self, isolated_graph):
+        res = ecl_cc_gpu(isolated_graph)
+        assert res.labels.tolist() == [0, 1, 2, 3, 4]
+
+    def test_long_path_worst_case(self):
+        g = long_path(500)
+        res = ecl_cc_gpu(g)
+        assert np.all(res.labels == 0)
+
+    def test_k40_device(self):
+        g = load("internet", "tiny")
+        res = ecl_cc_gpu(g, device=K40)
+        assert np.array_equal(res.labels, reference_labels(g))
+
+    def test_full_tiny_suite(self):
+        for g in load_suite("tiny"):
+            res = ecl_cc_gpu(g, seed=3)
+            assert np.array_equal(res.labels, reference_labels(g)), g.name
+
+
+class TestWorklistRouting:
+    def test_high_degree_goes_to_kernel3(self):
+        # A star with 400 leaves: center degree 400 > 352.
+        g = from_edges([(0, i) for i in range(1, 401)])
+        res = ecl_cc_gpu(g)
+        assert res.worklist_back == 1
+        assert res.worklist_front == 0
+        assert np.all(res.labels == 0)
+
+    def test_medium_degree_goes_to_kernel2(self):
+        g = from_edges([(0, i) for i in range(1, 101)])  # degree 100
+        res = ecl_cc_gpu(g)
+        assert res.worklist_front == 1
+        assert res.worklist_back == 0
+
+    def test_low_degree_processed_inline(self):
+        g = load("2d-2e20.sym", "tiny")  # max degree 4
+        res = ecl_cc_gpu(g)
+        assert res.worklist_front == 0
+        assert res.worklist_back == 0
+        k2, k3 = res.kernels[2], res.kernels[3]
+        assert k2.num_threads == 0 and k3.num_threads == 0
+
+    def test_custom_thresholds(self):
+        g = caterpillar(5, 30)  # spine degrees ~32
+        res = ecl_cc_gpu(g, thresholds=(8, 64))
+        assert res.worklist_front >= 1
+        assert np.array_equal(res.labels, reference_labels(g))
+
+    def test_invalid_thresholds(self):
+        g = long_path(4)
+        with pytest.raises(ValueError):
+            ecl_cc_gpu(g, thresholds=(100, 10))
+
+    def test_invalid_jump(self):
+        with pytest.raises(ValueError):
+            ecl_cc_gpu(long_path(4), jump="Jump9")
+
+
+class TestMeasurements:
+    def test_five_kernels_recorded(self):
+        g = load("internet", "tiny")
+        res = ecl_cc_gpu(g)
+        names = [k.name for k in res.kernels][:5]
+        assert names == ["init", "compute1", "compute2", "compute3", "finalize"]
+
+    def test_total_time_positive(self):
+        res = ecl_cc_gpu(load("internet", "tiny"))
+        assert res.total_time_ms > 0
+        assert res.total_cycles > 0
+
+    def test_kernel_times_dict(self):
+        res = ecl_cc_gpu(load("internet", "tiny"))
+        times = res.kernel_times_ms()
+        assert set(times) >= {"init", "compute1", "finalize"}
+
+    def test_cache_totals_aggregates(self):
+        res = ecl_cc_gpu(load("internet", "tiny"))
+        agg = res.cache_totals()
+        assert agg.l2_reads > 0
+
+    def test_path_stats_collected(self):
+        res = ecl_cc_gpu(load("europe_osm", "tiny"), collect_paths=True)
+        assert res.path_stats is not None
+        assert res.path_stats.num_finds > 0
+        assert res.path_stats.max_length >= 1
+
+    def test_path_stats_off_by_default(self):
+        res = ecl_cc_gpu(load("internet", "tiny"))
+        assert res.path_stats is None
+
+    def test_deterministic_measurements(self):
+        g = load("citationCiteseer", "tiny")
+        a = ecl_cc_gpu(g).total_cycles
+        b = ecl_cc_gpu(g).total_cycles
+        assert a == b
+
+
+class TestBenignRaces:
+    """The §3 claims: races on the parent array never corrupt the answer."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_many_interleavings_on_contended_graph(self, seed):
+        # A dense clique-ish graph maximizes CAS contention.
+        g = load("coPapersDBLP", "tiny")
+        res = ecl_cc_gpu(g, seed=seed)
+        assert np.array_equal(res.labels, reference_labels(g))
+
+    @pytest.mark.parametrize("jump", JUMPS)
+    @pytest.mark.parametrize("seed", (11, 12))
+    def test_races_with_every_jump_variant(self, jump, seed):
+        g = load("rmat22.sym", "tiny")
+        res = ecl_cc_gpu(g, jump=jump, seed=seed)
+        assert np.array_equal(res.labels, reference_labels(g))
+
+    def test_lost_update_is_benign(self):
+        """Force the specific Fig. 5 race: two threads compressing the same
+        path; one write is lost but the result stays valid."""
+        g = long_path(64)
+        for seed in range(6):
+            res = ecl_cc_gpu(g, seed=seed)
+            assert np.all(res.labels == 0)
+
+
+class TestDeviceFindHelpers:
+    def test_find_halving_generator_contract(self):
+        from repro.gpusim.memory import DeviceMemory
+
+        mem = DeviceMemory()
+        parent = mem.to_device(np.array([0, 0, 1, 2, 3]), name="p")
+        gen = g_find_halving(4, parent)
+        op = gen.send(None)
+        assert op == ("ld", parent, 4)
+        result = None
+        try:
+            val = int(parent.data[op[2]])
+            while True:
+                op = gen.send(val)
+                if op[0] == "ld":
+                    val = int(parent.data[op[2]])
+                elif op[0] == "st":
+                    parent.data[op[2]] = op[3]
+                    val = None
+        except StopIteration as stop:
+            result = stop.value
+        assert result == 0
+        assert parent.data[4] < 3  # path was halved
+
+
+class TestWarpBroadcastVariant:
+    """The lane-0 broadcast ablation of the warp kernel."""
+
+    def test_correct_on_medium_degree_graph(self):
+        g = from_edges([(0, i) for i in range(1, 101)])  # degree-100 center
+        res = ecl_cc_gpu(g, warp_broadcast=True)
+        assert np.all(res.labels == 0)
+
+    @pytest.mark.parametrize("seed", [None, 1, 4])
+    def test_matches_default_kernel(self, seed):
+        g = load("coPapersDBLP", "tiny")
+        ref = reference_labels(g)
+        res = ecl_cc_gpu(g, warp_broadcast=True, seed=seed)
+        assert np.array_equal(res.labels, ref)
+
+    def test_reduces_find_instructions(self):
+        g = load("coPapersDBLP", "tiny")  # everything lands in kernel 2
+        default = ecl_cc_gpu(g)
+        bcast = ecl_cc_gpu(g, warp_broadcast=True)
+        k2_default = default.kernels[2]
+        k2_bcast = bcast.kernels[2]
+        assert k2_default.num_threads > 0
+        # Lane-0 broadcast trades 32 redundant finds for spin reads; the
+        # *parent-array load* count must drop.
+        assert k2_bcast.op_counts.get("ld", 0) < k2_default.op_counts.get("ld", 0)

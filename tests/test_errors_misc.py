@@ -1,0 +1,70 @@
+"""Tests for the error hierarchy and assorted small surfaces."""
+
+import pytest
+
+from repro import errors
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in (
+            "GraphFormatError",
+            "GraphValidationError",
+            "SimulationError",
+            "DeviceMemoryError",
+            "KernelLaunchError",
+            "WorklistOverflowError",
+            "VerificationError",
+            "ExperimentError",
+        ):
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError), name
+
+    def test_simulation_subtypes(self):
+        assert issubclass(errors.DeviceMemoryError, errors.SimulationError)
+        assert issubclass(errors.KernelLaunchError, errors.SimulationError)
+        assert issubclass(errors.WorklistOverflowError, errors.SimulationError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.GraphFormatError("x")
+
+
+class TestPackageMetadata:
+    def test_version_string(self):
+        import repro
+
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(p.isdigit() for p in parts)
+
+    def test_public_surface_importable(self):
+        # Every name each package advertises must resolve.
+        import repro
+        import repro.baselines.cpu as cpu
+        import repro.baselines.gpu as gpu
+        import repro.core as core
+        import repro.experiments as experiments
+        import repro.extensions as extensions
+        import repro.generators as generators
+        import repro.gpusim as gpusim
+        import repro.graph as graph
+        import repro.unionfind as unionfind
+
+        for mod in (repro, core, graph, generators, gpusim, unionfind,
+                    gpu, cpu, extensions, experiments):
+            for name in mod.__all__:
+                assert getattr(mod, name) is not None, (mod.__name__, name)
+
+
+class TestJumpNameMapping:
+    def test_paper_names_map_to_policies(self):
+        from repro.unionfind.variants import FIND_VARIANTS, JUMP_NAMES
+
+        assert JUMP_NAMES == {
+            "Jump1": "full",
+            "Jump2": "single",
+            "Jump3": "none",
+            "Jump4": "halving",
+        }
+        assert set(JUMP_NAMES.values()) == set(FIND_VARIANTS)

@@ -1,0 +1,163 @@
+"""Tests for the experiment harness (run on tiny inputs for speed)."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import EXPERIMENTS, get_experiment, run_experiment
+from repro.experiments.report import ExperimentReport, geometric_mean
+
+TINY = dict(scale="tiny", names=["internet", "rmat16.sym"], repeats=1)
+
+
+class TestReport:
+    def test_add_row_checks_width(self):
+        r = ExperimentReport("x", "t", ["a", "b"])
+        r.add_row(1, 2)
+        with pytest.raises(ValueError):
+            r.add_row(1, 2, 3)
+
+    def test_geomean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -1.0])
+
+    def test_compute_geomean_skips_na(self):
+        r = ExperimentReport("x", "t", ["g", "v"])
+        r.add_row("a", 2.0)
+        r.add_row("b", None)
+        r.add_row("c", 8.0)
+        r.compute_geomean()
+        assert r.geomean_row[1] == pytest.approx(4.0)
+
+    def test_render_contains_all_cells(self):
+        r = ExperimentReport("x", "Title", ["g", "v"])
+        r.add_row("graphname", 1.5)
+        text = r.render()
+        assert "Title" in text and "graphname" in text and "1.500" in text
+
+    def test_as_dict(self):
+        r = ExperimentReport("x", "t", ["g"])
+        r.add_row("a")
+        d = r.as_dict()
+        assert d["experiment_id"] == "x"
+        assert d["rows"] == [["a"]]
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        expected = {
+            "table2", "fig07", "fig08", "fig09", "fig10", "table3", "table4",
+            "fig11", "table5", "fig12", "table6", "fig13", "table7",
+            "fig14", "table8", "fig15", "table9", "fig16", "table10", "fig17",
+        }
+        assert expected <= set(EXPERIMENTS)
+        assert "workchar" in EXPERIMENTS  # beyond-paper extra
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ExperimentError):
+            get_experiment("fig99")
+
+    def test_run_experiment_dispatch(self):
+        rep = run_experiment("table2", **TINY)
+        assert rep.experiment_id == "table2"
+        assert len(rep.rows) == 2
+
+
+class TestExperimentRunners:
+    @pytest.mark.parametrize("exp_id", ["fig07", "fig08", "fig09"])
+    def test_variant_figures(self, exp_id):
+        rep = run_experiment(exp_id, **TINY)
+        assert len(rep.rows) == 2
+        assert rep.geomean_row is not None
+        # The reference column is identically 1.0.
+        ref_col = rep.columns.index(next(c for c in rep.columns if "ECL-CC" in c))
+        assert all(row[ref_col] == 1.0 for row in rep.rows)
+
+    def test_fig10_percentages_sum_to_100(self):
+        rep = run_experiment("fig10", **TINY)
+        for row in rep.rows:
+            assert sum(row[1:]) == pytest.approx(100.0, abs=0.5)
+
+    def test_table3_has_six_ratio_columns(self):
+        rep = run_experiment("table3", **TINY)
+        assert len(rep.columns) == 7
+        assert all(isinstance(v, float) for v in rep.rows[0][1:])
+
+    def test_table4_reports_paths(self):
+        rep = run_experiment("table4", **TINY)
+        for row in rep.rows:
+            assert row[1] >= 0.0
+            assert row[2] >= row[1]
+
+    def test_fig11_and_table5_consistent(self):
+        fig = run_experiment("fig11", **TINY)
+        tab = run_experiment("table5", **TINY)
+        assert [r[0] for r in fig.rows] == [r[0] for r in tab.rows]
+        # Relative value = absolute / ECL absolute (both tables round
+        # their cells, so allow a few percent of rounding slack).
+        for frow, trow in zip(fig.rows, tab.rows):
+            ecl = trow[1]
+            assert frow[1] == pytest.approx(trow[2] / ecl, rel=0.1)
+
+    def test_fig12_runs_on_k40(self):
+        rep = run_experiment("fig12", **TINY)
+        assert rep.geomean_row is not None
+
+    def test_fig13_parallel_cpu(self):
+        rep = run_experiment("fig13", **TINY)
+        assert "CRONO" in rep.columns
+        assert rep.geomean_row is not None
+
+    def test_fig15_serial_cpu(self):
+        rep = run_experiment("fig15", **TINY)
+        assert {"Galois", "Boost", "Lemon", "igraph"} <= set(rep.columns)
+
+    def test_fig17_orders_codes(self):
+        rep = run_experiment("fig17", **TINY)
+        values = [row[1] for row in rep.rows]
+        assert values == sorted(values)
+        codes = [row[0] for row in rep.rows]
+        assert "ECL-CC (GPU)" in codes
+
+    def test_cli_main(self, capsys):
+        from repro.experiments.__main__ import main
+
+        rc = main(["table2", "--scale", "tiny", "--names", "internet"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "table2" in out and "internet" in out
+
+
+class TestRunnerHelpers:
+    def test_median_of(self):
+        from repro.experiments.runner import median_of
+
+        values = iter([5.0, 1.0, 3.0])
+        assert median_of(lambda: next(values), repeats=3) == 3.0
+        with pytest.raises(ValueError):
+            median_of(lambda: 1.0, repeats=0)
+
+    def test_device_for_scales_l2(self):
+        from repro.experiments.runner import device_for, suite_graphs
+        from repro.gpusim.device import TITAN_X
+
+        g = suite_graphs("tiny", ["internet"])[0]
+        dev = device_for(g, TITAN_X)
+        assert dev.l2_bytes < TITAN_X.l2_bytes
+        assert dev.l1_bytes == TITAN_X.l1_bytes
+
+    def test_suite_graphs_order(self):
+        from repro.experiments.runner import suite_graphs
+        from repro.generators.suite import suite_names
+
+        graphs = suite_graphs("tiny")
+        assert [g.name for g in graphs] == suite_names()
+
+
+class TestScalingExperiment:
+    def test_linear_in_arcs_within_family(self):
+        rep = run_experiment("scaling", scale="tiny", names=["grid"])
+        assert len(rep.rows) == 2
+        per_marc = [row[5] for row in rep.rows]
+        # Linear work: cost per arc within 3x across a 4x size step.
+        assert max(per_marc) < 3 * min(per_marc)

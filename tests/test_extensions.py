@@ -1,0 +1,144 @@
+"""Tests for the spanning-forest extension (Kruskal + GPU Borůvka)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.extensions import (
+    SpanningForest,
+    boruvka_msf_gpu,
+    forest_weight,
+    kruskal_msf,
+)
+
+
+def _nx_msf_weight(u, v, w, n):
+    g = nx.Graph()
+    g.add_nodes_from(range(n))
+    for i in range(len(u)):
+        a, b = int(u[i]), int(v[i])
+        if g.has_edge(a, b):
+            if w[i] < g[a][b]["weight"]:
+                g[a][b]["weight"] = float(w[i])
+        else:
+            g.add_edge(a, b, weight=float(w[i]))
+    forest = nx.minimum_spanning_edges(g, data=True)
+    return sum(d["weight"] for _, _, d in forest)
+
+
+SQUARE = (  # 4-cycle with a chord
+    np.array([0, 1, 2, 3, 0]),
+    np.array([1, 2, 3, 0, 2]),
+    np.array([1.0, 2.0, 3.0, 4.0, 0.5]),
+)
+
+
+class TestKruskal:
+    def test_square_with_chord(self):
+        u, v, w = SQUARE
+        forest = kruskal_msf(u, v, w, 4)
+        assert forest.total_weight == pytest.approx(0.5 + 1.0 + 3.0)
+        assert forest.num_trees == 1
+        assert forest.num_edges == 3
+        assert 4 in forest.edge_indices  # the 0.5 chord
+
+    def test_forest_on_disconnected(self):
+        u = np.array([0, 2])
+        v = np.array([1, 3])
+        w = np.array([5.0, 7.0])
+        forest = kruskal_msf(u, v, w, 5)  # vertex 4 isolated
+        assert forest.num_trees == 3
+        assert forest.num_edges == 2
+        assert forest.total_weight == 12.0
+
+    @pytest.mark.parametrize("compression", ["none", "single", "full", "halving"])
+    def test_compression_variants_agree(self, compression):
+        u, v, w = SQUARE
+        forest = kruskal_msf(u, v, w, 4, compression=compression)
+        assert forest.total_weight == pytest.approx(4.5)
+
+    def test_empty(self):
+        forest = kruskal_msf(np.empty(0), np.empty(0), np.empty(0), 3)
+        assert forest.num_edges == 0
+        assert forest.num_trees == 3
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            kruskal_msf(np.array([0]), np.array([9]), np.array([1.0]), 3)
+        with pytest.raises(ValueError):
+            kruskal_msf(np.array([0, 1]), np.array([1]), np.array([1.0]), 3)
+        with pytest.raises(ValueError):
+            kruskal_msf(*SQUARE, 4, compression="warp")
+
+    def test_forest_weight_helper(self):
+        u, v, w = SQUARE
+        forest = kruskal_msf(u, v, w, 4)
+        assert forest_weight(w, forest) == pytest.approx(forest.total_weight)
+
+
+class TestBoruvkaGpu:
+    def test_matches_kruskal_on_square(self):
+        u, v, w = SQUARE
+        k = kruskal_msf(u, v, w, 4)
+        b, gpu = boruvka_msf_gpu(u, v, w, 4)
+        assert np.array_equal(k.edge_indices, b.edge_indices)
+        assert b.total_weight == pytest.approx(k.total_weight)
+        assert len(gpu.launches) >= 3
+
+    def test_empty(self):
+        forest, _ = boruvka_msf_gpu(np.empty(0), np.empty(0), np.empty(0), 4)
+        assert forest.num_edges == 0
+        assert forest.num_trees == 4
+
+    @pytest.mark.parametrize("seed", [None, 1, 2])
+    def test_random_graph_matches_networkx_weight(self, seed):
+        rng = np.random.default_rng(3)
+        n, m = 40, 120
+        u = rng.integers(0, n, size=m)
+        v = rng.integers(0, n, size=m)
+        keep = u != v
+        u, v = u[keep], v[keep]
+        w = rng.random(u.size)
+        forest, _ = boruvka_msf_gpu(u, v, w, n, seed=seed)
+        assert forest.total_weight == pytest.approx(_nx_msf_weight(u, v, w, n))
+
+    def test_equal_weights_tie_broken_by_index(self):
+        u = np.array([0, 0, 1])
+        v = np.array([1, 1, 2])
+        w = np.array([1.0, 1.0, 1.0])  # parallel edges 0/1 tie
+        k = kruskal_msf(u, v, w, 3)
+        b, _ = boruvka_msf_gpu(u, v, w, 3)
+        assert np.array_equal(k.edge_indices, b.edge_indices)
+        assert k.edge_indices.tolist() == [0, 2]
+
+
+@given(
+    st.integers(min_value=2, max_value=16).flatmap(
+        lambda n: st.tuples(
+            st.just(n),
+            st.lists(
+                st.tuples(
+                    st.integers(0, n - 1),
+                    st.integers(0, n - 1),
+                    st.integers(1, 50),
+                ),
+                max_size=40,
+            ),
+        )
+    )
+)
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_kruskal_and_boruvka_agree(args):
+    n, triples = args
+    triples = [(a, b, c) for a, b, c in triples if a != b]
+    u = np.array([t[0] for t in triples], dtype=np.int64)
+    v = np.array([t[1] for t in triples], dtype=np.int64)
+    w = np.array([t[2] for t in triples], dtype=np.float64)
+    k = kruskal_msf(u, v, w, n)
+    b, _ = boruvka_msf_gpu(u, v, w, n)
+    assert np.array_equal(k.edge_indices, b.edge_indices)
+    assert b.num_trees == k.num_trees
+    # Optimality against networkx.
+    assert k.total_weight == pytest.approx(_nx_msf_weight(u, v, w, n))

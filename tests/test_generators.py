@@ -1,0 +1,230 @@
+"""Tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.core.verify import reference_labels
+from repro.generators import (
+    caterpillar,
+    community_power_law,
+    delaunay_graph,
+    grid2d,
+    grid3d,
+    kronecker_g500,
+    long_path,
+    preferential_attachment,
+    random_gnm,
+    random_out_degree,
+    rmat,
+    road_mesh,
+)
+from repro.graph.validate import validate_undirected
+
+
+def _components(g):
+    return np.unique(reference_labels(g)).size
+
+
+class TestGrid:
+    def test_dimensions(self):
+        g = grid2d(4, 5)
+        assert g.num_vertices == 20
+        assert g.num_edges == 4 * 4 + 3 * 5  # horizontal + vertical
+
+    def test_degree_bounds(self):
+        deg = grid2d(10, 10).degrees()
+        assert deg.min() == 2 and deg.max() == 4
+
+    def test_periodic_degree_uniform(self):
+        deg = grid2d(5, 5, periodic=True).degrees()
+        assert np.all(deg == 4)
+
+    def test_connected(self):
+        assert _components(grid2d(7, 9)) == 1
+
+    def test_single_cell(self):
+        g = grid2d(1, 1)
+        assert g.num_vertices == 1 and g.num_edges == 0
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            grid2d(0, 5)
+
+    def test_grid3d(self):
+        g = grid3d(3, 3, 3)
+        assert g.num_vertices == 27
+        assert _components(g) == 1
+        validate_undirected(g)
+
+
+class TestRandom:
+    def test_out_degree_reproducible(self):
+        a = random_out_degree(100, 4, seed=1)
+        b = random_out_degree(100, 4, seed=1)
+        assert np.array_equal(a.col_idx, b.col_idx)
+
+    def test_out_degree_seed_matters(self):
+        a = random_out_degree(100, 4, seed=1)
+        b = random_out_degree(100, 4, seed=2)
+        assert not np.array_equal(a.col_idx, b.col_idx)
+
+    def test_out_degree_bounds(self):
+        g = random_out_degree(200, 4, seed=0)
+        validate_undirected(g)
+        assert g.degrees().mean() <= 8.0
+
+    def test_gnm_exact_edge_count(self):
+        g = random_gnm(50, 100, seed=3)
+        assert g.num_edges == 100
+
+    def test_gnm_too_many_edges(self):
+        with pytest.raises(ValueError):
+            random_gnm(4, 100)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            random_out_degree(0, 4)
+
+
+class TestRmat:
+    def test_vertex_count(self):
+        g = rmat(8, 4.0, seed=0)
+        assert g.num_vertices == 256
+
+    def test_skewed_degrees(self):
+        g = kronecker_g500(10, 16.0, seed=0)
+        deg = g.degrees()
+        # Graph500 parameters produce a heavy tail plus isolated vertices.
+        assert deg.max() > 10 * max(deg.mean(), 1)
+        assert (deg == 0).sum() > 0
+
+    def test_many_components(self):
+        g = kronecker_g500(10, 8.0, seed=1)
+        assert _components(g) > 10
+
+    def test_invalid_probs(self):
+        with pytest.raises(ValueError):
+            rmat(4, 4.0, a=0.5, b=0.4, c=0.3)
+
+    def test_reproducible(self):
+        assert np.array_equal(rmat(8, 4.0, seed=5).col_idx, rmat(8, 4.0, seed=5).col_idx)
+
+
+class TestRoads:
+    def test_connected(self):
+        g = road_mesh(20, 20, keep_prob=0.05, seed=0)
+        assert _components(g) == 1
+
+    def test_low_degree(self):
+        g = road_mesh(30, 30, keep_prob=0.2, seed=0)
+        assert g.degrees().max() <= 4
+        assert g.degrees().mean() < 3.2
+
+    def test_zero_keep_prob_still_connected(self):
+        g = road_mesh(10, 10, keep_prob=0.0, seed=0)
+        assert _components(g) == 1
+
+    def test_long_path(self):
+        g = long_path(50)
+        assert g.num_edges == 49
+        assert _components(g) == 1
+
+    def test_caterpillar(self):
+        g = caterpillar(10, 3)
+        assert g.num_vertices == 40
+        assert _components(g) == 1
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            road_mesh(0, 5)
+        with pytest.raises(ValueError):
+            road_mesh(5, 5, keep_prob=1.5)
+        with pytest.raises(ValueError):
+            long_path(0)
+
+
+class TestWeb:
+    def test_ba_connected(self):
+        g = preferential_attachment(200, 3, seed=0)
+        assert _components(g) == 1
+
+    def test_ba_heavy_tail(self):
+        g = preferential_attachment(500, 2, seed=0)
+        deg = g.degrees()
+        assert deg.max() > 5 * deg.mean()
+
+    def test_ba_invalid(self):
+        with pytest.raises(ValueError):
+            preferential_attachment(3, 5)
+
+    def test_community_islands_disconnect(self):
+        g = community_power_law(400, 8.0, num_islands=4, seed=0)
+        assert _components(g) >= 4
+
+    def test_community_reproducible(self):
+        a = community_power_law(300, 10.0, seed=7)
+        b = community_power_law(300, 10.0, seed=7)
+        assert np.array_equal(a.col_idx, b.col_idx)
+
+    def test_community_invalid(self):
+        with pytest.raises(ValueError):
+            community_power_law(100, 8.0, num_islands=0)
+        with pytest.raises(ValueError):
+            community_power_law(100, 8.0, locality=2.0)
+
+
+class TestDelaunay:
+    def test_planar_density(self):
+        g = delaunay_graph(500, seed=0)
+        # Planar: m <= 3n - 6.
+        assert g.num_edges <= 3 * g.num_vertices - 6
+        assert _components(g) == 1
+
+    def test_minimum_points(self):
+        with pytest.raises(ValueError):
+            delaunay_graph(2)
+
+
+class TestSmallWorld:
+    def test_pure_lattice_degree(self):
+        from repro.generators import small_world
+
+        g = small_world(50, 2, 0.0)
+        assert np.all(g.degrees() == 4)
+        assert _components(g) == 1
+
+    def test_rewiring_changes_structure(self):
+        from repro.generators import small_world
+
+        lattice = small_world(200, 3, 0.0, seed=1)
+        rewired = small_world(200, 3, 0.5, seed=1)
+        assert not np.array_equal(lattice.col_idx, rewired.col_idx)
+        validate_undirected(rewired)
+
+    def test_reproducible(self):
+        from repro.generators import small_world
+
+        a = small_world(100, 2, 0.3, seed=5)
+        b = small_world(100, 2, 0.3, seed=5)
+        assert np.array_equal(a.col_idx, b.col_idx)
+
+    def test_invalid_parameters(self):
+        from repro.generators import small_world
+
+        with pytest.raises(ValueError):
+            small_world(2, 1, 0.1)
+        with pytest.raises(ValueError):
+            small_world(10, 5, 0.1)
+        with pytest.raises(ValueError):
+            small_world(10, 2, 1.5)
+
+    def test_shortcuts_collapse_the_diameter(self):
+        """Rewiring is the diameter dial between the road-map and
+        random-graph extremes of the suite."""
+        from repro.graph.stats import approx_diameter
+        from repro.generators import small_world
+
+        lattice = small_world(400, 2, 0.0, seed=2)
+        rewired = small_world(400, 2, 0.8, seed=2)
+        assert approx_diameter(lattice) == 100  # ring of 400, k=2
+        assert approx_diameter(rewired) < 30

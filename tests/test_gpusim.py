@@ -1,0 +1,350 @@
+"""Tests for the simulated-GPU substrate (memory, cache, kernels, worklist)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    DeviceMemoryError,
+    KernelLaunchError,
+    SimulationError,
+    WorklistOverflowError,
+)
+from repro.gpusim.cache import CacheModel
+from repro.gpusim.device import K40, TITAN_X, DeviceSpec, scaled_device
+from repro.gpusim.kernel import GPU
+from repro.gpusim.memory import DeviceMemory
+from repro.gpusim.worklist import DoubleSidedWorklist
+
+
+class TestDeviceSpec:
+    def test_presets(self):
+        assert TITAN_X.num_sms == 24
+        assert K40.num_sms == 15
+        assert TITAN_X.warps_per_block == 8
+
+    def test_scaled_shrinks_l2_only(self):
+        d = TITAN_X.scaled(1000)
+        assert d.l2_bytes < TITAN_X.l2_bytes
+        assert d.l1_bytes == TITAN_X.l1_bytes
+
+    def test_scaled_floor(self):
+        d = TITAN_X.scaled(1e12)
+        assert d.l2_bytes == 16 * TITAN_X.line_bytes
+
+    def test_scaled_device_helper(self):
+        d = scaled_device(TITAN_X, 100_000, paper_arcs=100_000_000)
+        assert d.l2_bytes == max(16 * 128, TITAN_X.l2_bytes // 1000)
+
+    def test_invalid_specs(self):
+        with pytest.raises(ValueError):
+            DeviceSpec("x", 0, 32, 256, 8, 1024, 1024, 128, 1.0)
+        with pytest.raises(ValueError):
+            DeviceSpec("x", 1, 32, 100, 8, 1024, 1024, 128, 1.0)  # 100 % 32
+        with pytest.raises(ValueError):
+            DeviceSpec("x", 1, 32, 256, 8, 1024, 1024, 100, 1.0)  # line not pow2
+        with pytest.raises(ValueError):
+            TITAN_X.scaled(0)
+
+
+class TestDeviceMemory:
+    def test_alloc_and_fill(self):
+        mem = DeviceMemory()
+        a = mem.alloc(10, name="a", fill=7)
+        assert np.all(a.data == 7)
+        assert len(a) == 10
+
+    def test_to_device_copies(self):
+        mem = DeviceMemory()
+        host = np.arange(5)
+        d = mem.to_device(host, name="d")
+        host[0] = 99
+        assert d.data[0] == 0
+
+    def test_arrays_never_share_lines(self):
+        mem = DeviceMemory(line_bytes=128)
+        a = mem.alloc(1, name="a")
+        b = mem.alloc(1, name="b")
+        assert a.line_of(0) != b.line_of(0)
+
+    def test_line_of_adjacent_elements(self):
+        mem = DeviceMemory(line_bytes=128)
+        a = mem.alloc(32, name="a")
+        assert a.line_of(0) == a.line_of(15)   # 16 int64 per 128B line
+        assert a.line_of(0) != a.line_of(16)
+
+    def test_negative_alloc(self):
+        with pytest.raises(DeviceMemoryError):
+            DeviceMemory().alloc(-1, name="bad")
+
+    def test_2d_rejected(self):
+        with pytest.raises(DeviceMemoryError):
+            DeviceMemory().to_device(np.zeros((2, 2)), name="bad")
+
+    def test_bytes_allocated(self):
+        mem = DeviceMemory(line_bytes=128)
+        mem.alloc(16, name="a")  # 128 bytes
+        assert mem.bytes_allocated == 128
+
+
+class TestCacheModel:
+    def test_read_miss_then_hit(self):
+        c = CacheModel(1, 1024, 4096, 128)
+        assert c.read(0, 100) in ("l2", "dram")
+        assert c.read(0, 100) == "l1"
+        assert c.stats.l1_read_hits == 1
+        assert c.stats.l2_reads == 1
+
+    def test_l2_hit_after_l1_eviction(self):
+        c = CacheModel(1, 2 * 128, 100 * 128, 128)  # 2-line L1
+        c.read(0, 1)
+        c.read(0, 2)
+        c.read(0, 3)  # evicts line 1 from L1; L2 still holds it
+        tier = c.read(0, 1)
+        assert tier == "l2"
+        assert c.stats.l2_read_hits >= 1
+
+    def test_write_back_coalesces(self):
+        c = CacheModel(1, 1024, 4096, 128)
+        for _ in range(10):
+            c.write(0, 7)
+        assert c.stats.l2_writes == 0  # still dirty in L1
+        c.flush_l1()
+        assert c.stats.l2_writes == 1  # one writeback for ten writes
+
+    def test_dirty_eviction_writes_back(self):
+        c = CacheModel(1, 128, 100 * 128, 128)  # 1-line L1
+        c.write(0, 1)
+        c.write(0, 2)  # evicts dirty line 1
+        assert c.stats.l2_writes == 1
+
+    def test_atomic_counts_l2_read_and_write(self):
+        c = CacheModel(2, 1024, 4096, 128)
+        c.atomic(5)
+        assert c.stats.atomics == 1
+        assert c.stats.l2_reads == 1
+        assert c.stats.l2_writes == 1
+
+    def test_atomic_invalidates_l1_copies(self):
+        c = CacheModel(2, 1024, 4096, 128)
+        c.read(0, 9)
+        c.read(1, 9)
+        c.atomic(9)
+        # Both SMs must re-miss on the next read.
+        assert c.read(0, 9) != "l1"
+        assert c.read(1, 9) != "l1"
+
+    def test_full_flush_empties_l2(self):
+        c = CacheModel(1, 1024, 4096, 128)
+        c.write(0, 3)
+        c.flush()
+        assert c.stats.dram_writes == 1
+        assert c.read(0, 3) == "dram"
+
+    def test_snapshot_delta(self):
+        c = CacheModel(1, 1024, 4096, 128)
+        c.read(0, 1)
+        before = c.stats.snapshot()
+        c.read(0, 2)
+        d = c.stats.delta(before)
+        assert d.l2_reads == 1
+
+    def test_l2_capacity_eviction(self):
+        c = CacheModel(1, 128, 2 * 128, 128)  # 1-line L1, 2-line L2
+        c.read(0, 1)
+        c.read(0, 2)
+        c.read(0, 3)  # line 1 falls out of L2
+        assert c.read(0, 1) == "dram"
+
+
+def k_double(ctx, arr, n):
+    """Toy kernel: arr[i] *= 2."""
+    i = ctx.global_id
+    if i >= n:
+        return
+    val = yield ("ld", arr, i)
+    yield ("st", arr, i, val * 2)
+
+
+def k_atomic_sum(ctx, arr, out, n):
+    i = ctx.global_id
+    if i >= n:
+        return
+    val = yield ("ld", arr, i)
+    yield ("add", out, 0, val)
+
+
+def k_cas_once(ctx, arr):
+    if ctx.global_id >= 300:
+        return
+    old = yield ("cas", arr, 0, 0, ctx.global_id + 1)
+    if old == 0:
+        yield ("st", arr, 1, ctx.global_id + 1)
+
+
+def k_bad_op(ctx):
+    yield ("frobnicate", None, 0)
+
+
+class TestKernelLaunch:
+    def test_simple_kernel(self):
+        gpu = GPU(TITAN_X)
+        arr = gpu.memory.to_device(np.arange(100), name="a")
+        stats = gpu.launch(k_double, 100, arr, 100)
+        assert np.array_equal(arr.data, np.arange(100) * 2)
+        assert stats.cycles > 0
+        assert stats.time_ms > 0
+        assert stats.op_counts["ld"] == 100
+        assert stats.op_counts["st"] == 100
+
+    def test_deterministic_without_seed(self):
+        def run():
+            gpu = GPU(TITAN_X)
+            arr = gpu.memory.to_device(np.arange(64), name="a")
+            return gpu.launch(k_double, 64, arr, 64).cycles
+
+        assert run() == run()
+
+    def test_atomic_add_sums_correctly(self):
+        gpu = GPU(TITAN_X, seed=123)
+        arr = gpu.memory.to_device(np.ones(500, dtype=np.int64), name="a")
+        out = gpu.memory.alloc(1, name="out")
+        gpu.launch(k_atomic_sum, 500, arr, out, 500)
+        assert out.data[0] == 500
+
+    def test_cas_exactly_one_winner(self):
+        for seed in (None, 1, 2):
+            gpu = GPU(TITAN_X, seed=seed)
+            arr = gpu.memory.alloc(2, name="a")
+            gpu.launch(k_cas_once, 300, arr)
+            assert arr.data[0] != 0
+            assert arr.data[1] == arr.data[0]  # only the winner stored
+
+    def test_zero_threads(self):
+        gpu = GPU(TITAN_X)
+        stats = gpu.launch(k_double, 0, None, 0)
+        assert stats.cycles == 0
+        assert stats.warp_steps == 0
+
+    def test_negative_threads(self):
+        with pytest.raises(KernelLaunchError):
+            GPU(TITAN_X).launch(k_double, -1, None, 0)
+
+    def test_bad_block_threads(self):
+        with pytest.raises(KernelLaunchError):
+            GPU(TITAN_X).launch(k_double, 10, None, 0, block_threads=33)
+
+    def test_unknown_op(self):
+        with pytest.raises(SimulationError):
+            GPU(TITAN_X).launch(k_bad_op, 1)
+
+    def test_runaway_guard(self):
+        def k_forever(ctx, arr):
+            while True:
+                yield ("ld", arr, 0)
+
+        gpu = GPU(TITAN_X)
+        gpu.max_warp_steps = 1000
+        arr = gpu.memory.alloc(1, name="a")
+        with pytest.raises(SimulationError, match="exceeded"):
+            gpu.launch(k_forever, 1, arr)
+
+    def test_more_blocks_than_residency(self):
+        # 100 blocks of 256 on 24 SMs with residency 8 requires queuing.
+        gpu = GPU(TITAN_X)
+        n = 100 * 256
+        arr = gpu.memory.to_device(np.arange(n), name="a")
+        gpu.launch(k_double, n, arr, n)
+        assert np.array_equal(arr.data, np.arange(n) * 2)
+
+    def test_mem_cycles_tracked(self):
+        gpu = GPU(TITAN_X)
+        arr = gpu.memory.to_device(np.arange(10_000), name="a")
+        stats = gpu.launch(k_double, 10_000, arr, 10_000)
+        assert stats.mem_cycles > 0
+        assert stats.cycles >= stats.mem_cycles or stats.cycles == max(stats.sm_cycles)
+
+    def test_total_time_filtering(self):
+        gpu = GPU(TITAN_X)
+        arr = gpu.memory.to_device(np.arange(32), name="a")
+        gpu.launch(k_double, 32, arr, 32, name="first")
+        gpu.launch(k_double, 32, arr, 32, name="second")
+        assert gpu.total_time_ms(["first"]) < gpu.total_time_ms()
+        assert len(gpu.launches) == 2
+
+
+class TestWorklist:
+    def _run(self, kernel, threads, wl, *args, seed=None):
+        gpu = wl._gpu
+        return gpu.launch(kernel, threads, wl, *args)
+
+    def test_push_both_sides(self):
+        gpu = GPU(TITAN_X)
+        wl = DoubleSidedWorklist(gpu.memory, 10)
+
+        def k(ctx, wl):
+            if ctx.global_id >= 10:
+                return
+            if ctx.global_id % 2 == 0:
+                yield from wl.g_push_front(ctx.global_id)
+            else:
+                yield from wl.g_push_back(ctx.global_id)
+
+        gpu.launch(k, 10, wl)
+        assert sorted(wl.front_items()) == [0, 2, 4, 6, 8]
+        assert sorted(wl.back_items()) == [1, 3, 5, 7, 9]
+        assert wl.front_count == 5
+        assert wl.back_count == 5
+
+    def test_overflow_detected(self):
+        gpu = GPU(TITAN_X)
+        wl = DoubleSidedWorklist(gpu.memory, 4)
+
+        def k(ctx, wl):
+            if ctx.global_id >= 5:
+                return
+            yield from wl.g_push_front(ctx.global_id)
+
+        with pytest.raises(WorklistOverflowError):
+            gpu.launch(k, 5, wl)
+
+    def test_capacity_exactly_filled(self):
+        gpu = GPU(TITAN_X)
+        wl = DoubleSidedWorklist(gpu.memory, 8)
+
+        def k(ctx, wl):
+            if ctx.global_id >= 8:
+                return
+            if ctx.global_id < 3:
+                yield from wl.g_push_front(ctx.global_id)
+            else:
+                yield from wl.g_push_back(ctx.global_id)
+
+        gpu.launch(k, 8, wl)
+        assert wl.front_count == 3
+        assert wl.back_count == 5
+
+    def test_read_back_on_device(self):
+        gpu = GPU(TITAN_X)
+        wl = DoubleSidedWorklist(gpu.memory, 4)
+        out = gpu.memory.alloc(1, name="out")
+
+        def pusher(ctx, wl):
+            if ctx.global_id >= 1:
+                return
+            yield from wl.g_push_front(42)
+
+        def reader(ctx, wl, out):
+            if ctx.global_id >= 1:
+                return
+            count = yield from wl.g_front_count()
+            if count:
+                v = yield from wl.g_read(0)
+                yield ("st", out, 0, v)
+
+        gpu.launch(pusher, 1, wl)
+        gpu.launch(reader, 1, wl, out)
+        assert out.data[0] == 42
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            DoubleSidedWorklist(DeviceMemory(), -1)

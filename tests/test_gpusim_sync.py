@@ -1,0 +1,152 @@
+"""Tests for block barriers ('sync') and warp-shared slots ('wput'/'wget')."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.gpusim.device import TITAN_X
+from repro.gpusim.kernel import GPU
+
+
+def k_two_phase(ctx, a, b, n):
+    """Phase 1 writes a[i]; barrier; phase 2 reads a[neighbor] into b.
+
+    Without a correct barrier, b would observe unwritten zeros."""
+    i = ctx.global_id
+    if i >= n:
+        return
+    yield ("st", a, i, i + 1)
+    yield ("sync",)
+    partner = (i + 7) % n
+    val = yield ("ld", a, partner)
+    yield ("st", b, i, val)
+
+
+class TestBarrier:
+    def test_all_writes_visible_after_sync(self):
+        gpu = GPU(TITAN_X)
+        n = 256  # one full block
+        a = gpu.memory.alloc(n, name="a")
+        b = gpu.memory.alloc(n, name="b")
+        stats = gpu.launch(k_two_phase, n, a, b, n)
+        expected = (np.arange(n) + 7) % n + 1
+        assert np.array_equal(b.data, expected)
+        assert stats.op_counts["sync"] == n
+
+    def test_barrier_under_random_scheduling(self):
+        for seed in (1, 2, 3):
+            gpu = GPU(TITAN_X, seed=seed)
+            n = 256
+            a = gpu.memory.alloc(n, name="a")
+            b = gpu.memory.alloc(n, name="b")
+            gpu.launch(k_two_phase, n, a, b, n)
+            expected = (np.arange(n) + 7) % n + 1
+            assert np.array_equal(b.data, expected), seed
+
+    def test_barrier_is_per_block(self):
+        # Two blocks: each block's barrier must not wait on the other.
+        def k(ctx, a, n):
+            i = ctx.global_id
+            if i >= n:
+                return
+            yield ("st", a, i, ctx.block_id + 1)
+            yield ("sync",)
+            val = yield ("ld", a, i)
+            yield ("st", a, i, val * 10)
+
+        gpu = GPU(TITAN_X)
+        n = 512  # two blocks
+        a = gpu.memory.alloc(n, name="a")
+        gpu.launch(k, n, a, n)
+        assert set(a.data.tolist()) == {10, 20}
+
+    def test_exited_lanes_release_barrier(self):
+        # Half the block exits before the barrier; the rest must proceed.
+        def k(ctx, a, n):
+            i = ctx.global_id
+            if i >= n:
+                return
+            if i % 2 == 0:
+                return  # exits without syncing
+            yield ("sync",)
+            yield ("st", a, i, 1)
+
+        gpu = GPU(TITAN_X)
+        n = 256
+        a = gpu.memory.alloc(n, name="a")
+        gpu.launch(k, n, a, n)
+        assert a.data[1::2].sum() == n // 2
+
+    def test_repeated_barriers(self):
+        def k(ctx, a, n, rounds):
+            i = ctx.global_id
+            if i >= n:
+                return
+            for r in range(rounds):
+                val = yield ("ld", a, i)
+                yield ("sync",)
+                yield ("st", a, (i + 1) % n, val + 1)
+                yield ("sync",)
+
+        gpu = GPU(TITAN_X)
+        n = 64
+        a = gpu.memory.alloc(n, name="a")
+        gpu.launch(k, n, a, n, 5, block_threads=64)
+        # Each round adds exactly 1 to every slot (read-all then write-all).
+        assert np.all(a.data == 5)
+
+
+class TestWarpShared:
+    def test_lane0_broadcast(self):
+        """Lane 0 computes a value; other lanes read it after one step —
+        the __shfl idiom."""
+
+        def k(ctx, out, n):
+            i = ctx.global_id
+            if i >= n:
+                return
+            if ctx.lane == 0:
+                yield ("wput", "v", ctx.warp_id + 100)
+            else:
+                yield ("nop",)  # lockstep: lane 0's wput lands this step
+            val = yield ("wget", "v")
+            yield ("st", out, i, val)
+
+        gpu = GPU(TITAN_X)
+        n = 128
+        out = gpu.memory.alloc(n, name="out")
+        gpu.launch(k, n, out, n)
+        expected = np.arange(n) // 32 + 100
+        assert np.array_equal(out.data, expected)
+
+    def test_warp_shared_is_private_per_warp(self):
+        def k(ctx, out, n):
+            i = ctx.global_id
+            if i >= n:
+                return
+            if ctx.lane == 0:
+                yield ("wput", "x", ctx.warp_id)
+            else:
+                yield ("nop",)
+            val = yield ("wget", "x")
+            yield ("st", out, i, val)
+
+        gpu = GPU(TITAN_X)
+        n = 96  # three warps
+        out = gpu.memory.alloc(n, name="out")
+        gpu.launch(k, n, out, n)
+        for w in range(3):
+            assert np.all(out.data[w * 32 : (w + 1) * 32] == w)
+
+    def test_wget_missing_key_returns_none(self):
+        def k(ctx, out):
+            if ctx.global_id >= 32:
+                return
+            val = yield ("wget", "nothing")
+            if val is None:
+                yield ("st", out, ctx.global_id, 1)
+
+        gpu = GPU(TITAN_X)
+        out = gpu.memory.alloc(32, name="out")
+        gpu.launch(k, 32, out)
+        assert np.all(out.data == 1)

@@ -1,0 +1,120 @@
+"""Unit tests for the graph builders (the paper's §4 preprocessing)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.build import (
+    empty_graph,
+    from_adjacency,
+    from_arc_arrays,
+    from_edges,
+    relabel_compact,
+)
+from repro.graph.validate import validate_undirected
+
+
+class TestFromEdges:
+    def test_drops_self_loops(self):
+        g = from_edges([(0, 0), (0, 1), (1, 1)])
+        assert g.num_edges == 1
+
+    def test_merges_duplicates(self):
+        g = from_edges([(0, 1), (0, 1), (1, 0)])
+        assert g.num_edges == 1
+        assert g.num_arcs == 2
+
+    def test_adds_back_edges(self):
+        g = from_edges([(0, 1)])
+        assert 0 in g.neighbors(1)
+        assert 1 in g.neighbors(0)
+
+    def test_result_is_valid_undirected(self):
+        g = from_edges([(0, 1), (1, 2), (2, 0), (2, 2), (0, 1)])
+        validate_undirected(g)
+
+    def test_num_vertices_includes_isolated(self):
+        g = from_edges([(0, 1)], num_vertices=5)
+        assert g.num_vertices == 5
+        assert g.degree(4) == 0
+
+    def test_num_vertices_too_small_rejected(self):
+        with pytest.raises(GraphFormatError):
+            from_edges([(0, 9)], num_vertices=5)
+
+    def test_empty_edge_list(self):
+        g = from_edges([], num_vertices=3)
+        assert g.num_vertices == 3
+        assert g.num_edges == 0
+
+    def test_negative_ids_rejected(self):
+        with pytest.raises(GraphFormatError):
+            from_edges([(-1, 0)])
+
+    def test_malformed_shape_rejected(self):
+        with pytest.raises(GraphFormatError):
+            from_edges(np.array([1, 2, 3]))
+
+    def test_accepts_ndarray(self):
+        g = from_edges(np.array([[0, 1], [1, 2]]))
+        assert g.num_edges == 2
+
+
+class TestFromArcArrays:
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(GraphFormatError):
+            from_arc_arrays(np.array([0, 1]), np.array([1]))
+
+    def test_directed_input_symmetrized(self):
+        g = from_arc_arrays(np.array([0, 1, 2]), np.array([1, 2, 0]))
+        validate_undirected(g)
+        assert g.num_edges == 3
+
+    def test_dedup_across_directions(self):
+        # (0,1) given in both directions must produce exactly one edge.
+        g = from_arc_arrays(np.array([0, 1]), np.array([1, 0]))
+        assert g.num_edges == 1
+
+
+class TestFromAdjacency:
+    def test_round_trip(self):
+        g = from_adjacency([[1, 2], [0], [0], []])
+        assert g.num_vertices == 4
+        assert sorted(g.neighbors(0).tolist()) == [1, 2]
+
+    def test_asymmetric_adjacency_fixed(self):
+        g = from_adjacency([[1], [], []])
+        assert 0 in g.neighbors(1)
+
+
+class TestEmptyGraph:
+    def test_counts(self):
+        g = empty_graph(7)
+        assert g.num_vertices == 7
+        assert g.num_edges == 0
+
+    def test_zero_vertices(self):
+        g = empty_graph(0)
+        assert g.num_vertices == 0
+
+
+class TestRelabelCompact:
+    def test_drops_isolated(self):
+        g = from_edges([(0, 5)], num_vertices=6)
+        compacted, mapping = relabel_compact(g)
+        assert compacted.num_vertices == 2
+        assert mapping.tolist() == [0, 5]
+
+    def test_keep_isolated(self):
+        g = from_edges([(0, 2)], num_vertices=3)
+        compacted, mapping = relabel_compact(g, drop_isolated=False)
+        assert compacted.num_vertices == 3
+        assert mapping.tolist() == [0, 1, 2]
+
+    def test_edges_preserved(self):
+        g = from_edges([(1, 3), (3, 7)], num_vertices=8)
+        compacted, mapping = relabel_compact(g)
+        assert compacted.num_edges == 2
+        # The edge structure maps back onto the original ids.
+        back = {tuple(sorted((mapping[u], mapping[v]))) for u, v in compacted.edges()}
+        assert back == {(1, 3), (3, 7)}

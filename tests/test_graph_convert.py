@@ -1,0 +1,65 @@
+"""Tests for networkx / scipy.sparse interop."""
+
+import networkx as nx
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.graph.build import from_edges
+from repro.graph.convert import (
+    from_networkx,
+    from_scipy_sparse,
+    to_networkx,
+    to_scipy_sparse,
+)
+from repro.graph.validate import validate_undirected
+
+
+class TestNetworkx:
+    def test_round_trip(self):
+        g = from_edges([(0, 1), (1, 2), (3, 4)], num_vertices=6)
+        nxg = to_networkx(g)
+        assert nxg.number_of_nodes() == 6
+        assert nxg.number_of_edges() == 3
+        back = from_networkx(nxg)
+        assert back.num_edges == g.num_edges
+        assert back.num_vertices == g.num_vertices
+
+    def test_from_directed_networkx(self):
+        d = nx.DiGraph()
+        d.add_edges_from([(0, 1), (1, 0), (1, 2)])
+        g = from_networkx(d)
+        validate_undirected(g)
+        assert g.num_edges == 2
+
+    def test_isolated_nodes_survive(self):
+        nxg = nx.Graph()
+        nxg.add_nodes_from(range(4))
+        nxg.add_edge(0, 1)
+        g = from_networkx(nxg)
+        assert g.num_vertices == 4
+
+    def test_empty_graph(self):
+        g = from_networkx(nx.Graph())
+        assert g.num_vertices == 0
+
+
+class TestScipySparse:
+    def test_round_trip(self):
+        g = from_edges([(0, 1), (2, 3)], num_vertices=4)
+        m = to_scipy_sparse(g)
+        assert m.shape == (4, 4)
+        assert m.nnz == g.num_arcs
+        back = from_scipy_sparse(m)
+        assert back.num_edges == g.num_edges
+
+    def test_matrix_is_symmetric(self):
+        g = from_edges([(0, 1), (1, 2)])
+        m = to_scipy_sparse(g)
+        assert (m != m.T).nnz == 0
+
+    def test_from_asymmetric_pattern(self):
+        m = sp.coo_matrix((np.ones(1), ([0], [2])), shape=(3, 3))
+        g = from_scipy_sparse(m)
+        validate_undirected(g)
+        assert g.num_edges == 1

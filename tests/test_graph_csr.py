@@ -1,0 +1,101 @@
+"""Unit tests for the CSR graph container."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphValidationError
+from repro.graph.build import from_edges
+from repro.graph.csr import CSRGraph
+
+
+class TestConstruction:
+    def test_valid_graph(self, triangle_plus_edge):
+        g = triangle_plus_edge
+        assert g.num_vertices == 6
+        assert g.num_edges == 4
+        assert g.num_arcs == 8
+
+    def test_arrays_are_immutable(self, triangle_plus_edge):
+        with pytest.raises(ValueError):
+            triangle_plus_edge.row_ptr[0] = 1
+        with pytest.raises(ValueError):
+            triangle_plus_edge.col_idx[0] = 1
+
+    def test_rejects_bad_row_ptr_start(self):
+        with pytest.raises(GraphValidationError):
+            CSRGraph(np.array([1, 2]), np.array([0, 0]))
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(GraphValidationError):
+            CSRGraph(np.array([0, 3]), np.array([0]))
+
+    def test_rejects_decreasing_row_ptr(self):
+        with pytest.raises(GraphValidationError):
+            CSRGraph(np.array([0, 2, 1, 3]), np.array([0, 1, 2]))
+
+    def test_rejects_out_of_range_neighbor(self):
+        with pytest.raises(GraphValidationError):
+            CSRGraph(np.array([0, 1]), np.array([5]))
+
+    def test_rejects_negative_neighbor(self):
+        with pytest.raises(GraphValidationError):
+            CSRGraph(np.array([0, 1]), np.array([-1]))
+
+    def test_empty_row_ptr_rejected(self):
+        with pytest.raises(GraphValidationError):
+            CSRGraph(np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+
+    def test_zero_vertex_graph(self):
+        g = CSRGraph(np.zeros(1, dtype=np.int64), np.empty(0, dtype=np.int64))
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+
+    def test_dtype_coercion(self):
+        g = CSRGraph(np.array([0, 1, 2], dtype=np.int32), np.array([1, 0], dtype=np.int16))
+        assert g.row_ptr.dtype == np.int64
+        assert g.col_idx.dtype == np.int64
+
+
+class TestAccessors:
+    def test_neighbors(self, triangle_plus_edge):
+        assert sorted(triangle_plus_edge.neighbors(0).tolist()) == [1, 2]
+        assert sorted(triangle_plus_edge.neighbors(3).tolist()) == [4]
+        assert triangle_plus_edge.neighbors(5).size == 0
+
+    def test_degree(self, triangle_plus_edge):
+        assert triangle_plus_edge.degree(0) == 2
+        assert triangle_plus_edge.degree(5) == 0
+
+    def test_degrees_matches_per_vertex(self, two_cliques):
+        g = two_cliques
+        deg = g.degrees()
+        for v in range(g.num_vertices):
+            assert deg[v] == g.degree(v)
+
+    def test_edges_iterates_once_per_undirected_edge(self, triangle_plus_edge):
+        edges = list(triangle_plus_edge.edges())
+        assert edges == [(0, 1), (0, 2), (1, 2), (3, 4)]
+        assert all(u < v for u, v in edges)
+
+    def test_arc_array_covers_all_arcs(self, star_graph):
+        src, dst = star_graph.arc_array()
+        assert src.size == star_graph.num_arcs
+        # Every arc must have its reverse.
+        pairs = set(zip(src.tolist(), dst.tolist()))
+        assert all((b, a) in pairs for a, b in pairs)
+
+    def test_edge_array_is_upper_triangle(self, two_cliques):
+        u, v = two_cliques.edge_array()
+        assert u.size == two_cliques.num_edges
+        assert np.all(u < v)
+
+    def test_with_name(self, path_graph):
+        g2 = path_graph.with_name("renamed")
+        assert g2.name == "renamed"
+        assert g2.row_ptr is path_graph.row_ptr  # arrays shared
+
+
+class TestAdjacencyOrder:
+    def test_neighbors_sorted_from_builder(self):
+        g = from_edges([(2, 0), (2, 1), (2, 3)])
+        assert g.neighbors(2).tolist() == [0, 1, 3]

@@ -1,0 +1,141 @@
+"""Round-trip and format tests for graph file I/O."""
+
+import io
+
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.build import from_edges
+from repro.graph.io import (
+    load_csr_npz,
+    read_auto,
+    read_dimacs,
+    read_edge_list,
+    read_matrix_market,
+    save_csr_npz,
+    write_dimacs,
+    write_edge_list,
+    write_matrix_market,
+)
+
+
+@pytest.fixture
+def sample():
+    return from_edges([(0, 1), (1, 2), (3, 4)], num_vertices=6, name="sample")
+
+
+def _same_structure(a, b):
+    return (
+        a.num_vertices == b.num_vertices
+        and a.row_ptr.tolist() == b.row_ptr.tolist()
+        and a.col_idx.tolist() == b.col_idx.tolist()
+    )
+
+
+class TestEdgeList:
+    def test_round_trip_memory(self, sample):
+        buf = io.StringIO()
+        write_edge_list(sample, buf)
+        buf.seek(0)
+        g = read_edge_list(buf, num_vertices=6)
+        assert _same_structure(sample, g)
+
+    def test_round_trip_file(self, sample, tmp_path):
+        p = tmp_path / "g.el"
+        write_edge_list(sample, p)
+        g = read_edge_list(p, num_vertices=6)
+        assert _same_structure(sample, g)
+
+    def test_comments_skipped(self):
+        g = read_edge_list(io.StringIO("# snap header\n% other\n0 1\n1 2\n"))
+        assert g.num_edges == 2
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(GraphFormatError):
+            read_edge_list(io.StringIO("0 x\n"))
+
+    def test_single_column_rejected(self):
+        with pytest.raises(GraphFormatError):
+            read_edge_list(io.StringIO("0\n1\n"))
+
+    def test_extra_columns_ignored(self):
+        g = read_edge_list(io.StringIO("0 1 17\n1 2 3\n"))
+        assert g.num_edges == 2
+
+
+class TestDimacs:
+    def test_round_trip(self, sample, tmp_path):
+        p = tmp_path / "g.gr"
+        write_dimacs(sample, p)
+        g = read_dimacs(p)
+        assert _same_structure(sample, g)
+
+    def test_one_based_conversion(self):
+        g = read_dimacs(io.StringIO("p sp 3 2\na 1 2\na 2 3\n"))
+        assert g.num_vertices == 3
+        assert (0, 1) in list(g.edges())
+
+    def test_comments_and_e_lines(self):
+        g = read_dimacs(io.StringIO("c hello\np sp 2 1\ne 1 2\n"))
+        assert g.num_edges == 1
+
+    def test_bad_problem_line(self):
+        with pytest.raises(GraphFormatError):
+            read_dimacs(io.StringIO("p sp 3\n"))
+
+    def test_unknown_line_type(self):
+        with pytest.raises(GraphFormatError):
+            read_dimacs(io.StringIO("p sp 2 1\nx 1 2\n"))
+
+    def test_declared_vertex_count_respected(self):
+        g = read_dimacs(io.StringIO("p sp 10 1\na 1 2\n"))
+        assert g.num_vertices == 10
+
+
+class TestMatrixMarket:
+    def test_round_trip(self, sample, tmp_path):
+        p = tmp_path / "g.mtx"
+        write_matrix_market(sample, p)
+        g = read_matrix_market(p)
+        assert _same_structure(sample, g)
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(GraphFormatError):
+            read_matrix_market(io.StringIO("1 1 0\n"))
+
+    def test_general_matrix_symmetrized(self):
+        text = "%%MatrixMarket matrix coordinate pattern general\n3 3 2\n1 2\n2 3\n"
+        g = read_matrix_market(io.StringIO(text))
+        assert g.num_edges == 2
+        assert 0 in g.neighbors(1)
+
+    def test_bad_size_line(self):
+        with pytest.raises(GraphFormatError):
+            read_matrix_market(io.StringIO("%%MatrixMarket matrix\n3 3\n"))
+
+
+class TestNpz:
+    def test_round_trip(self, sample, tmp_path):
+        p = tmp_path / "g.npz"
+        save_csr_npz(sample, p)
+        g = load_csr_npz(p)
+        assert _same_structure(sample, g)
+        assert g.name == "sample"
+
+
+class TestReadAuto:
+    @pytest.mark.parametrize("ext,writer", [
+        (".gr", write_dimacs),
+        (".mtx", write_matrix_market),
+        (".el", write_edge_list),
+    ])
+    def test_dispatch(self, sample, tmp_path, ext, writer):
+        p = tmp_path / f"g{ext}"
+        writer(sample, p)
+        g = read_auto(p)
+        assert g.num_edges == sample.num_edges
+
+    def test_npz_dispatch(self, sample, tmp_path):
+        p = tmp_path / "g.npz"
+        save_csr_npz(sample, p)
+        assert read_auto(p).num_edges == sample.num_edges

@@ -1,0 +1,115 @@
+"""Tests for graph statistics (Table 2 rows) and semantic validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphValidationError
+from repro.graph.build import empty_graph, from_edges
+from repro.graph.csr import CSRGraph
+from repro.graph.stats import graph_stats, stats_table
+from repro.graph.validate import (
+    check_no_duplicate_arcs,
+    check_no_self_loops,
+    check_symmetric,
+    is_valid_undirected,
+    validate_undirected,
+)
+
+
+class TestStats:
+    def test_triangle_plus_edge(self, triangle_plus_edge):
+        s = graph_stats(triangle_plus_edge)
+        assert s.num_vertices == 6
+        assert s.num_arcs == 8
+        assert s.dmin == 0
+        assert s.dmax == 2
+        assert s.num_components == 3
+
+    def test_single_component_path(self, path_graph):
+        s = graph_stats(path_graph)
+        assert s.num_components == 1
+        assert s.dmin == 1
+        assert s.dmax == 2
+
+    def test_empty(self):
+        s = graph_stats(empty_graph(0))
+        assert s.num_vertices == 0
+        assert s.num_components == 0
+
+    def test_isolated_vertices_count_as_components(self, isolated_graph):
+        assert graph_stats(isolated_graph).num_components == 5
+
+    def test_average_degree(self, star_graph):
+        s = graph_stats(star_graph)
+        assert s.davg == pytest.approx(16 / 9)
+
+    def test_stats_table_renders(self, triangle_plus_edge, path_graph):
+        text = stats_table([triangle_plus_edge, path_graph])
+        assert "tri+e" in text
+        assert "path10" in text
+        assert "CCs" in text
+
+
+class TestValidate:
+    def test_clean_graph_passes(self, two_cliques):
+        validate_undirected(two_cliques)
+        assert is_valid_undirected(two_cliques)
+
+    def _raw(self, row_ptr, col_idx):
+        return CSRGraph(np.array(row_ptr), np.array(col_idx))
+
+    def test_self_loop_detected(self):
+        g = self._raw([0, 1, 2], [0, 1])  # 0->0 and 1->1
+        with pytest.raises(GraphValidationError):
+            check_no_self_loops(g)
+        assert not is_valid_undirected(g)
+
+    def test_duplicate_arc_detected(self):
+        g = self._raw([0, 2, 3], [1, 1, 0])
+        with pytest.raises(GraphValidationError):
+            check_no_duplicate_arcs(g)
+
+    def test_asymmetry_detected(self):
+        g = self._raw([0, 1, 1], [1])  # 0->1 without 1->0
+        with pytest.raises(GraphValidationError):
+            check_symmetric(g)
+        assert not is_valid_undirected(g)
+
+    def test_empty_graph_valid(self):
+        validate_undirected(empty_graph(3))
+
+
+class TestApproxDiameter:
+    def test_path_exact(self, path_graph):
+        from repro.graph import approx_diameter
+
+        assert approx_diameter(path_graph) == 9
+
+    def test_star(self, star_graph):
+        from repro.graph import approx_diameter
+
+        assert approx_diameter(star_graph) == 2
+
+    def test_clique(self, two_cliques):
+        from repro.graph import approx_diameter
+
+        assert approx_diameter(two_cliques, source=0) == 1
+
+    def test_road_mesh_diameter_dominates_power_law(self):
+        from repro.generators import load
+        from repro.graph import approx_diameter
+
+        road = approx_diameter(load("europe_osm", "small"))
+        web = approx_diameter(load("uk-2002", "small"))
+        assert road > 5 * web
+
+    def test_invalid(self, path_graph):
+        from repro.graph import approx_diameter
+        from repro.graph.build import empty_graph
+
+        with pytest.raises(ValueError):
+            approx_diameter(empty_graph(0))
+        with pytest.raises(ValueError):
+            approx_diameter(path_graph, source=99)
+        with pytest.raises(ValueError):
+            approx_diameter(path_graph, sweeps=0)

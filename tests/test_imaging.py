@@ -1,0 +1,115 @@
+"""Tests for image connected-component labeling (vs scipy.ndimage)."""
+
+import numpy as np
+import pytest
+import scipy.ndimage as ndi
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.extensions import label_image, mask_to_graph, regions
+from repro.extensions.imaging import BACKGROUND
+
+
+def _equivalent(ours: np.ndarray, scipy_labels: np.ndarray) -> bool:
+    """Same partition of foreground pixels."""
+    fg = ours != BACKGROUND
+    if not np.array_equal(fg, scipy_labels > 0):
+        return False
+    pairs = set(zip(ours[fg].tolist(), scipy_labels[fg].tolist()))
+    # Bijection between label sets.
+    return (
+        len({a for a, _ in pairs}) == len(pairs) == len({b for _, b in pairs})
+    )
+
+
+class TestLabelImage:
+    def test_two_blobs(self):
+        mask = np.zeros((5, 8), dtype=bool)
+        mask[1:3, 1:3] = True
+        mask[3:5, 5:8] = True
+        labels = label_image(mask)
+        assert labels[0, 0] == BACKGROUND
+        assert labels[1, 1] == labels[2, 2]
+        assert labels[3, 5] == labels[4, 7]
+        assert labels[1, 1] != labels[3, 5]
+
+    def test_diagonal_blobs_split_at_4_join_at_8(self):
+        mask = np.eye(4, dtype=bool)
+        four = label_image(mask, connectivity=4)
+        eight = label_image(mask, connectivity=8)
+        assert np.unique(four[mask]).size == 4
+        assert np.unique(eight[mask]).size == 1
+
+    def test_label_is_first_pixel_flat_index(self):
+        mask = np.zeros((3, 4), dtype=bool)
+        mask[1, 2] = True
+        mask[2, 2] = True
+        labels = label_image(mask)
+        assert labels[1, 2] == 1 * 4 + 2
+
+    def test_empty_mask(self):
+        labels = label_image(np.zeros((3, 3), dtype=bool))
+        assert np.all(labels == BACKGROUND)
+
+    def test_full_mask_single_region(self):
+        labels = label_image(np.ones((4, 4), dtype=bool))
+        assert np.all(labels == 0)
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            label_image(np.zeros(5, dtype=bool))
+        with pytest.raises(ValueError):
+            label_image(np.zeros((2, 2), dtype=bool), connectivity=6)
+
+    @pytest.mark.parametrize("connectivity", [4, 8])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_scipy_ndimage(self, connectivity, seed):
+        rng = np.random.default_rng(seed)
+        mask = rng.random((20, 30)) < 0.45
+        ours = label_image(mask, connectivity=connectivity)
+        structure = (
+            ndi.generate_binary_structure(2, 1)
+            if connectivity == 4
+            else ndi.generate_binary_structure(2, 2)
+        )
+        theirs, _count = ndi.label(mask, structure=structure)
+        assert _equivalent(ours, theirs)
+
+    @given(st.integers(0, 2**32 - 1), st.floats(0.1, 0.9))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_scipy_property(self, seed, density):
+        rng = np.random.default_rng(seed)
+        mask = rng.random((12, 12)) < density
+        ours = label_image(mask)
+        theirs, _ = ndi.label(mask, structure=ndi.generate_binary_structure(2, 1))
+        assert _equivalent(ours, theirs)
+
+
+class TestRegions:
+    def test_region_table(self):
+        mask = np.zeros((6, 6), dtype=bool)
+        mask[0:2, 0:2] = True      # 4 pixels
+        mask[4:6, 3:6] = True      # 6 pixels
+        table = regions(label_image(mask))
+        assert [r.size for r in table] == [6, 4]
+        assert table[0].bbox == (4, 3, 6, 6)
+        assert table[1].centroid == (0.5, 0.5)
+
+    def test_empty(self):
+        assert regions(label_image(np.zeros((2, 2), dtype=bool))) == []
+
+
+class TestMaskToGraph:
+    def test_pixel_ids_are_flat_indices(self):
+        mask = np.ones((2, 3), dtype=bool)
+        g = mask_to_graph(mask)
+        assert g.num_vertices == 6
+        assert 1 in g.neighbors(0)
+        assert 3 in g.neighbors(0)
+        assert 4 not in g.neighbors(0)  # diagonal absent at 4-connectivity
+
+    def test_8_connectivity_adds_diagonals(self):
+        mask = np.ones((2, 2), dtype=bool)
+        g = mask_to_graph(mask, connectivity=8)
+        assert 3 in g.neighbors(0)
+        assert 2 in g.neighbors(1)

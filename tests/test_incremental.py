@@ -1,0 +1,97 @@
+"""Tests for incremental (online) connectivity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.verify import reference_labels
+from repro.extensions.incremental import IncrementalConnectivity
+from repro.graph.build import from_edges
+
+
+class TestBasics:
+    def test_initially_all_singletons(self):
+        inc = IncrementalConnectivity(5)
+        assert inc.num_components == 5
+        assert not inc.connected(0, 1)
+
+    def test_add_edge_merges(self):
+        inc = IncrementalConnectivity(4)
+        assert inc.add_edge(0, 3)
+        assert inc.connected(0, 3)
+        assert inc.num_components == 3
+
+    def test_duplicate_edge_returns_false(self):
+        inc = IncrementalConnectivity(4)
+        assert inc.add_edge(1, 2)
+        assert not inc.add_edge(2, 1)
+        assert inc.num_components == 3
+        assert inc.num_edges_added == 2
+
+    def test_component_of_is_min_member(self):
+        inc = IncrementalConnectivity(10)
+        inc.add_edge(7, 9)
+        inc.add_edge(9, 4)
+        assert inc.component_of(7) == 4
+        inc.add_edge(4, 2)
+        assert inc.component_of(9) == 2
+
+    def test_labels_snapshot_matches_batch(self):
+        edges = [(0, 1), (2, 3), (3, 4), (6, 7)]
+        g = from_edges(edges, num_vertices=8)
+        inc = IncrementalConnectivity(8)
+        for u, v in edges:
+            inc.add_edge(u, v)
+        assert np.array_equal(inc.labels(), reference_labels(g))
+
+    def test_from_graph(self, two_cliques):
+        inc = IncrementalConnectivity.from_graph(two_cliques)
+        assert inc.num_components == 2
+        assert np.array_equal(inc.labels(), reference_labels(two_cliques))
+
+    def test_bounds_checked(self):
+        inc = IncrementalConnectivity(3)
+        with pytest.raises(IndexError):
+            inc.add_edge(0, 3)
+        with pytest.raises(IndexError):
+            inc.connected(-1, 0)
+        with pytest.raises(IndexError):
+            inc.component_of(5)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            IncrementalConnectivity(-1)
+        with pytest.raises(ValueError):
+            IncrementalConnectivity(3, compression="bogus")
+
+    @pytest.mark.parametrize("compression", ["none", "single", "full", "halving"])
+    def test_compression_variants(self, compression):
+        inc = IncrementalConnectivity(6, compression=compression)
+        for u, v in [(5, 4), (4, 3), (3, 2), (0, 1)]:
+            inc.add_edge(u, v)
+        assert inc.labels().tolist() == [0, 0, 2, 2, 2, 2]
+
+
+@given(
+    st.integers(min_value=1, max_value=25).flatmap(
+        lambda n: st.tuples(
+            st.just(n),
+            st.lists(
+                st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+                max_size=60,
+            ),
+        )
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_incremental_matches_batch_at_every_prefix(args):
+    n, pairs = args
+    pairs = [(u, v) for u, v in pairs if u != v]
+    inc = IncrementalConnectivity(n)
+    for i, (u, v) in enumerate(pairs):
+        merged = inc.add_edge(u, v)
+        assert merged == (inc.connected(u, v) and merged)  # tautology guard
+    g = from_edges(pairs, num_vertices=n)
+    assert np.array_equal(inc.labels(), reference_labels(g))
+    assert inc.num_components == np.unique(inc.labels()).size

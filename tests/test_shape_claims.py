@@ -1,0 +1,73 @@
+"""Regression tests pinning the paper's headline *shape* claims.
+
+These run the experiment pipeline at tiny scale on a representative
+input subset — fast enough for CI, strong enough that a change breaking
+a reproduced ordering fails loudly.
+"""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+SUBSET = ["rmat16.sym", "europe_osm", "2d-2e20.sym", "kron_g500-logn21"]
+ARGS = dict(scale="tiny", names=SUBSET, repeats=1)
+
+
+def _geomeans(report) -> dict:
+    return dict(zip(report.columns[1:], report.geomean_row[1:]))
+
+
+class TestGpuComparisonShape:
+    def test_ecl_fastest_geomean_titanx(self):
+        gm = _geomeans(run_experiment("fig11", **ARGS))
+        # Every baseline's geomean ratio to ECL-CC exceeds 1.
+        assert all(v > 1.0 for v in gm.values()), gm
+
+    def test_groute_is_closest_competitor(self):
+        gm = _geomeans(run_experiment("fig11", **ARGS))
+        assert gm["Groute"] == min(gm.values()), gm
+
+    def test_gunrock_is_slowest(self):
+        gm = _geomeans(run_experiment("fig11", **ARGS))
+        assert gm["Gunrock"] == max(gm.values()), gm
+
+    def test_k40_ordering_matches(self):
+        gm = _geomeans(run_experiment("fig12", **ARGS))
+        assert all(v > 1.0 for v in gm.values()), gm
+        assert gm["Groute"] == min(gm.values()), gm
+
+
+class TestAblationShape:
+    def test_jump3_is_worst_pointer_jumping(self):
+        gm = _geomeans(run_experiment("fig08", **ARGS))
+        assert gm["Jump3"] == max(gm.values()), gm
+        assert gm["Jump4 (ECL-CC)"] == 1.0
+
+    def test_init2_slower_than_init3(self):
+        gm = _geomeans(run_experiment("fig07", **ARGS))
+        assert gm["Init2"] > 1.0, gm
+
+    def test_fini2_is_worst_finalization(self):
+        gm = _geomeans(run_experiment("fig09", **ARGS))
+        assert gm["Fini2"] >= max(gm.values()) - 1e-9, gm
+
+    def test_compute_phase_dominates(self):
+        rep = run_experiment("fig10", **ARGS)
+        for row in rep.rows:
+            compute = row[2] + row[3] + row[4]
+            assert compute > 50.0, row  # paper: 84.5% on average
+
+    def test_road_graphs_have_longest_paths(self):
+        rep = run_experiment("table4", **ARGS)
+        by_name = {row[0]: row[1] for row in rep.rows}
+        assert by_name["europe_osm"] > by_name["rmat16.sym"]
+        assert by_name["europe_osm"] > by_name["kron_g500-logn21"]
+
+
+class TestCpuComparisonShape:
+    def test_comp_collapses_on_road_networks(self):
+        rep = run_experiment("fig13", **ARGS)
+        col = rep.columns.index("Ligra+ Comp")
+        by_name = {row[0]: row[col] for row in rep.rows}
+        # Label propagation pays diameter-many rounds on europe_osm.
+        assert by_name["europe_osm"] > 3 * by_name["rmat16.sym"]

@@ -1,0 +1,219 @@
+"""Tests for subgraph extraction and the Galois binary .gr format."""
+
+import numpy as np
+import pytest
+
+from repro.core.verify import reference_labels
+from repro.errors import GraphFormatError
+from repro.generators import load
+from repro.graph import (
+    extract_component,
+    filter_edges,
+    from_edges,
+    induced_subgraph,
+    read_auto,
+    read_galois_gr,
+    remove_vertices,
+    split_components,
+    write_galois_gr,
+)
+from repro.graph.validate import validate_undirected
+
+
+class TestInducedSubgraph:
+    def test_basic(self, two_cliques):
+        sub, old = induced_subgraph(two_cliques, [0, 1, 2, 3])
+        assert sub.num_vertices == 4
+        assert sub.num_edges == 6  # K4
+        assert old.tolist() == [0, 1, 2, 3]
+
+    def test_cross_edges_dropped(self, triangle_plus_edge):
+        sub, old = induced_subgraph(triangle_plus_edge, [0, 1, 3])
+        # Only the 0-1 edge survives (2 and 4 excluded).
+        assert sub.num_edges == 1
+        assert old.tolist() == [0, 1, 3]
+
+    def test_duplicates_and_order_normalized(self, path_graph):
+        sub, old = induced_subgraph(path_graph, [3, 1, 3, 2])
+        assert old.tolist() == [1, 2, 3]
+        assert sub.num_edges == 2
+
+    def test_out_of_range(self, path_graph):
+        with pytest.raises(GraphFormatError):
+            induced_subgraph(path_graph, [99])
+
+    def test_valid_output(self, two_cliques):
+        sub, _ = induced_subgraph(two_cliques, [2, 3, 4, 5])
+        validate_undirected(sub)
+
+
+class TestExtractAndSplit:
+    def test_extract_component(self, triangle_plus_edge):
+        labels = reference_labels(triangle_plus_edge)
+        sub, old = extract_component(triangle_plus_edge, labels, 0)
+        assert sub.num_vertices == 3
+        assert sub.num_edges == 3
+        assert old.tolist() == [0, 1, 2]
+
+    def test_extract_missing_label(self, triangle_plus_edge):
+        labels = reference_labels(triangle_plus_edge)
+        with pytest.raises(GraphFormatError):
+            extract_component(triangle_plus_edge, labels, 1)
+
+    def test_extract_bad_labels_shape(self, triangle_plus_edge):
+        with pytest.raises(GraphFormatError):
+            extract_component(triangle_plus_edge, np.zeros(2), 0)
+
+    def test_split_largest_first(self, triangle_plus_edge):
+        labels = reference_labels(triangle_plus_edge)
+        parts = split_components(triangle_plus_edge, labels)
+        sizes = [sub.num_vertices for sub, _ in parts]
+        assert sizes == [3, 2, 1]
+
+    def test_split_reassembles_vertices(self, two_cliques):
+        labels = reference_labels(two_cliques)
+        parts = split_components(two_cliques, labels)
+        all_old = np.concatenate([old for _, old in parts])
+        assert sorted(all_old.tolist()) == list(range(8))
+
+
+class TestFilterRemove:
+    def test_filter_edges(self, path_graph):
+        # Drop every edge touching vertex 4: splits the path.
+        g = filter_edges(path_graph, lambda u, v: (u != 4) & (v != 4))
+        labels = reference_labels(g)
+        assert np.unique(labels).size == 3  # {0..3}, {4}, {5..9}
+
+    def test_filter_predicate_shape_checked(self, path_graph):
+        with pytest.raises(GraphFormatError):
+            filter_edges(path_graph, lambda u, v: np.array([True]))
+
+    def test_remove_vertices(self, two_cliques):
+        sub, old = remove_vertices(two_cliques, [0, 4])
+        assert sub.num_vertices == 6
+        assert 0 not in old.tolist() and 4 not in old.tolist()
+        # Each clique loses one member: two K3s remain.
+        assert sub.num_edges == 6
+
+    def test_remove_out_of_range(self, path_graph):
+        with pytest.raises(GraphFormatError):
+            remove_vertices(path_graph, [-1])
+
+
+class TestGaloisGr:
+    def test_round_trip(self, tmp_path, two_cliques):
+        p = tmp_path / "g.gr"
+        write_galois_gr(two_cliques, p)
+        g = read_galois_gr(p)
+        assert g.row_ptr.tolist() == two_cliques.row_ptr.tolist()
+        assert g.col_idx.tolist() == two_cliques.col_idx.tolist()
+
+    def test_read_auto_sniffs_binary(self, tmp_path, path_graph):
+        p = tmp_path / "binary.gr"
+        write_galois_gr(path_graph, p)
+        g = read_auto(p)
+        assert g.num_edges == path_graph.num_edges
+
+    def test_read_auto_still_reads_dimacs_gr(self, tmp_path):
+        p = tmp_path / "text.gr"
+        p.write_text("p sp 3 2\na 1 2\na 2 3\n")
+        g = read_auto(p)
+        assert g.num_edges == 2
+
+    def test_suite_graph_round_trip(self, tmp_path):
+        g = load("rmat16.sym", "tiny")
+        p = tmp_path / "rmat.gr"
+        write_galois_gr(g, p)
+        back = read_galois_gr(p)
+        assert np.array_equal(reference_labels(back), reference_labels(g))
+
+    def test_truncated_header(self, tmp_path):
+        p = tmp_path / "bad.gr"
+        p.write_bytes(b"\x01\x00\x00")
+        with pytest.raises(GraphFormatError, match="truncated"):
+            read_galois_gr(p)
+
+    def test_wrong_version(self, tmp_path):
+        p = tmp_path / "bad.gr"
+        p.write_bytes(np.array([2, 0, 0, 0], dtype="<u8").tobytes())
+        with pytest.raises(GraphFormatError, match="version"):
+            read_galois_gr(p)
+
+    def test_truncated_edges(self, tmp_path):
+        p = tmp_path / "bad.gr"
+        p.write_bytes(
+            np.array([1, 0, 2, 5], dtype="<u8").tobytes()
+            + np.array([2, 5], dtype="<u8").tobytes()  # row ends
+        )
+        with pytest.raises(GraphFormatError, match="truncated"):
+            read_galois_gr(p)
+
+    def test_inconsistent_offsets(self, tmp_path):
+        p = tmp_path / "bad.gr"
+        p.write_bytes(
+            np.array([1, 0, 1, 2], dtype="<u8").tobytes()
+            + np.array([1], dtype="<u8").tobytes()  # row end says 1, header 2
+            + np.array([0, 0], dtype="<u4").tobytes()
+        )
+        with pytest.raises(GraphFormatError, match="inconsistent"):
+            read_galois_gr(p)
+
+    def test_empty_graph(self, tmp_path):
+        from repro.graph import empty_graph
+
+        p = tmp_path / "empty.gr"
+        write_galois_gr(empty_graph(4), p)
+        g = read_galois_gr(p)
+        assert g.num_vertices == 4
+        assert g.num_edges == 0
+
+
+class TestContract:
+    def test_quotient_of_components_is_edgeless(self, triangle_plus_edge):
+        from repro.graph import contract
+
+        labels = reference_labels(triangle_plus_edge)
+        q, cluster_of = contract(triangle_plus_edge, labels)
+        assert q.num_vertices == 3
+        assert q.num_edges == 0
+        assert cluster_of.max() == 2
+
+    def test_quotient_keeps_cross_cluster_edges(self, path_graph):
+        from repro.graph import contract
+
+        # Clusters {0..4} and {5..9}: one crossing edge (4,5).
+        clusters = np.array([0] * 5 + [1] * 5)
+        q, cluster_of = contract(path_graph, clusters)
+        assert q.num_vertices == 2
+        assert q.num_edges == 1
+        assert cluster_of.tolist() == clusters.tolist()
+
+    def test_arbitrary_cluster_ids_compact(self, path_graph):
+        from repro.graph import contract
+
+        clusters = np.array([70] * 3 + [-5] * 3 + [9000] * 4)
+        q, cluster_of = contract(path_graph, clusters)
+        assert q.num_vertices == 3
+        # ids compacted in ascending cluster order: -5 -> 0, 70 -> 1, 9000 -> 2
+        assert cluster_of[0] == 1 and cluster_of[3] == 0 and cluster_of[9] == 2
+
+    def test_shape_checked(self, path_graph):
+        from repro.graph import contract
+
+        with pytest.raises(GraphFormatError):
+            contract(path_graph, np.zeros(3))
+
+    def test_contract_preserves_connectivity_structure(self):
+        from repro.graph import contract
+        from repro.generators import load
+
+        g = load("cit-Patents", "tiny")
+        labels = reference_labels(g)
+        # Contract arbitrary blocks of 10 vertices; component count of the
+        # quotient equals that of the original.
+        clusters = np.arange(g.num_vertices) // 10
+        q, cluster_of = contract(g, clusters)
+        # Map original component count through the quotient.
+        q_labels = reference_labels(q)
+        merged = len(set(q_labels[cluster_of].tolist()))
+        assert merged <= np.unique(labels).size

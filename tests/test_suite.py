@@ -1,0 +1,79 @@
+"""Tests for the 18-input stand-in suite."""
+
+import pytest
+
+from repro.generators.suite import SCALES, SUITE, load, load_suite, suite_names
+from repro.graph.stats import graph_stats
+from repro.graph.validate import validate_undirected
+
+
+class TestSuiteShape:
+    def test_eighteen_inputs(self):
+        assert len(suite_names()) == 18
+
+    def test_paper_names_present(self):
+        for name in ("2d-2e20.sym", "europe_osm", "kron_g500-logn21", "uk-2002"):
+            assert name in SUITE
+
+    def test_all_scales_defined(self):
+        for spec in SUITE.values():
+            assert set(spec.factories) == set(SCALES)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            load("no-such-graph")
+
+    def test_unknown_scale(self):
+        with pytest.raises(KeyError):
+            load("internet", "gigantic")
+
+
+class TestSuiteStructure:
+    @pytest.mark.parametrize("name", suite_names())
+    def test_tiny_valid_and_named(self, name):
+        g = load(name, "tiny")
+        validate_undirected(g)
+        assert g.name == name
+        assert g.num_vertices > 0
+
+    def test_deterministic(self):
+        a = load("rmat16.sym", "tiny")
+        b = load("rmat16.sym", "tiny")
+        assert a.row_ptr.tolist() == b.row_ptr.tolist()
+        assert a.col_idx.tolist() == b.col_idx.tolist()
+
+    def test_scales_grow(self):
+        for name in ("internet", "rmat16.sym", "europe_osm"):
+            tiny = load(name, "tiny")
+            small = load(name, "small")
+            assert small.num_vertices > tiny.num_vertices
+
+    def test_single_component_graphs(self):
+        # These paper inputs have exactly one CC; stand-ins must too.
+        for name in ("2d-2e20.sym", "europe_osm", "USA-road-d.NY",
+                     "USA-road-d.USA", "internet", "citationCiteseer",
+                     "coPapersDBLP", "delaunay_n24", "r4-2e23.sym"):
+            s = graph_stats(load(name, "tiny"))
+            assert s.num_components == 1, name
+
+    def test_many_component_graphs(self):
+        # These paper inputs have many CCs; stand-ins must have > 1.
+        for name in ("kron_g500-logn21", "rmat16.sym", "rmat22.sym",
+                     "as-skitter", "cit-Patents", "uk-2002"):
+            s = graph_stats(load(name, "tiny"))
+            assert s.num_components > 1, name
+
+    def test_road_maps_low_degree(self):
+        for name in ("europe_osm", "USA-road-d.NY", "USA-road-d.USA"):
+            s = graph_stats(load(name, "small"))
+            assert s.davg < 3.5, name
+            assert s.dmax <= 8, name
+
+    def test_kron_skew(self):
+        s = graph_stats(load("kron_g500-logn21", "small"))
+        assert s.dmin == 0
+        assert s.dmax > 20 * s.davg
+
+    def test_load_suite_subset(self):
+        graphs = load_suite("tiny", names=["internet", "europe_osm"])
+        assert [g.name for g in graphs] == ["internet", "europe_osm"]

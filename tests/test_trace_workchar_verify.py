@@ -1,0 +1,126 @@
+"""Tests for the kernel profiler, workchar experiment, and the
+structural (oracle-free) verifier."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.ecl_cc_gpu import ecl_cc_gpu
+from repro.core.verify import reference_labels, verify_labels_structural
+from repro.experiments import run_experiment
+from repro.generators import load
+from repro.gpusim import profile_launches, render_profile
+from repro.graph.build import empty_graph, from_edges
+
+
+class TestKernelProfiler:
+    def test_aggregates_by_name(self):
+        res = ecl_cc_gpu(load("internet", "tiny"))
+        profiles = profile_launches(res.kernels)
+        assert set(profiles) >= {"init", "compute1", "finalize"}
+        assert profiles["init"].launches == 1
+        total_inst = sum(p.instructions for p in profiles.values())
+        assert total_inst == sum(k.instructions for k in res.kernels)
+
+    def test_multiple_launches_summed(self):
+        res = ecl_cc_gpu(load("internet", "tiny"))
+        doubled = profile_launches(res.kernels + res.kernels)
+        single = profile_launches(res.kernels)
+        assert doubled["compute1"].instructions == 2 * single["compute1"].instructions
+        assert doubled["compute1"].launches == 2
+
+    def test_ipc_and_hit_rate_bounded(self):
+        res = ecl_cc_gpu(load("rmat16.sym", "tiny"))
+        for p in profile_launches(res.kernels).values():
+            assert p.ipc >= 0.0
+            assert 0.0 <= p.l1_read_hit_rate <= 1.0
+
+    def test_render(self):
+        res = ecl_cc_gpu(load("internet", "tiny"))
+        text = render_profile(res.kernels)
+        assert "kernel" in text and "compute1" in text and "IPC" in text
+
+    def test_empty_profile(self):
+        assert profile_launches([]) == {}
+
+
+class TestWorkchar:
+    def test_runs_and_reports(self):
+        rep = run_experiment(
+            "workchar", scale="tiny", names=["internet", "kron_g500-logn21"]
+        )
+        assert len(rep.rows) == 2
+        for row in rep.rows:
+            # hooks/edge and CAS/vertex stay below 1: the short-circuit claim.
+            assert row[4] <= 1.0
+            assert row[6] <= 1.0
+
+
+class TestStructuralVerifier:
+    def test_accepts_reference(self, triangle_plus_edge, two_cliques):
+        for g in (triangle_plus_edge, two_cliques):
+            assert verify_labels_structural(g, reference_labels(g))
+
+    def test_rejects_merged_components(self):
+        g = from_edges([(0, 1), (3, 4)], num_vertices=5)
+        bad = np.array([0, 0, 2, 0, 0])  # {3,4} stole label 0
+        assert not verify_labels_structural(g, bad)
+
+    def test_rejects_split_component(self, path_graph):
+        bad = reference_labels(path_graph).copy()
+        bad[5:] = 5
+        assert not verify_labels_structural(path_graph, bad)
+
+    def test_rejects_non_canonical(self, two_cliques):
+        bad = reference_labels(two_cliques) + 1
+        assert not verify_labels_structural(two_cliques, bad)
+
+    def test_rejects_out_of_range(self, path_graph):
+        bad = np.full(path_graph.num_vertices, 99)
+        assert not verify_labels_structural(path_graph, bad)
+        assert not verify_labels_structural(path_graph, np.zeros(3, dtype=int))
+
+    def test_empty_graph(self):
+        assert verify_labels_structural(empty_graph(0), np.empty(0, dtype=np.int64))
+
+    @given(
+        st.integers(min_value=1, max_value=25).flatmap(
+            lambda n: st.tuples(
+                st.just(n),
+                st.lists(
+                    st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+                    max_size=50,
+                ),
+            )
+        )
+    )
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_agrees_with_oracle_on_correct_labels(self, args):
+        n, pairs = args
+        g = from_edges(pairs, num_vertices=n)
+        assert verify_labels_structural(g, reference_labels(g))
+
+    @given(
+        st.integers(min_value=2, max_value=20).flatmap(
+            lambda n: st.tuples(
+                st.just(n),
+                st.lists(
+                    st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+                    max_size=40,
+                ),
+                st.integers(0, n - 1),
+                st.integers(0, n - 1),
+            )
+        )
+    )
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_rejects_any_single_label_corruption(self, args):
+        n, pairs, victim, new_label = args
+        g = from_edges(pairs, num_vertices=n)
+        labels = reference_labels(g)
+        if labels[victim] == new_label:
+            return  # not a corruption
+        corrupted = labels.copy()
+        corrupted[victim] = new_label
+        assert not verify_labels_structural(g, corrupted)

@@ -1,0 +1,207 @@
+"""Unit tests for the union-find substrate."""
+
+import numpy as np
+import pytest
+
+from repro.unionfind import (
+    DisjointSet,
+    PathLengthRecorder,
+    compare_and_swap,
+    find_halving,
+    find_multiple,
+    find_none,
+    find_single,
+    hook,
+    hook_atomic_min,
+)
+from repro.unionfind.instrumented import PathStats
+
+
+def make_chain(n):
+    """parent array forming the chain n-1 -> n-2 -> ... -> 0."""
+    parent = np.arange(n, dtype=np.int64)
+    parent[1:] = np.arange(n - 1, dtype=np.int64)
+    return parent
+
+
+class TestFindVariants:
+    @pytest.mark.parametrize("find", [find_none, find_single, find_multiple, find_halving])
+    def test_root_of_chain(self, find):
+        parent = make_chain(10)
+        assert find(parent, 9) == 0
+
+    @pytest.mark.parametrize("find", [find_none, find_single, find_multiple, find_halving])
+    def test_root_is_fixed_point(self, find):
+        parent = make_chain(5)
+        assert find(parent, 0) == 0
+        assert parent[0] == 0
+
+    def test_none_does_not_write(self):
+        parent = make_chain(8)
+        before = parent.copy()
+        find_none(parent, 7)
+        assert np.array_equal(parent, before)
+
+    def test_single_writes_only_start(self):
+        parent = make_chain(8)
+        find_single(parent, 7)
+        assert parent[7] == 0
+        assert parent[6] == 5  # middle untouched
+
+    def test_multiple_flattens_whole_path(self):
+        parent = make_chain(8)
+        find_multiple(parent, 7)
+        assert all(parent[i] == 0 for i in range(8))
+
+    def test_halving_halves_path(self):
+        parent = make_chain(8)
+        find_halving(parent, 7)
+        # Path halving: each visited element skips its successor.
+        assert parent[7] == 5
+        assert parent[6] == 4
+        # A second and third traversal keep shrinking it.
+        find_halving(parent, 7)
+        find_halving(parent, 7)
+        assert find_none(parent, 7) == 0
+
+    def test_halving_matches_fig5_return(self):
+        parent = make_chain(20)
+        assert find_halving(parent, 19) == 0
+
+
+class TestDisjointSet:
+    def test_initial_singletons(self):
+        ds = DisjointSet(5)
+        assert ds.num_sets() == 5
+        assert len(ds) == 5
+
+    def test_union_reduces_sets(self):
+        ds = DisjointSet(4)
+        assert ds.union(0, 1)
+        assert ds.union(2, 3)
+        assert ds.num_sets() == 2
+        assert not ds.union(1, 0)  # already merged
+
+    def test_min_id_is_representative(self):
+        ds = DisjointSet(10)
+        ds.union(7, 3)
+        ds.union(3, 9)
+        assert ds.find(9) == 3
+        ds.union(9, 1)
+        assert ds.find(7) == 1
+
+    def test_same_set(self):
+        ds = DisjointSet(4)
+        ds.union(0, 2)
+        assert ds.same_set(0, 2)
+        assert not ds.same_set(0, 1)
+
+    def test_flatten(self):
+        ds = DisjointSet(6)
+        ds.union(0, 1)
+        ds.union(1, 2)
+        ds.union(4, 5)
+        labels = ds.flatten()
+        assert labels.tolist() == [0, 0, 0, 3, 4, 4]
+
+    def test_all_compressions_agree(self):
+        edges = [(0, 3), (3, 5), (1, 2), (2, 6), (5, 6)]
+        results = []
+        for comp in ("none", "single", "full", "halving"):
+            ds = DisjointSet(8, compression=comp)
+            for u, v in edges:
+                ds.union(u, v)
+            results.append(ds.flatten().tolist())
+        assert all(r == results[0] for r in results)
+
+    def test_invalid_compression(self):
+        with pytest.raises(ValueError):
+            DisjointSet(3, compression="warp")
+
+    def test_negative_size(self):
+        with pytest.raises(ValueError):
+            DisjointSet(-1)
+
+
+class TestConcurrentPrimitives:
+    def test_cas_success(self):
+        parent = np.array([0, 0, 2], dtype=np.int64)
+        assert compare_and_swap(parent, 2, 2, 0) == 2
+        assert parent[2] == 0
+
+    def test_cas_failure_leaves_value(self):
+        parent = np.array([0, 0, 1], dtype=np.int64)
+        assert compare_and_swap(parent, 2, 2, 0) == 1
+        assert parent[2] == 1
+
+    def test_hook_merges_to_smaller(self):
+        parent = np.arange(5, dtype=np.int64)
+        rep = hook(1, 4, parent)
+        assert rep == 1
+        assert parent[4] == 1
+
+    def test_hook_equal_reps_noop(self):
+        parent = np.arange(3, dtype=np.int64)
+        assert hook(2, 2, parent) == 2
+        assert parent[2] == 2
+
+    def test_hook_retries_after_lost_race(self):
+        parent = np.arange(6, dtype=np.int64)
+        calls = []
+
+        def racy_cas(arr, idx, expected, desired):
+            if not calls:
+                calls.append(1)
+                arr[idx] = 3  # another thread hooked 5 under 3 first
+                return 3
+            return compare_and_swap(arr, idx, expected, desired)
+
+        rep = hook(2, 5, parent, cas=racy_cas)
+        # After the lost race, the retry hooks 3 under 2.
+        assert rep == 2
+        assert parent[3] == 2
+
+    def test_atomic_min(self):
+        parent = np.array([5, 5], dtype=np.int64)
+        assert hook_atomic_min(parent, 0, 3) == 5
+        assert parent[0] == 3
+        assert hook_atomic_min(parent, 0, 4) == 3
+        assert parent[0] == 3
+
+
+class TestPathLengthRecorder:
+    def test_counts_hops(self):
+        parent = make_chain(5)
+        rec = PathLengthRecorder("none")
+        rec(parent, 4)
+        assert rec.stats.max_length == 4
+        rec(parent, 0)
+        assert rec.stats.num_finds == 2
+        assert rec.stats.average_length == pytest.approx(2.0)
+
+    def test_histogram(self):
+        parent = make_chain(4)
+        rec = PathLengthRecorder("none")
+        for v in range(4):
+            rec(parent, v)
+        assert rec.stats.histogram == {0: 1, 1: 1, 2: 1, 3: 1}
+
+    def test_reset(self):
+        rec = PathLengthRecorder("halving")
+        rec(make_chain(3), 2)
+        rec.reset()
+        assert rec.stats.num_finds == 0
+
+    def test_merge(self):
+        a = PathStats()
+        b = PathStats()
+        a.record(3)
+        b.record(5)
+        m = a.merge(b)
+        assert m.num_finds == 2
+        assert m.max_length == 5
+        assert m.total_hops == 8
+
+    def test_invalid_variant(self):
+        with pytest.raises(ValueError):
+            PathLengthRecorder("bogus")
