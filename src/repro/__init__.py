@@ -7,12 +7,21 @@ Public API highlights:
 * :mod:`repro.graph` — CSR graphs, builders, file I/O, statistics.
 * :mod:`repro.generators` — synthetic graphs and the 18-input suite.
 * :mod:`repro.gpusim` — the simulated GPU the CUDA kernels run on.
+* :mod:`repro.observe` — structured tracing/metrics across all layers.
 * :mod:`repro.experiments` — regenerate every table/figure of the paper.
 """
 
-from .core.api import connected_components, count_components
+from .core.api import connected_components, count_components, register_backend
+from .core.result import CCResult
 from .graph.csr import CSRGraph
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["connected_components", "count_components", "CSRGraph", "__version__"]
+__all__ = [
+    "connected_components",
+    "count_components",
+    "register_backend",
+    "CCResult",
+    "CSRGraph",
+    "__version__",
+]

@@ -18,6 +18,7 @@ import numpy as np
 from ...cpusim.pool import VirtualThreadPool
 from ...cpusim.spec import CpuSpec, E5_2687W
 from ...graph.csr import CSRGraph
+from ...observe import current_tracer
 from ...unionfind.concurrent import compare_and_swap
 from ...unionfind.variants import FIND_VARIANTS
 from ..cpu.common import CpuRunResult
@@ -84,9 +85,15 @@ def ecl_cc_omp(
             if old != vstat:
                 parent[v] = vstat
 
-    pool.parallel_for(n, init_body, schedule="guided", name="init")
-    pool.parallel_for(n, compute_body, schedule="guided", name="compute")
-    pool.parallel_for(n, finalize_body, schedule="guided", name="finalize")
+    tracer = current_tracer()
+    with tracer.span(
+        "omp:run", category="baselines.omp", num_threads=spec.num_threads
+    ) as sp:
+        pool.parallel_for(n, init_body, schedule="guided", name="init")
+        pool.parallel_for(n, compute_body, schedule="guided", name="compute")
+        pool.parallel_for(n, finalize_body, schedule="guided", name="finalize")
+        if tracer.enabled:
+            sp.update(modeled_ms=pool.modeled_time_ms)
 
     return CpuRunResult(
         name="ECL-CC_OMP",

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..graph.csr import CSRGraph
+from ..observe import current_tracer
 
 __all__ = ["FastSVStats", "fastsv_cc"]
 
@@ -42,20 +43,24 @@ def fastsv_cc(graph: CSRGraph) -> tuple[np.ndarray, FastSVStats]:
         return f, stats
     u, v = graph.edge_array()
 
-    while True:
-        stats.iterations += 1
-        f_before = f.copy()
-        gf = f[f]
-        # Stochastic hooking: f[f[u]] <- min(gf[v]) over incident edges.
-        np.minimum.at(f, f_before[u], gf[v])
-        np.minimum.at(f, f_before[v], gf[u])
-        # Aggressive hooking: f[u] <- min(gf[v]).
-        np.minimum.at(f, u, gf[v])
-        np.minimum.at(f, v, gf[u])
-        # Shortcutting: one pointer-jump step.
-        np.minimum(f, f[f], out=f)
-        if np.array_equal(f, f_before):
-            break
+    tracer = current_tracer()
+    with tracer.span("fastsv:converge", category="baselines.fastsv") as sp:
+        while True:
+            stats.iterations += 1
+            tracer.count("fastsv.iterations")
+            f_before = f.copy()
+            gf = f[f]
+            # Stochastic hooking: f[f[u]] <- min(gf[v]) over incident edges.
+            np.minimum.at(f, f_before[u], gf[v])
+            np.minimum.at(f, f_before[v], gf[u])
+            # Aggressive hooking: f[u] <- min(gf[v]).
+            np.minimum.at(f, u, gf[v])
+            np.minimum.at(f, v, gf[u])
+            # Shortcutting: one pointer-jump step.
+            np.minimum(f, f[f], out=f)
+            if np.array_equal(f, f_before):
+                break
+        sp.update(iterations=stats.iterations)
 
     # f is a fixed point: every vertex points at its component minimum.
     return f, stats

@@ -1,6 +1,14 @@
 """ECL-CC core: the paper's primary contribution and its variants."""
 
-from .api import connected_components, count_components
+from .api import (
+    BACKENDS,
+    BackendSpec,
+    OptionSpec,
+    connected_components,
+    count_components,
+    register_backend,
+    unregister_backend,
+)
 from .ecl_cc_numpy import NumpyRunStats, ecl_cc_numpy
 from .ecl_cc_serial import SerialRunStats, ecl_cc_serial
 from .labels import (
@@ -19,9 +27,17 @@ from .verify import (
     verify_labels_structural,
 )
 
+from .result import CCResult
+
 __all__ = [
     "connected_components",
     "count_components",
+    "BACKENDS",
+    "BackendSpec",
+    "OptionSpec",
+    "CCResult",
+    "register_backend",
+    "unregister_backend",
     "NumpyRunStats",
     "ecl_cc_numpy",
     "SerialRunStats",

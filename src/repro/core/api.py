@@ -1,10 +1,9 @@
-"""Public entry point: :func:`connected_components`.
+"""Public entry point: :func:`connected_components` and the backend registry.
 
-Chooses a backend and returns the canonical label array where
-``labels[v]`` is the minimum vertex ID of ``v``'s component.
+Backends are looked up in :data:`BACKENDS`, a registry mapping a name to
+a :class:`BackendSpec` (runner + option schema).  The six built-in
+entries:
 
-Backends
---------
 ``"serial"``
     ECL-CC_SER — pure-Python transcription of the paper's serial code.
 ``"numpy"``
@@ -20,19 +19,150 @@ Backends
     FastSV (Zhang et al. 2020) — the post-paper vectorized alternative.
 ``"afforest"``
     Afforest (Sutton et al. 2018) on the simulated GPU.
+
+Third-party backends join the same dispatch with
+:func:`register_backend`; their options are validated against the
+declared schema exactly like the built-ins' (an unknown keyword raises
+:class:`~repro.errors.UnknownOptionError` listing the valid keys instead
+of surfacing as a deep ``TypeError``).
+
+Every backend returns a :class:`~repro.core.result.CCResult` under
+``full_result=True``; when a :class:`~repro.observe.Tracer` is active the
+result also carries the spans recorded during the run.
 """
 
 from __future__ import annotations
 
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
 import numpy as np
 
+from ..errors import UnknownBackendError, UnknownOptionError
 from ..graph.csr import CSRGraph
-from .ecl_cc_numpy import ecl_cc_numpy
-from .ecl_cc_serial import ecl_cc_serial
+from ..observe import current_tracer
+from .result import CCResult
 
-__all__ = ["connected_components", "count_components"]
+__all__ = [
+    "connected_components",
+    "count_components",
+    "BACKENDS",
+    "BackendSpec",
+    "OptionSpec",
+    "register_backend",
+    "unregister_backend",
+]
 
-_BACKENDS = ("serial", "numpy", "gpu", "omp", "fastsv", "afforest")
+_INIT_CHOICES = ("Init1", "Init2", "Init3")
+_FINI_CHOICES = ("Fini1", "Fini2", "Fini3")
+_JUMP_CPU_CHOICES = ("none", "single", "full", "halving")
+_JUMP_GPU_CHOICES = (
+    "Jump1", "Jump2", "Jump3", "Jump4", "full", "single", "none", "halving",
+)
+
+
+@dataclass(frozen=True)
+class OptionSpec:
+    """Schema entry for one backend option."""
+
+    doc: str = ""
+    choices: tuple | None = None  # valid string values, None = unconstrained
+
+
+@dataclass(frozen=True)
+class BackendSpec:
+    """Registry entry: a runner plus the options it accepts."""
+
+    name: str
+    run: Callable[..., CCResult]  # (graph, **options) -> CCResult
+    options: Mapping[str, OptionSpec] = field(default_factory=dict)
+    description: str = ""
+
+    def validate_options(self, options: Mapping[str, object]) -> None:
+        """Reject unknown keys (and out-of-range declared string values)."""
+        unknown = [k for k in options if k not in self.options]
+        if unknown:
+            valid = ", ".join(sorted(self.options)) or "(none)"
+            raise UnknownOptionError(
+                f"unknown option{'s' if len(unknown) > 1 else ''} "
+                f"{', '.join(repr(k) for k in sorted(unknown))} for backend "
+                f"{self.name!r}; valid options: {valid}"
+            )
+        for key, value in options.items():
+            spec = self.options[key]
+            if (
+                spec.choices is not None
+                and isinstance(value, str)
+                and value not in spec.choices
+            ):
+                raise ValueError(
+                    f"invalid value {value!r} for option {key!r} of backend "
+                    f"{self.name!r}; choose from {spec.choices}"
+                )
+
+
+BACKENDS: dict[str, BackendSpec] = {}
+
+
+def register_backend(
+    name: str,
+    runner: Callable[..., object],
+    *,
+    options: Mapping[str, OptionSpec | str] | None = None,
+    description: str = "",
+    overwrite: bool = False,
+) -> BackendSpec:
+    """Add a backend to the registry (the extension point for new codes).
+
+    ``runner(graph, **options)`` may return a :class:`CCResult`, a
+    ``(labels, stats)`` tuple, or a bare label array — all are normalized
+    to :class:`CCResult`.  ``options`` maps each accepted keyword to an
+    :class:`OptionSpec` (or a doc string shorthand); keywords outside the
+    schema are rejected at dispatch with
+    :class:`~repro.errors.UnknownOptionError`.
+    """
+    if name in BACKENDS and not overwrite:
+        raise ValueError(
+            f"backend {name!r} is already registered; pass overwrite=True to replace"
+        )
+    schema = {
+        key: spec if isinstance(spec, OptionSpec) else OptionSpec(doc=str(spec))
+        for key, spec in (options or {}).items()
+    }
+    entry = BackendSpec(
+        name=name, run=runner, options=schema, description=description
+    )
+    BACKENDS[name] = entry
+    return entry
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a backend from the registry (missing names are ignored)."""
+    BACKENDS.pop(name, None)
+
+
+def _normalize(raw, backend: str, wall_ms: float) -> CCResult:
+    """Coerce a runner's return value into a :class:`CCResult`."""
+    if isinstance(raw, CCResult):
+        if not raw.backend:
+            raw.backend = backend
+        raw.timings.setdefault("wall_ms", wall_ms)
+        raw.timings.setdefault("total_ms", wall_ms)
+        return raw
+    if isinstance(raw, tuple):
+        labels, stats = raw
+        return CCResult(
+            labels=np.asarray(labels),
+            backend=backend,
+            stats=stats,
+            timings={"total_ms": wall_ms, "wall_ms": wall_ms},
+        )
+    return CCResult(
+        labels=np.asarray(raw),
+        backend=backend,
+        timings={"total_ms": wall_ms, "wall_ms": wall_ms},
+    )
 
 
 def connected_components(
@@ -49,52 +179,208 @@ def connected_components(
     graph:
         The input graph (use :mod:`repro.graph` builders to construct).
     backend:
-        One of ``"serial"``, ``"numpy"``, ``"gpu"``, ``"omp"``.
+        A name registered in :data:`BACKENDS` (built-ins: ``"serial"``,
+        ``"numpy"``, ``"gpu"``, ``"omp"``, ``"fastsv"``, ``"afforest"``).
     full_result:
-        When true, return the backend's full result object (stats,
-        kernel timings, ...) instead of just the label array.
+        When true, return the full :class:`CCResult` (stats, timings,
+        trace, ...) instead of just the label array.
     options:
         Backend-specific keyword arguments (``init=``, ``jump=``,
-        ``fini=``, ``device=``, ``seed=``, ``num_threads=``, ...).
+        ``fini=``, ``device=``, ``seed=``, ...), validated against the
+        backend's option schema.
 
     Returns
     -------
-    numpy.ndarray
+    numpy.ndarray | CCResult
         ``labels`` with ``labels[v]`` = min vertex ID of v's component
-        (or the backend's result object when ``full_result`` is set).
+        (or the :class:`CCResult` when ``full_result`` is set).
     """
-    if backend == "serial":
-        labels, stats = ecl_cc_serial(graph, **options)
-        return (labels, stats) if full_result else labels
-    if backend == "numpy":
-        labels, stats = ecl_cc_numpy(graph, **options)
-        return (labels, stats) if full_result else labels
-    if backend == "gpu":
-        from .ecl_cc_gpu import ecl_cc_gpu  # deferred: pulls in gpusim
+    spec = BACKENDS.get(backend)
+    if spec is None:
+        raise UnknownBackendError(
+            f"unknown backend {backend!r}; choose from {tuple(BACKENDS)}"
+        )
+    spec.validate_options(options)
 
-        result = ecl_cc_gpu(graph, **options)
-        return result if full_result else result.labels
-    if backend == "omp":
-        from ..baselines.cpu.ecl_cc_omp import ecl_cc_omp  # deferred
-
-        result = ecl_cc_omp(graph, **options)
-        return result if full_result else result.labels
-    if backend == "fastsv":
-        from ..baselines.fastsv import fastsv_cc  # deferred
-
-        labels, stats = fastsv_cc(graph, **options)
-        return (labels, stats) if full_result else labels
-    if backend == "afforest":
-        from ..extensions.afforest import afforest_cc  # deferred
-
-        result = afforest_cc(graph, **options)
-        return result if full_result else result.labels
-    raise ValueError(f"unknown backend {backend!r}; choose from {_BACKENDS}")
+    tracer = current_tracer()
+    mark = len(tracer.spans)
+    t0 = time.perf_counter()
+    with tracer.span(
+        f"cc:{backend}",
+        category="api",
+        backend=backend,
+        graph=getattr(graph, "name", None) or "?",
+        num_vertices=graph.num_vertices,
+        num_edges=graph.num_edges,
+    ):
+        raw = spec.run(graph, **options)
+    wall_ms = (time.perf_counter() - t0) * 1e3
+    result = _normalize(raw, backend, wall_ms)
+    result.timings.setdefault("wall_ms", wall_ms)
+    if tracer.enabled:
+        result.trace = tracer.spans[mark:]
+    return result if full_result else result.labels
 
 
 def count_components(graph: CSRGraph, *, backend: str = "numpy", **options) -> int:
-    """Number of connected components of ``graph``."""
-    labels = connected_components(graph, backend=backend, **options)
-    if isinstance(labels, tuple):  # pragma: no cover - defensive
-        labels = labels[0]
-    return int(np.unique(labels).size) if graph.num_vertices else 0
+    """Number of connected components of ``graph``.
+
+    Isolated vertices each count as their own component; the empty graph
+    has zero components (no ``np.unique`` call on a zero-length array).
+    """
+    if graph.num_vertices == 0:
+        return 0
+    result = connected_components(
+        graph, backend=backend, full_result=True, **options
+    )
+    return int(np.unique(result.labels).size)
+
+
+# ----------------------------------------------------------------------
+# Built-in backends
+# ----------------------------------------------------------------------
+def _run_serial(graph: CSRGraph, **options) -> CCResult:
+    from .ecl_cc_serial import ecl_cc_serial
+
+    t0 = time.perf_counter()
+    labels, stats = ecl_cc_serial(graph, **options)
+    wall_ms = (time.perf_counter() - t0) * 1e3
+    return CCResult(
+        labels=labels,
+        backend="serial",
+        stats=stats,
+        timings={"total_ms": wall_ms, "wall_ms": wall_ms},
+    )
+
+
+def _run_numpy(graph: CSRGraph, **options) -> CCResult:
+    from .ecl_cc_numpy import ecl_cc_numpy
+
+    t0 = time.perf_counter()
+    labels, stats = ecl_cc_numpy(graph, **options)
+    wall_ms = (time.perf_counter() - t0) * 1e3
+    return CCResult(
+        labels=labels,
+        backend="numpy",
+        stats=stats,
+        timings={"total_ms": wall_ms, "wall_ms": wall_ms},
+    )
+
+
+def _run_gpu(graph: CSRGraph, **options) -> CCResult:
+    from .ecl_cc_gpu import ecl_cc_gpu  # deferred: pulls in gpusim
+
+    t0 = time.perf_counter()
+    res = ecl_cc_gpu(graph, **options)
+    wall_ms = (time.perf_counter() - t0) * 1e3
+    timings = {"total_ms": res.total_time_ms, "wall_ms": wall_ms}
+    for k in res.kernels:
+        key = f"kernel:{k.name}"
+        timings[key] = timings.get(key, 0.0) + k.time_ms
+    return CCResult(labels=res.labels, backend="gpu", stats=res, timings=timings)
+
+
+def _run_omp(graph: CSRGraph, **options) -> CCResult:
+    from ..baselines.cpu.ecl_cc_omp import ecl_cc_omp  # deferred
+
+    t0 = time.perf_counter()
+    res = ecl_cc_omp(graph, **options)
+    wall_ms = (time.perf_counter() - t0) * 1e3
+    timings = {"total_ms": res.modeled_time_ms, "wall_ms": wall_ms}
+    for region in res.regions:
+        key = f"region:{region.name}"
+        timings[key] = timings.get(key, 0.0) + region.modeled_s * 1e3
+    return CCResult(labels=res.labels, backend="omp", stats=res, timings=timings)
+
+
+def _run_fastsv(graph: CSRGraph, **options) -> CCResult:
+    from ..baselines.fastsv import fastsv_cc  # deferred
+
+    t0 = time.perf_counter()
+    labels, stats = fastsv_cc(graph, **options)
+    wall_ms = (time.perf_counter() - t0) * 1e3
+    return CCResult(
+        labels=labels,
+        backend="fastsv",
+        stats=stats,
+        timings={"total_ms": wall_ms, "wall_ms": wall_ms},
+    )
+
+
+def _run_afforest(graph: CSRGraph, **options) -> CCResult:
+    from ..extensions.afforest import afforest_cc  # deferred
+
+    t0 = time.perf_counter()
+    res = afforest_cc(graph, **options)
+    wall_ms = (time.perf_counter() - t0) * 1e3
+    timings = {"total_ms": res.total_time_ms, "wall_ms": wall_ms}
+    for k in res.kernels:
+        key = f"kernel:{k.name}"
+        timings[key] = timings.get(key, 0.0) + k.time_ms
+    return CCResult(
+        labels=res.labels, backend="afforest", stats=res, timings=timings
+    )
+
+
+register_backend(
+    "serial",
+    _run_serial,
+    description="ECL-CC_SER, the paper's serial CPU code",
+    options={
+        "init": OptionSpec("initialization variant", _INIT_CHOICES),
+        "jump": OptionSpec("pointer-jumping variant", _JUMP_CPU_CHOICES),
+        "fini": OptionSpec("finalization variant", _FINI_CHOICES),
+        "collect_stats": OptionSpec("record find/hook counts and path lengths"),
+    },
+)
+register_backend(
+    "numpy",
+    _run_numpy,
+    description="vectorized bulk-synchronous ECL-CC (fastest natively)",
+    options={"init": OptionSpec("initialization variant", _INIT_CHOICES)},
+)
+register_backend(
+    "gpu",
+    _run_gpu,
+    description="five-kernel ECL-CC on the simulated GPU",
+    options={
+        "device": OptionSpec("gpusim DeviceSpec (default TITAN_X)"),
+        "init": OptionSpec("initialization variant", _INIT_CHOICES),
+        "jump": OptionSpec("pointer-jumping variant", _JUMP_GPU_CHOICES),
+        "fini": OptionSpec("finalization variant", _FINI_CHOICES),
+        "thresholds": OptionSpec("(mid, high) worklist degree thresholds"),
+        "seed": OptionSpec("warp-scheduler seed (None = round-robin)"),
+        "collect_paths": OptionSpec("record Table 4 path-length stats"),
+        "warp_broadcast": OptionSpec("lane-0-broadcast warp-kernel ablation"),
+        "max_warps_kernel2": OptionSpec("warp cap for the medium-degree kernel"),
+        "max_blocks_kernel3": OptionSpec("block cap for the high-degree kernel"),
+    },
+)
+register_backend(
+    "omp",
+    _run_omp,
+    description="ECL-CC_OMP on the virtual-thread CPU executor",
+    options={
+        "spec": OptionSpec("cpusim CpuSpec (default E5_2687W)"),
+        "init": OptionSpec("initialization variant", _INIT_CHOICES),
+        "jump": OptionSpec("pointer-jumping variant", _JUMP_CPU_CHOICES),
+        "cas": OptionSpec("injectable compare-and-swap callable"),
+    },
+)
+register_backend(
+    "fastsv",
+    _run_fastsv,
+    description="FastSV (Zhang et al. 2020), vectorized",
+    options={},
+)
+register_backend(
+    "afforest",
+    _run_afforest,
+    description="Afforest (Sutton et al. 2018) on the simulated GPU",
+    options={
+        "device": OptionSpec("gpusim DeviceSpec (default TITAN_X)"),
+        "seed": OptionSpec("scheduler and sampling seed"),
+        "neighbor_rounds": OptionSpec("sampled neighbors per vertex (phase 1)"),
+        "num_samples": OptionSpec("label samples for giant-component detection"),
+    },
+)

@@ -29,6 +29,7 @@ import numpy as np
 
 from ..errors import SimulationError
 from ..graph.csr import CSRGraph
+from ..observe import current_tracer
 from ..gpusim.device import DeviceSpec, TITAN_X
 from ..gpusim.kernel import GPU, LaunchStats
 from ..gpusim.memory import DeviceArray
@@ -430,23 +431,28 @@ def ecl_cc_gpu(
     d_parent = gpu.memory.alloc(max(n, 1), name="parent")
     wl = DoubleSidedWorklist(gpu.memory, n)
 
+    tracer = current_tracer()
     gpu.launch(k_init, n, d_row, d_col, d_parent, n, init, name="init")
     gpu.launch(
         k_compute1, n, d_row, d_col, d_parent, n, wl, find,
         thresh_mid, thresh_high, recorder, name="compute1",
     )
     front, back = wl.front_count, wl.back_count
+    if tracer.enabled:
+        tracer.gauge("worklist.front", front)
+        tracer.gauge("worklist.back", back)
+        tracer.gauge("worklist.occupancy", wl.occupancy())
     ws = device.warp_size
     threads2 = min(max(front, 1), max_warps_kernel2) * ws if front else 0
     kernel2 = k_compute2_bcast if warp_broadcast else k_compute2
     gpu.launch(
         kernel2, threads2, d_row, d_col, d_parent, wl, find, ws, recorder,
-        name="compute2",
+        name="compute2", span_attrs={"worklist_front": front},
     )
     threads3 = min(max(back, 1), max_blocks_kernel3) * device.block_threads if back else 0
     gpu.launch(
         k_compute3, threads3, d_row, d_col, d_parent, wl, find, recorder,
-        name="compute3",
+        name="compute3", span_attrs={"worklist_back": back},
     )
     gpu.launch(k_finalize, n, d_parent, n, fini, name="finalize")
     # Fini1's compression writes can race with other threads' final writes

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..graph.csr import CSRGraph
+from ..observe import current_tracer
 from .variants import init_vectorized
 
 __all__ = ["NumpyRunStats", "ecl_cc_numpy"]
@@ -56,22 +57,29 @@ def ecl_cc_numpy(
     every other backend in this library.
     """
     stats = NumpyRunStats()
-    parent = init_vectorized(graph, init)
+    tracer = current_tracer()
+    with tracer.span("numpy:init", category="core.numpy", variant=init):
+        parent = init_vectorized(graph, init)
     if graph.num_vertices == 0:
         return parent, stats
-    u, v = graph.edge_array()  # each undirected edge exactly once
-    parent = _flatten(parent, stats)
-    while True:
-        ru = parent[u]
-        rv = parent[v]
-        unmerged = ru != rv
-        if not unmerged.any():
-            break
-        stats.hook_rounds += 1
-        hi = np.maximum(ru[unmerged], rv[unmerged])
-        lo = np.minimum(ru[unmerged], rv[unmerged])
-        # Hook larger representatives under the smallest contender; both
-        # arrays index representatives because parent was just flattened.
-        np.minimum.at(parent, hi, lo)
+    with tracer.span("numpy:hook-rounds", category="core.numpy") as sp:
+        u, v = graph.edge_array()  # each undirected edge exactly once
         parent = _flatten(parent, stats)
+        while True:
+            ru = parent[u]
+            rv = parent[v]
+            unmerged = ru != rv
+            if not unmerged.any():
+                break
+            stats.hook_rounds += 1
+            hi = np.maximum(ru[unmerged], rv[unmerged])
+            lo = np.minimum(ru[unmerged], rv[unmerged])
+            # Hook larger representatives under the smallest contender; both
+            # arrays index representatives because parent was just flattened.
+            np.minimum.at(parent, hi, lo)
+            parent = _flatten(parent, stats)
+        sp.update(
+            hook_rounds=stats.hook_rounds,
+            doubling_passes=stats.doubling_passes,
+        )
     return parent, stats

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..graph.csr import CSRGraph
+from ..observe import current_tracer
 from ..unionfind.instrumented import PathLengthRecorder, PathStats
 from ..unionfind.variants import FIND_VARIANTS
 from .variants import INIT_VARIANTS, finalize
@@ -61,7 +62,9 @@ def ecl_cc_serial(
     # scalar definitions in repro.core.variants).
     from .variants import init_vectorized
 
-    parent = init_vectorized(graph, init)
+    tracer = current_tracer()
+    with tracer.span("serial:init", category="core.serial", variant=init):
+        parent = init_vectorized(graph, init)
 
     # Phase 2: computation.  Each undirected edge is visited exactly once
     # (only the v > u direction is processed).  Like the C code, this
@@ -71,42 +74,47 @@ def ecl_cc_serial(
     row_ptr = graph.row_ptr.tolist()
     col_idx = graph.col_idx.tolist()
     if collect_stats:
-        for v in range(n):
-            v_rep = find(parent, v)
-            stats.finds += 1
-            for e in range(row_ptr[v], row_ptr[v + 1]):
-                u = col_idx[e]
-                if v > u:
-                    u_rep = find(parent, u)
-                    stats.finds += 1
-                    if v_rep < u_rep:
-                        parent[u_rep] = v_rep
-                        stats.hooks += 1
-                    elif v_rep > u_rep:
-                        parent[v_rep] = u_rep
-                        v_rep = u_rep
-                        stats.hooks += 1
-        finalize(parent, fini)
+        with tracer.span("serial:compute", category="core.serial", variant=jump) as sp:
+            for v in range(n):
+                v_rep = find(parent, v)
+                stats.finds += 1
+                for e in range(row_ptr[v], row_ptr[v + 1]):
+                    u = col_idx[e]
+                    if v > u:
+                        u_rep = find(parent, u)
+                        stats.finds += 1
+                        if v_rep < u_rep:
+                            parent[u_rep] = v_rep
+                            stats.hooks += 1
+                        elif v_rep > u_rep:
+                            parent[v_rep] = u_rep
+                            v_rep = u_rep
+                            stats.hooks += 1
+            sp.update(finds=stats.finds, hooks=stats.hooks)
+        with tracer.span("serial:finalize", category="core.serial", variant=fini):
+            finalize(parent, fini)
         stats.path_stats = recorder.stats
         return parent, stats
 
     # Uninstrumented fast path: the parent array as a plain list with the
     # find/hook logic inlined (Fig. 5 + the serial hooking of §3).
-    par_list = parent.tolist()
-    for v in range(n):
-        # find(v) with intermediate pointer jumping (or the variant).
-        v_rep = _find_list(par_list, v, jump)
-        for e in range(row_ptr[v], row_ptr[v + 1]):
-            u = col_idx[e]
-            if v > u:
-                u_rep = _find_list(par_list, u, jump)
-                if v_rep < u_rep:
-                    par_list[u_rep] = v_rep
-                elif v_rep > u_rep:
-                    par_list[v_rep] = u_rep
-                    v_rep = u_rep
-    parent = np.asarray(par_list, dtype=np.int64)
-    finalize(parent, fini)
+    with tracer.span("serial:compute", category="core.serial", variant=jump):
+        par_list = parent.tolist()
+        for v in range(n):
+            # find(v) with intermediate pointer jumping (or the variant).
+            v_rep = _find_list(par_list, v, jump)
+            for e in range(row_ptr[v], row_ptr[v + 1]):
+                u = col_idx[e]
+                if v > u:
+                    u_rep = _find_list(par_list, u, jump)
+                    if v_rep < u_rep:
+                        par_list[u_rep] = v_rep
+                    elif v_rep > u_rep:
+                        par_list[v_rep] = u_rep
+                        v_rep = u_rep
+        parent = np.asarray(par_list, dtype=np.int64)
+    with tracer.span("serial:finalize", category="core.serial", variant=fini):
+        finalize(parent, fini)
     return parent, stats
 
 

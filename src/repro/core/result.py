@@ -1,0 +1,71 @@
+"""The uniform result object returned by every backend.
+
+Historically each backend had its own ``full_result=True`` shape —
+``(labels, SerialRunStats)`` tuples here, ``GpuRunResult`` objects there.
+:class:`CCResult` replaces all of them: ``labels``, the backend's native
+``stats`` object, a flat ``timings`` dict (milliseconds), the spans
+recorded during the run (when a :class:`~repro.observe.Tracer` was
+active), and the backend name.
+
+Compatibility: ``labels, stats = result`` tuple unpacking still works for
+one deprecation cycle (``__iter__`` emits :class:`DeprecationWarning`),
+and attribute access falls through to the native ``stats`` object, so
+``result.total_time_ms`` / ``result.modeled_time_s`` keep working for
+code written against ``GpuRunResult`` / ``CpuRunResult``.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+import numpy as np
+
+__all__ = ["CCResult"]
+
+
+@dataclass
+class CCResult:
+    """Labels plus everything measured about one connected-components run."""
+
+    labels: np.ndarray
+    backend: str = ""
+    stats: Any = None
+    timings: dict[str, float] = field(default_factory=dict)
+    trace: list | None = None  # Spans recorded while the run was traced
+
+    # -- uniform accessors ----------------------------------------------
+    @property
+    def total_time_ms(self) -> float:
+        """The backend's primary time: modeled where a cost model exists
+        (gpu/omp/afforest), wall-clock otherwise."""
+        return float(self.timings.get("total_ms", 0.0))
+
+    @property
+    def num_components(self) -> int:
+        return int(np.unique(self.labels).size) if self.labels.size else 0
+
+    # -- deprecation shims ----------------------------------------------
+    def __iter__(self) -> Iterator:
+        warnings.warn(
+            "tuple unpacking of connected_components(..., full_result=True) "
+            "is deprecated; use result.labels / result.stats instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return iter((self.labels, self.stats))
+
+    def __getattr__(self, name: str):
+        # Fall through to the backend-native stats object so pre-CCResult
+        # attribute access (modeled_time_s, kernels, iterations, ...)
+        # keeps working.  Only called when normal lookup fails.
+        if name.startswith("_"):
+            raise AttributeError(name)
+        stats = self.__dict__.get("stats")
+        if stats is not None and hasattr(stats, name):
+            return getattr(stats, name)
+        raise AttributeError(
+            f"{type(self).__name__} has no attribute {name!r} "
+            f"(and neither does its {type(stats).__name__} stats object)"
+        )

@@ -25,6 +25,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable
 
+from ..observe import current_tracer
 from .spec import CpuSpec, E5_2687W
 
 __all__ = ["RegionStats", "VirtualThreadPool"]
@@ -99,28 +100,51 @@ class VirtualThreadPool:
         inner loops (or vectorize a chunk); per-chunk wall time is
         attributed to the least-loaded virtual thread.
         """
-        loads = [(0.0, t) for t in range(self.spec.num_threads)]
-        heapq.heapify(loads)
-        total = 0.0
-        chunks = self._chunks(n, schedule, chunk)
-        for start, stop in chunks:
-            t0 = time.perf_counter()
-            body(start, stop)
-            dt = time.perf_counter() - t0
-            total += dt
-            load, tid = heapq.heappop(loads)
-            heapq.heappush(loads, (load + dt, tid))
-        span = max(load for load, _ in loads) if loads else 0.0
-        stats = RegionStats(
-            name=name,
-            num_chunks=len(chunks),
-            work_s=total,
-            span_s=span,
-            modeled_s=span / self.spec.relative_core_speed
-            + self.spec.fork_join_overhead_s,
-        )
-        self.regions.append(stats)
+        tracer = current_tracer()
+        with tracer.span(
+            f"region:{name}", category="cpusim.region", schedule=schedule
+        ) as tspan:
+            loads = [(0.0, t) for t in range(self.spec.num_threads)]
+            heapq.heapify(loads)
+            total = 0.0
+            chunks = self._chunks(n, schedule, chunk)
+            for start, stop in chunks:
+                t0 = time.perf_counter()
+                body(start, stop)
+                dt = time.perf_counter() - t0
+                total += dt
+                load, tid = heapq.heappop(loads)
+                heapq.heappush(loads, (load + dt, tid))
+            span = max(load for load, _ in loads) if loads else 0.0
+            stats = RegionStats(
+                name=name,
+                num_chunks=len(chunks),
+                work_s=total,
+                span_s=span,
+                modeled_s=span / self.spec.relative_core_speed
+                + self.spec.fork_join_overhead_s,
+            )
+            self.regions.append(stats)
+            self._annotate(tracer, tspan, stats)
         return stats
+
+    def _annotate(self, tracer, tspan, stats: RegionStats) -> None:
+        """Attach the region's measurements to its span (traced runs only)."""
+        if not tracer.enabled:
+            return
+        work, span = stats.work_s, stats.span_s
+        tspan.update(
+            modeled_ms=stats.modeled_s * 1e3,
+            chunks=stats.num_chunks,
+            work_ms=work * 1e3,
+            span_ms=span * 1e3,
+            num_threads=self.spec.num_threads,
+            # 1.0 = perfectly balanced; grows as one thread dominates.
+            imbalance=(span * self.spec.num_threads / work) if work > 0 else 1.0,
+            serial=stats.serial,
+        )
+        tracer.count("cpusim.regions")
+        tracer.count("cpusim.chunks", stats.num_chunks)
 
     def parallel_bulk(self, fn: Callable[[], object], *, name: str = "bulk") -> object:
         """Run a bulk data-parallel operation (sort, dedup, scan, ...).
@@ -130,11 +154,14 @@ class VirtualThreadPool:
         sort/scan/pack primitives frameworks like Ligra implement with
         work-efficient parallel algorithms.
         """
-        t0 = time.perf_counter()
-        result = fn()
-        dt = time.perf_counter() - t0
-        self.regions.append(
-            RegionStats(
+        tracer = current_tracer()
+        with tracer.span(
+            f"region:{name}", category="cpusim.region", schedule="bulk"
+        ) as tspan:
+            t0 = time.perf_counter()
+            result = fn()
+            dt = time.perf_counter() - t0
+            stats = RegionStats(
                 name=name,
                 num_chunks=1,
                 work_s=dt,
@@ -144,16 +171,20 @@ class VirtualThreadPool:
                 / self.spec.relative_core_speed
                 + self.spec.fork_join_overhead_s,
             )
-        )
+            self.regions.append(stats)
+            self._annotate(tracer, tspan, stats)
         return result
 
     def serial(self, fn: Callable[[], object], *, name: str = "serial") -> object:
         """Run a serial section; its full wall time is charged."""
-        t0 = time.perf_counter()
-        result = fn()
-        dt = time.perf_counter() - t0
-        self.regions.append(
-            RegionStats(
+        tracer = current_tracer()
+        with tracer.span(
+            f"region:{name}", category="cpusim.region", schedule="serial"
+        ) as tspan:
+            t0 = time.perf_counter()
+            result = fn()
+            dt = time.perf_counter() - t0
+            stats = RegionStats(
                 name=name,
                 num_chunks=1,
                 work_s=dt,
@@ -161,5 +192,6 @@ class VirtualThreadPool:
                 modeled_s=dt / self.spec.relative_core_speed,
                 serial=True,
             )
-        )
+            self.regions.append(stats)
+            self._annotate(tracer, tspan, stats)
         return result

@@ -39,6 +39,19 @@ class WorklistOverflowError(SimulationError):
     """A double-sided worklist's two ends collided."""
 
 
+class UnknownBackendError(ReproError, ValueError):
+    """A backend name is not present in the backend registry."""
+
+
+class UnknownOptionError(ReproError, TypeError):
+    """A backend option is not in the backend's option schema.
+
+    Subclasses :class:`TypeError` because the misuse it reports — an
+    unexpected keyword argument — previously surfaced as a deep
+    ``TypeError`` from whichever internal function finally rejected it.
+    """
+
+
 class VerificationError(ReproError):
     """A connected-components labeling failed verification."""
 

@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import Callable
 
 from ..errors import ExperimentError
+from ..observe import current_tracer
 from . import (
     cpu_compare,
     cross_device,
@@ -61,5 +62,10 @@ def get_experiment(exp_id: str) -> Callable[..., ExperimentReport]:
 
 
 def run_experiment(exp_id: str, **kwargs) -> ExperimentReport:
-    """Run one experiment by id."""
-    return get_experiment(exp_id)(**kwargs)
+    """Run one experiment by id (one trace span per experiment)."""
+    tracer = current_tracer()
+    with tracer.span(
+        f"experiment:{exp_id}", category="experiments",
+        scale=kwargs.get("scale"),
+    ):
+        return get_experiment(exp_id)(**kwargs)

@@ -15,6 +15,7 @@ from typing import Callable
 from ..generators.suite import load, suite_names
 from ..gpusim.device import DeviceSpec, scaled_device
 from ..graph.csr import CSRGraph
+from ..observe import current_tracer
 
 __all__ = [
     "median_of",
@@ -29,10 +30,20 @@ DEFAULT_REPEATS = 3
 
 
 def median_of(fn: Callable[[], float], repeats: int = DEFAULT_REPEATS) -> float:
-    """Median over ``repeats`` invocations of a time-returning callable."""
+    """Median over ``repeats`` invocations of a time-returning callable.
+
+    Each repeat records one ``experiments.repeat`` span carrying the
+    measured value, so traced experiment runs expose their spread."""
     if repeats < 1:
         raise ValueError("repeats must be >= 1")
-    return statistics.median(fn() for _ in range(repeats))
+    tracer = current_tracer()
+    values = []
+    for i in range(repeats):
+        with tracer.span("repeat", category="experiments.repeat", n=i) as sp:
+            value = fn()
+            sp.set("value", value)
+        values.append(value)
+    return statistics.median(values)
 
 
 def suite_graphs(scale: str, names: list[str] | None = None) -> list[CSRGraph]:

@@ -21,6 +21,7 @@ from ..core.ecl_cc_gpu import g_find_halving, g_hook
 from ..graph.csr import CSRGraph
 from ..gpusim.device import DeviceSpec, TITAN_X
 from ..gpusim.kernel import GPU, LaunchStats
+from ..observe import current_tracer
 
 __all__ = ["AfforestResult", "afforest_cc"]
 
@@ -121,25 +122,33 @@ def afforest_cc(
 
     # Phase 2: detect the (probable) giant component by sampling labels
     # on the host (Afforest samples component ids of random vertices).
-    rng = np.random.default_rng(0 if seed is None else seed)
-    samples = rng.integers(0, n, size=min(num_samples, n))
-    parent_host = d_parent.data
+    tracer = current_tracer()
+    with tracer.span(
+        "afforest:sample-giant", category="extensions.afforest",
+        num_samples=int(min(num_samples, n)),
+    ) as sp:
+        rng = np.random.default_rng(0 if seed is None else seed)
+        samples = rng.integers(0, n, size=min(num_samples, n))
+        parent_host = d_parent.data
 
-    def host_find(x: int) -> int:
-        while parent_host[x] != x:
-            x = int(parent_host[x])
-        return x
+        def host_find(x: int) -> int:
+            while parent_host[x] != x:
+                x = int(parent_host[x])
+            return x
 
-    votes = Counter(host_find(int(s)) for s in samples)
-    giant, _count = votes.most_common(1)[0]
+        votes = Counter(host_find(int(s)) for s in samples)
+        giant, _count = votes.most_common(1)[0]
 
-    # Vertices already in the giant component skip phase 3.
-    skip = np.fromiter(
-        (1 if host_find(x) == giant else 0 for x in range(n)),
-        dtype=np.int64,
-        count=n,
-    )
-    d_skip = gpu.memory.to_device(skip, name="skip")
+        # Vertices already in the giant component skip phase 3.
+        skip = np.fromiter(
+            (1 if host_find(x) == giant else 0 for x in range(n)),
+            dtype=np.int64,
+            count=n,
+        )
+        d_skip = gpu.memory.to_device(skip, name="skip")
+        if tracer.enabled:
+            sp.update(giant_label=int(giant), skipped_vertices=int(skip.sum()))
+            tracer.gauge("afforest.skipped_fraction", float(skip.sum()) / n)
 
     # Phase 3: full linking for the rest.
     gpu.launch(

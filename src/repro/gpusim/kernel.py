@@ -43,6 +43,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
 from ..errors import KernelLaunchError, SimulationError
+from ..observe import current_tracer
 from .cache import CacheModel, CacheStats
 from .device import DeviceSpec, TITAN_X
 from .memory import DeviceArray, DeviceMemory
@@ -164,14 +165,51 @@ class GPU:
         *args,
         name: str | None = None,
         block_threads: int | None = None,
+        span_attrs: dict | None = None,
     ) -> LaunchStats:
         """Run ``kernel`` over ``num_threads`` threads and record stats.
 
         ``kernel(ctx, *args)`` must be a generator function following the
         op protocol.  Threads are rounded up to whole blocks; kernels must
         bounds-check their ``ctx.global_id`` themselves (as CUDA code
-        does).
+        does).  When a tracer is active, every launch records exactly one
+        span carrying the modeled time and cache counters;
+        ``span_attrs`` adds caller context (e.g. worklist occupancy).
         """
+        tracer = current_tracer()
+        kname = name or getattr(kernel, "__name__", "kernel")
+        with tracer.span(f"kernel:{kname}", category="gpusim.kernel") as span:
+            stats = self._launch(
+                kernel, num_threads, args, kname, block_threads
+            )
+            if tracer.enabled:
+                span.update(
+                    modeled_ms=stats.time_ms,
+                    cycles=stats.cycles,
+                    mem_cycles=stats.mem_cycles,
+                    threads=num_threads,
+                    warp_steps=stats.warp_steps,
+                    instructions=stats.instructions,
+                    l1_read_hits=stats.cache.l1_read_hits,
+                    l2_reads=stats.cache.l2_reads,
+                    l2_writes=stats.cache.l2_writes,
+                    dram_reads=stats.cache.dram_reads,
+                    dram_writes=stats.cache.dram_writes,
+                    atomics=stats.cache.atomics,
+                    **(span_attrs or {}),
+                )
+                tracer.count("gpusim.launches")
+                tracer.count("gpusim.warp_steps", stats.warp_steps)
+        return stats
+
+    def _launch(
+        self,
+        kernel: Callable,
+        num_threads: int,
+        args: tuple,
+        kname: str,
+        block_threads: int | None,
+    ) -> LaunchStats:
         dev = self.device
         bt = block_threads or dev.block_threads
         if bt % dev.warp_size:
@@ -179,7 +217,7 @@ class GPU:
         if num_threads < 0:
             raise KernelLaunchError("num_threads must be non-negative")
         stats = LaunchStats(
-            name=name or getattr(kernel, "__name__", "kernel"),
+            name=kname,
             num_threads=num_threads,
             clock_ghz=dev.clock_ghz,
             launch_overhead_ms=dev.launch_overhead_ms,

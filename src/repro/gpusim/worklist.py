@@ -88,6 +88,12 @@ class DoubleSidedWorklist:
     def back_count(self) -> int:
         return self.capacity - 1 - int(self.counters.data[1])
 
+    def occupancy(self) -> float:
+        """Occupied fraction of the worklist (both sides, host view)."""
+        if self.capacity == 0:
+            return 0.0
+        return (self.front_count + self.back_count) / self.capacity
+
     def front_items(self) -> list[int]:
         return self.slots.data[: self.front_count].tolist()
 

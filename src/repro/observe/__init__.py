@@ -1,0 +1,55 @@
+"""repro.observe: the unified observability subsystem.
+
+Structured tracing and metrics for every execution layer of the library:
+simulated-GPU kernel launches (modeled time, cache traffic, worklist
+occupancy), virtual-thread parallel regions (schedule, load imbalance),
+backend phases, and experiment repeats all record into one ambient
+:class:`Tracer`.
+
+Quick start::
+
+    from repro import connected_components
+    from repro.observe import Tracer, render_tree
+
+    with Tracer() as t:
+        res = connected_components(g, backend="gpu", full_result=True)
+    print(render_tree(t))
+
+Tracing is off by default (the ambient tracer is the :data:`DISABLED`
+singleton, whose recording entry points are no-ops), so uninstrumented
+runs pay essentially nothing.
+
+CLI: ``python -m repro.observe --backend gpu --graph rmat --scale tiny
+--format json`` runs one backend/graph combo and dumps the trace;
+``python -m repro.observe --selftest`` sanity-checks the subsystem.
+"""
+
+from .export import (
+    counters_to_csv,
+    render_tree,
+    to_chrome_trace,
+    to_csv,
+    write_chrome_trace,
+)
+from .tracer import (
+    DISABLED,
+    DisabledTracer,
+    Span,
+    Tracer,
+    current_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "DisabledTracer",
+    "DISABLED",
+    "current_tracer",
+    "use_tracer",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "to_csv",
+    "counters_to_csv",
+    "render_tree",
+]

@@ -1,0 +1,202 @@
+"""Command-line front end: ``python -m repro.observe``.
+
+Run any backend/graph combo under a tracer and dump the trace::
+
+    python -m repro.observe --backend gpu --graph rmat --scale tiny --format json
+    python -m repro.observe --backend omp --graph europe_osm --format tree
+    python -m repro.observe --backend numpy --graph rmat22.sym --format csv -o spans.csv
+
+``--graph`` accepts any of the 18 suite names or an unambiguous-enough
+prefix/substring (first match in suite order wins, so ``rmat`` means
+``rmat16.sym``).  ``--format json`` emits the Chrome trace-event format —
+load the file at ``chrome://tracing`` or in Perfetto.
+
+``--selftest`` runs a quick end-to-end sanity check of the observability
+subsystem (all registered backends, span/launch agreement on the GPU
+backend, exporter round-trip) and exits non-zero on failure; CI runs it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from ..errors import UnknownOptionError
+from .export import counters_to_csv, render_tree, to_chrome_trace, to_csv
+from .tracer import DISABLED, Tracer, current_tracer
+
+FORMATS = ("json", "csv", "tree")
+
+
+def resolve_graph(query: str) -> str:
+    """Map a user-supplied name to a suite graph (exact, prefix, substring)."""
+    from ..generators.suite import suite_names
+
+    names = suite_names()
+    if query in names:
+        return query
+    for name in names:
+        if name.startswith(query):
+            return name
+    for name in names:
+        if query in name:
+            return name
+    raise SystemExit(
+        f"error: no suite graph matches {query!r}; choices: {', '.join(names)}"
+    )
+
+
+def run_traced(backend: str, graph_name: str, scale: str, seed: int | None):
+    """Run one backend/graph combo under a fresh tracer."""
+    from ..core.api import connected_components
+    from ..generators.suite import load
+
+    graph = load(graph_name, scale)
+    tracer = Tracer(
+        meta={"backend": backend, "graph": graph_name, "scale": scale}
+    )
+    options = {"seed": seed} if seed is not None else {}
+    with tracer:
+        result = connected_components(
+            graph, backend=backend, full_result=True, **options
+        )
+    return graph, tracer, result
+
+
+def _emit(tracer: Tracer, fmt: str, out: str) -> None:
+    if fmt == "json":
+        text = json.dumps(to_chrome_trace(tracer), indent=1)
+    elif fmt == "csv":
+        text = to_csv(tracer) + "\n" + counters_to_csv(tracer)
+    else:
+        text = render_tree(tracer)
+    if out == "-":
+        print(text)
+    else:
+        with open(out, "w") as fp:
+            fp.write(text)
+        print(f"wrote {fmt} trace to {out}", file=sys.stderr)
+
+
+def selftest() -> int:
+    """End-to-end sanity check of the tracing subsystem; 0 = ok."""
+    import numpy as np
+
+    from ..core.api import BACKENDS, connected_components
+    from ..core.result import CCResult
+    from ..generators.suite import load
+
+    failures: list[str] = []
+
+    def check(cond: bool, msg: str) -> None:
+        if not cond:
+            failures.append(msg)
+
+    check(current_tracer() is DISABLED, "ambient tracer should default to DISABLED")
+    check(DISABLED.span("x").__enter__() is not None, "disabled span usable")
+    check(not DISABLED.spans, "disabled tracer must record nothing")
+
+    graph = load("rmat16.sym", "tiny")
+    reference = None
+    total_spans = 0
+    for backend in BACKENDS:
+        tracer = Tracer()
+        with tracer:
+            res = connected_components(graph, backend=backend, full_result=True)
+        check(isinstance(res, CCResult), f"{backend}: CCResult expected")
+        check(res.backend == backend, f"{backend}: backend field")
+        check(bool(tracer.spans), f"{backend}: no spans recorded")
+        check(res.trace is not None and len(res.trace) > 0, f"{backend}: empty trace")
+        total_spans += len(tracer.spans)
+        if reference is None:
+            reference = res.labels
+        check(
+            np.array_equal(res.labels, reference),
+            f"{backend}: labels disagree with {next(iter(BACKENDS))!r}",
+        )
+        if backend == "gpu":
+            kernel_spans = tracer.find_spans(category="gpusim.kernel")
+            check(
+                len(kernel_spans) == len(res.stats.kernels),
+                f"gpu: {len(kernel_spans)} kernel spans vs "
+                f"{len(res.stats.kernels)} launches",
+            )
+            modeled = sum(s.attrs["modeled_ms"] for s in kernel_spans)
+            total = res.stats.total_time_ms
+            check(
+                total == 0 or abs(modeled - total) <= 0.01 * total,
+                f"gpu: span modeled sum {modeled} != total {total}",
+            )
+        # Exporter round-trip on every backend's trace.
+        doc = json.loads(json.dumps(to_chrome_trace(tracer)))
+        span_events = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+        check(
+            len(span_events) == len(tracer.spans),
+            f"{backend}: chrome trace lost spans",
+        )
+        check(len(to_csv(tracer).splitlines()) == len(tracer.spans) + 1,
+              f"{backend}: csv row count")
+        check(bool(render_tree(tracer)), f"{backend}: empty tree rendering")
+
+    if failures:
+        for msg in failures:
+            print(f"selftest FAIL: {msg}", file=sys.stderr)
+        return 1
+    print(
+        f"observe selftest: ok ({len(BACKENDS)} backends, {total_spans} spans)"
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    from ..generators.suite import SCALES
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.observe",
+        description="Run one backend/graph combo under a tracer and dump the trace.",
+    )
+    parser.add_argument("--backend", default="gpu",
+                        help="registered backend name (default: gpu)")
+    parser.add_argument("--graph", default="rmat16.sym",
+                        help="suite graph name, prefix, or substring")
+    parser.add_argument("--scale", choices=SCALES, default="tiny")
+    parser.add_argument("--format", choices=FORMATS, default="tree")
+    parser.add_argument("-o", "--out", default="-",
+                        help="output path ('-' = stdout)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="scheduler seed (gpu/afforest backends)")
+    parser.add_argument("--selftest", action="store_true",
+                        help="run the observability self-check and exit")
+    args = parser.parse_args(argv)
+
+    if args.selftest:
+        return selftest()
+
+    from ..core.api import BACKENDS
+
+    if args.backend not in BACKENDS:
+        parser.error(
+            f"unknown backend {args.backend!r}; choose from {', '.join(BACKENDS)}"
+        )
+    graph_name = resolve_graph(args.graph)
+    try:
+        graph, tracer, result = run_traced(
+            args.backend, graph_name, args.scale, args.seed
+        )
+    except UnknownOptionError as exc:
+        parser.error(str(exc))
+    _emit(tracer, args.format, args.out)
+    print(
+        f"{args.backend} on {graph_name}/{args.scale}: "
+        f"n={graph.num_vertices} m={graph.num_edges} "
+        f"components={result.num_components} "
+        f"total={result.total_time_ms:.4f}ms "
+        f"spans={len(tracer.spans)} counters={len(tracer.counters)}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,173 @@
+"""Trace exporters: Chrome trace-event JSON, flat CSV, terminal tree.
+
+Three renderings of one :class:`~repro.observe.tracer.Tracer`:
+
+* :func:`to_chrome_trace` — the Chrome trace-event format (a dict ready
+  for ``json.dump``); load the file at ``chrome://tracing`` or in
+  Perfetto.  Span durations use the *modeled* time when a span carries a
+  ``modeled_ms`` attribute (GPU kernels, virtual-thread regions), so the
+  rendered timeline is the simulated one the paper's figures use; the
+  wall-clock duration is preserved in ``args.wall_ms``.
+* :func:`to_csv` / :func:`counters_to_csv` — flat metrics tables for
+  spreadsheets and pandas.
+* :func:`render_tree` — an indented terminal rendering of the span tree
+  with per-span timings and attributes.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+from .tracer import Tracer
+
+__all__ = [
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "to_csv",
+    "counters_to_csv",
+    "render_tree",
+]
+
+
+def _json_safe(value):
+    """Coerce attribute values (numpy scalars, tuples, ...) to JSON types."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if hasattr(value, "item"):  # numpy scalar
+        try:
+            return value.item()
+        except Exception:  # pragma: no cover - exotic array-likes
+            return str(value)
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    return str(value)
+
+
+def to_chrome_trace(tracer: Tracer) -> dict:
+    """The trace as a Chrome trace-event dict (``{"traceEvents": [...]}``).
+
+    One complete (``"ph": "X"``) event per span, one counter
+    (``"ph": "C"``) event per gauge sample; tracer counters and metadata
+    land in the top-level ``metadata`` object.
+    """
+    events = []
+    for sp in tracer.spans:
+        args = {k: _json_safe(v) for k, v in sp.attrs.items()}
+        args["wall_ms"] = round(sp.duration_ms, 6)
+        events.append(
+            {
+                "name": sp.name,
+                "cat": sp.category or "repro",
+                "ph": "X",
+                "ts": round(sp.start_ms * 1e3, 3),  # microseconds
+                "dur": round(sp.effective_ms * 1e3, 6),
+                "pid": 0,
+                "tid": 0,
+                "args": args,
+            }
+        )
+    for t_ms, name, value in tracer.gauges:
+        events.append(
+            {
+                "name": name,
+                "ph": "C",
+                "ts": round(t_ms * 1e3, 3),
+                "pid": 0,
+                "args": {name: _json_safe(value)},
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "metadata": {
+            "counters": {k: _json_safe(v) for k, v in tracer.counters.items()},
+            **{str(k): _json_safe(v) for k, v in tracer.meta.items()},
+        },
+    }
+
+
+def write_chrome_trace(tracer: Tracer, fp) -> None:
+    """``json.dump`` the Chrome trace to an open text file."""
+    json.dump(to_chrome_trace(tracer), fp, indent=1)
+
+
+def to_csv(tracer: Tracer) -> str:
+    """Flat per-span metrics table (one row per span, dynamic attr columns)."""
+    base = ["index", "parent", "depth", "category", "name", "start_ms", "wall_ms", "modeled_ms"]
+    attr_keys = sorted(
+        {k for sp in tracer.spans for k in sp.attrs if k != "modeled_ms"}
+    )
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(base + attr_keys)
+    for sp in tracer.spans:
+        m = sp.attrs.get("modeled_ms")
+        row = [
+            sp.index,
+            sp.parent,
+            sp.depth,
+            sp.category,
+            sp.name,
+            f"{sp.start_ms:.6f}",
+            f"{sp.duration_ms:.6f}",
+            "" if m is None else f"{float(m):.6f}",
+        ]
+        row.extend(_json_safe(sp.attrs.get(k, "")) for k in attr_keys)
+        writer.writerow(row)
+    return buf.getvalue()
+
+
+def counters_to_csv(tracer: Tracer) -> str:
+    """Counters and final gauge values as a two-column CSV."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(["name", "value"])
+    for name, value in tracer.counters.items():
+        writer.writerow([name, _json_safe(value)])
+    last_gauge: dict[str, float] = {}
+    for _t, name, value in tracer.gauges:
+        last_gauge[name] = value
+    for name, value in last_gauge.items():
+        writer.writerow([f"gauge:{name}", _json_safe(value)])
+    return buf.getvalue()
+
+
+_TREE_ATTRS_SHOWN = 4  # keep terminal lines readable
+
+
+def render_tree(tracer: Tracer) -> str:
+    """Indented span tree with wall/modeled timings and key attributes."""
+    lines = []
+    for sp in tracer.spans:
+        indent = "  " * sp.depth
+        timing = f"{sp.duration_ms:9.3f} ms"
+        m = sp.attrs.get("modeled_ms")
+        if m is not None:
+            timing += f"  [modeled {float(m):.4f} ms]"
+        shown = {
+            k: sp.attrs[k]
+            for k in list(sp.attrs)[:_TREE_ATTRS_SHOWN]
+            if k != "modeled_ms"
+        }
+        extra = (
+            "  " + " ".join(f"{k}={_json_safe(v)}" for k, v in shown.items())
+            if shown
+            else ""
+        )
+        lines.append(f"{indent}{sp.name:<{max(1, 40 - 2 * sp.depth)}s} {timing}{extra}")
+    if tracer.counters:
+        lines.append("counters:")
+        for name, value in sorted(tracer.counters.items()):
+            lines.append(f"  {name} = {_json_safe(value)}")
+    if tracer.gauges:
+        lines.append("gauges (last value):")
+        last: dict[str, float] = {}
+        for _t, name, value in tracer.gauges:
+            last[name] = value
+        for name, value in sorted(last.items()):
+            lines.append(f"  {name} = {_json_safe(value)}")
+    return "\n".join(lines)

@@ -1,0 +1,248 @@
+"""Structured tracing primitives: :class:`Span`, :class:`Tracer`.
+
+The paper's evaluation is a story about *measuring* ECL-CC's internals —
+per-kernel timings (Fig. 10), pointer-jumping path lengths (Table 4),
+worklist occupancy (§3), cache traffic (Table 3).  This module provides
+the uniform substrate those measurements flow through: nested timed
+spans, monotonic counters, and time-stamped gauges, recorded by every
+execution layer (simulated-GPU kernel launches, virtual-thread regions,
+backend phases, experiment repeats).
+
+Design points
+-------------
+* **Context-var plumbing.**  The active tracer is carried in a
+  :mod:`contextvars` variable; instrumented code fetches it with
+  :func:`current_tracer` and never threads a tracer argument through
+  call chains.  ``with Tracer() as t:`` activates ``t`` for the dynamic
+  extent of the block.
+* **Near-zero overhead when disabled.**  The default tracer is the
+  :data:`DISABLED` singleton whose ``span`` returns one shared no-op
+  context manager and whose ``count``/``gauge`` do nothing; hot paths
+  additionally guard attribute recording behind ``tracer.enabled``.
+* **Wall vs modeled time.**  Every span measures wall-clock duration.
+  Simulated components (GPU kernels, virtual-thread regions) additionally
+  attach a ``modeled_ms`` attribute carrying the cost-model time; the
+  exporters prefer it so traces show the *simulated* timeline the paper's
+  figures are drawn in.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import time
+from contextlib import contextmanager
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "DisabledTracer",
+    "DISABLED",
+    "current_tracer",
+    "use_tracer",
+]
+
+
+class Span:
+    """One timed region.  Use as a context manager via :meth:`Tracer.span`.
+
+    Attributes populated on ``__enter__``/``__exit__``: ``index`` (position
+    in the tracer's span list, start order), ``parent`` (index of the
+    enclosing span, ``-1`` for roots), ``depth`` (nesting level),
+    ``start_ms`` (relative to the tracer epoch) and ``duration_ms``
+    (wall-clock).  Arbitrary key/value attributes live in ``attrs``;
+    the ``modeled_ms`` attribute, when present, is the simulated duration.
+    """
+
+    __slots__ = (
+        "name",
+        "category",
+        "attrs",
+        "index",
+        "parent",
+        "depth",
+        "start_ms",
+        "duration_ms",
+        "_tracer",
+    )
+
+    def __init__(self, name: str, category: str = "", attrs: dict | None = None, tracer: "Tracer | None" = None) -> None:
+        self.name = name
+        self.category = category
+        self.attrs = attrs if attrs is not None else {}
+        self.index = -1
+        self.parent = -1
+        self.depth = 0
+        self.start_ms = 0.0
+        self.duration_ms = 0.0
+        self._tracer = tracer
+
+    # -- context manager ------------------------------------------------
+    def __enter__(self) -> "Span":
+        t = self._tracer
+        self.index = len(t.spans)
+        self.parent = t._stack[-1].index if t._stack else -1
+        self.depth = len(t._stack)
+        t.spans.append(self)
+        t._stack.append(self)
+        self.start_ms = t._now_ms()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        t = self._tracer
+        self.duration_ms = t._now_ms() - self.start_ms
+        if t._stack and t._stack[-1] is self:
+            t._stack.pop()
+        else:  # out-of-order exit (misuse): drop self wherever it sits
+            try:
+                t._stack.remove(self)
+            except ValueError:
+                pass
+        return False
+
+    # -- attribute recording --------------------------------------------
+    def set(self, key: str, value) -> None:
+        self.attrs[key] = value
+
+    def update(self, **kv) -> None:
+        self.attrs.update(kv)
+
+    @property
+    def modeled_ms(self) -> float | None:
+        """Simulated duration if one was recorded, else ``None``."""
+        return self.attrs.get("modeled_ms")
+
+    @property
+    def effective_ms(self) -> float:
+        """Modeled duration when available, wall-clock otherwise."""
+        m = self.attrs.get("modeled_ms")
+        return float(m) if m is not None else self.duration_ms
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, depth={self.depth}, "
+            f"wall={self.duration_ms:.3f}ms, attrs={self.attrs!r})"
+        )
+
+
+class _NullSpan:
+    """Shared no-op span handed out by the disabled tracer."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, key: str, value) -> None:
+        pass
+
+    def update(self, **kv) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects spans, counters, and gauges for one observed execution.
+
+    ``spans`` is in span *start* order; nesting is encoded by each span's
+    ``parent``/``depth``.  ``counters`` are monotonic named totals;
+    ``gauges`` are ``(t_ms, name, value)`` samples.
+
+    Use ``with Tracer() as t:`` to activate (install as the ambient
+    tracer via :func:`use_tracer` semantics) for a block.
+    """
+
+    enabled = True
+
+    def __init__(self, *, meta: dict | None = None) -> None:
+        self.spans: list[Span] = []
+        self.counters: dict[str, float] = {}
+        self.gauges: list[tuple[float, str, float]] = []
+        self.meta: dict = dict(meta or {})
+        self._stack: list[Span] = []
+        self._epoch = time.perf_counter()
+        self._tokens: list[contextvars.Token] = []
+
+    # -- clock -----------------------------------------------------------
+    def _now_ms(self) -> float:
+        return (time.perf_counter() - self._epoch) * 1e3
+
+    # -- recording -------------------------------------------------------
+    def span(self, name: str, *, category: str = "", **attrs) -> Span:
+        """A new (unstarted) span; start/stop it with ``with``."""
+        return Span(name, category, attrs, self)
+
+    def count(self, name: str, delta: float = 1) -> None:
+        """Bump the named monotonic counter."""
+        self.counters[name] = self.counters.get(name, 0) + delta
+
+    def gauge(self, name: str, value: float) -> None:
+        """Record an instantaneous sample of the named quantity."""
+        self.gauges.append((self._now_ms(), name, float(value)))
+
+    # -- queries ---------------------------------------------------------
+    def find_spans(self, *, category: str | None = None, name: str | None = None) -> list[Span]:
+        """Completed-or-open spans filtered by exact category and/or name."""
+        return [
+            s
+            for s in self.spans
+            if (category is None or s.category == category)
+            and (name is None or s.name == name)
+        ]
+
+    def children(self, span: Span) -> list[Span]:
+        """Direct children of ``span``, in start order."""
+        return [s for s in self.spans if s.parent == span.index]
+
+    def roots(self) -> list[Span]:
+        return [s for s in self.spans if s.parent == -1]
+
+    # -- activation ------------------------------------------------------
+    def __enter__(self) -> "Tracer":
+        self._tokens.append(_current.set(self))
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        _current.reset(self._tokens.pop())
+        return False
+
+
+class DisabledTracer(Tracer):
+    """Records nothing; all recording entry points are no-ops."""
+
+    enabled = False
+
+    def span(self, name: str, *, category: str = "", **attrs) -> Span:  # type: ignore[override]
+        return _NULL_SPAN  # type: ignore[return-value]
+
+    def count(self, name: str, delta: float = 1) -> None:
+        pass
+
+    def gauge(self, name: str, value: float) -> None:
+        pass
+
+
+DISABLED = DisabledTracer()
+
+_current: contextvars.ContextVar[Tracer] = contextvars.ContextVar(
+    "repro_tracer", default=DISABLED
+)
+
+
+def current_tracer() -> Tracer:
+    """The ambient tracer (the :data:`DISABLED` singleton by default)."""
+    return _current.get()
+
+
+@contextmanager
+def use_tracer(tracer: Tracer):
+    """Install ``tracer`` as the ambient tracer for the ``with`` block."""
+    token = _current.set(tracer)
+    try:
+        yield tracer
+    finally:
+        _current.reset(token)
