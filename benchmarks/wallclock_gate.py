@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Wall-clock benchmark gate for the frontier-shrinking numpy backend.
+
+Times the current ``ecl_cc_numpy`` against a frozen pre-change snapshot
+on the generator suite, verifies every backend's labels bit-for-bit
+against the serial reference, and writes ``BENCH_core_wallclock.json``
+(schema in ``docs/benchmarks.md``).  Exits nonzero on a label mismatch
+always, and on a missed speedup/regression threshold unless enforcement
+is disabled.
+
+Typical uses::
+
+    # the full recorded run (the JSON committed at the repo root)
+    python benchmarks/wallclock_gate.py --scale medium --repeats 3
+
+    # CI smoke: reduced suite, labels verified, thresholds not enforced
+    python benchmarks/wallclock_gate.py --quick --out bench_smoke.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.errors import VerificationError  # noqa: E402
+from repro.experiments.wallclock import (  # noqa: E402
+    check_gate,
+    run_wallclock_gate,
+    write_gate_json,
+)
+
+#: The --quick subset: one high-diameter mesh, one road network, one
+#: low-diameter scale-free graph — enough to catch a broken hot path
+#: without paying for all 18 inputs.
+QUICK_NAMES = ["2d-2e20.sym", "USA-road-d.NY", "rmat16.sym"]
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_core_wallclock.json"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", default="medium", help="suite scale")
+    parser.add_argument(
+        "--names", default="", help="comma-separated subset of suite graphs"
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced suite at small scale with thresholds not enforced "
+        "(label verification still runs and still fails the gate)",
+    )
+    parser.add_argument(
+        "--enforce-speedup",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="fail on missed speedup/regression thresholds "
+        "(default: on, unless --quick)",
+    )
+    parser.add_argument("--min-speedup", type=float, default=3.0)
+    parser.add_argument("--max-regression", type=float, default=0.05)
+    args = parser.parse_args(argv)
+
+    scale = "small" if args.quick and args.scale == "medium" else args.scale
+    names = [n for n in args.names.split(",") if n] or (
+        QUICK_NAMES if args.quick else None
+    )
+    enforce = (
+        not args.quick if args.enforce_speedup is None else args.enforce_speedup
+    )
+
+    try:
+        payload = run_wallclock_gate(
+            scale=scale, names=names, repeats=args.repeats, verify=True
+        )
+    except VerificationError as exc:
+        print(f"FAIL: {exc}", file=sys.stderr)
+        return 2
+    path = write_gate_json(payload, args.out)
+
+    width = max(len(r["name"]) for r in payload["graphs"])
+    for row in payload["graphs"]:
+        marker = " [high-diameter]" if row["high_diameter"] else ""
+        print(
+            f"{row['name']:{width}s}  before {row['before_ms']:9.2f} ms  "
+            f"after {row['after_ms']:9.2f} ms  speedup {row['speedup']:5.2f}x"
+            f"{marker}"
+        )
+    print(f"wrote {path}")
+
+    problems = check_gate(
+        payload,
+        min_speedup=args.min_speedup,
+        max_regression=args.max_regression,
+    )
+    if problems:
+        for p in problems:
+            print(("FAIL: " if enforce else "note: ") + p, file=sys.stderr)
+        if enforce:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

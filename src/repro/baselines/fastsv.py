@@ -4,23 +4,46 @@ refinement.
 Included as a *post-paper* comparison point for the numpy backend: ECL-CC
 (2018) and FastSV (2020) are the two directions the field took — fine-
 grained asynchrony on GPUs versus bulk-synchronous linear-algebra-style
-passes.  Each iteration performs three vectorized phases over all edges:
+passes.  This implementation keeps FastSV's two signature moves —
+grandparent (``f[f[·]]``) hooking and a *single* pointer-jump shortcut
+per iteration (rather than a full flatten) — and applies the FastSV
+paper's edge-filtering idea adaptively, in two regimes:
 
-1. **stochastic hooking** — hook each vertex's *parent* onto the
-   grandparent of a neighbor,
-2. **aggressive hooking** — hook the vertex itself onto that grandparent,
-3. **shortcutting** — one pointer-jumping step,
+* **wide regime** — while most edges are still live, rounds run over the
+  full edge arrays with *no* per-pair bookkeeping: grandparent values,
+  a min-aggregating ``np.minimum.at`` hook, and one contiguous
+  whole-array jump.  Compressing, sorting, or deduplicating a frontier
+  that is still almost all of m costs more than the work it saves (on
+  meshes the pair list barely shrinks for the first ~log(diameter)
+  rounds), so the wide regime spends exactly one gather-chain per edge
+  per round and converges on a live-pair *count*, never a full
+  fixed-point array comparison.
+* **narrow regime** — once fewer than a quarter of the edges are live,
+  the survivors are deduplicated into a sorted pair frontier
+  (:func:`repro.core.frontier.unique_pairs`) and rounds shrink with it:
+  one buffered segment-minimum hook
+  (:func:`repro.core.frontier.segment_min_hook`), a shortcut restricted
+  to the frontier vertex set, and a rebuild from grandparents.  Pairs
+  whose endpoints meet are dropped *permanently* — union-find
+  semantics: trees only ever merge, so an edge whose endpoints share a
+  tree never carries new information.
 
-and converges when the parent vector reaches a fixed point.  Labels are
-minimum member IDs, like every other implementation here.
+Both regimes hook each target under the minimum of its contenders, so
+the scatter and the segment minimum compute bitwise-identical parents;
+the regime switch is purely a cost call.  Labels are minimum member IDs,
+like every other implementation here: parents only decrease, stay inside
+their component, and each component's minimum vertex is never
+re-parented, so the final active-set flatten lands every vertex on its
+component minimum.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..core.frontier import flatten_active, segment_min_hook, unique_pairs
 from ..graph.csr import CSRGraph
 from ..observe import current_tracer
 
@@ -29,9 +52,10 @@ __all__ = ["FastSVStats", "fastsv_cc"]
 
 @dataclass
 class FastSVStats:
-    """Iteration count of a FastSV run."""
+    """Iteration count and frontier trajectory of a FastSV run."""
 
     iterations: int = 0
+    frontier_sizes: list = field(default_factory=list)
 
 
 def fastsv_cc(graph: CSRGraph) -> tuple[np.ndarray, FastSVStats]:
@@ -44,23 +68,67 @@ def fastsv_cc(graph: CSRGraph) -> tuple[np.ndarray, FastSVStats]:
     u, v = graph.edge_array()
 
     tracer = current_tracer()
+    traced = tracer.enabled
     with tracer.span("fastsv:converge", category="baselines.fastsv") as sp:
+        hi = lo = None  # None → wide regime (no pair frontier yet)
         while True:
-            stats.iterations += 1
-            tracer.count("fastsv.iterations")
-            f_before = f.copy()
-            gf = f[f]
-            # Stochastic hooking: f[f[u]] <- min(gf[v]) over incident edges.
-            np.minimum.at(f, f_before[u], gf[v])
-            np.minimum.at(f, f_before[v], gf[u])
-            # Aggressive hooking: f[u] <- min(gf[v]).
-            np.minimum.at(f, u, gf[v])
-            np.minimum.at(f, v, gf[u])
-            # Shortcutting: one pointer-jump step.
-            np.minimum(f, f[f], out=f)
-            if np.array_equal(f, f_before):
-                break
-        sp.update(iterations=stats.iterations)
+            if hi is None:
+                a = f[f[u]]
+                b = f[f[v]]
+                alive = a != b
+                live = int(np.count_nonzero(alive))
+                if live == 0:
+                    break
+                if 4 * live < u.size:
+                    # Few live edges: compress + dedup now pays for
+                    # itself.  Switch to the narrow regime.
+                    hi, lo = unique_pairs(
+                        np.maximum(a[alive], b[alive]),
+                        np.minimum(a[alive], b[alive]),
+                        n,
+                    )
+                    continue
+                stats.iterations += 1
+                stats.frontier_sizes.append(live)
+                tracer.count("fastsv.iterations")
+                if traced:
+                    tracer.gauge("fastsv.frontier_pairs", float(live))
+                # Hook over all edges; dead pairs contribute the no-op
+                # write min(f[a], a), which cannot raise any parent.
+                np.minimum.at(f, np.maximum(a, b), np.minimum(a, b))
+                # Shortcut: one contiguous whole-array jump.
+                np.copyto(f, f[f])
+            else:
+                if hi.size == 0:
+                    break
+                stats.iterations += 1
+                stats.frontier_sizes.append(int(hi.size))
+                tracer.count("fastsv.iterations")
+                if traced:
+                    tracer.gauge("fastsv.frontier_pairs", float(hi.size))
+                # Hooking: every target under its smallest contender.
+                segment_min_hook(f, hi, lo)
+                # Shortcutting on the frontier vertex set only; duplicate
+                # indices are harmless (every duplicate writes the same
+                # value).
+                touched = np.concatenate((hi, lo))
+                f[touched] = f[f[touched]]
+                # Frontier rebuild from grandparents (FastSV's f[f[.]]).
+                a = f[f[hi]]
+                b = f[f[lo]]
+                alive = a != b
+                hi, lo = unique_pairs(
+                    np.maximum(a[alive], b[alive]),
+                    np.minimum(a[alive], b[alive]),
+                    n,
+                )
+        if traced:
+            tracer.gauge("fastsv.frontier_pairs", 0.0)
+        # Land every vertex on its component minimum.
+        flatten_active(f)
+        sp.update(
+            iterations=stats.iterations,
+            frontier_sizes=list(stats.frontier_sizes),
+        )
 
-    # f is a fixed point: every vertex points at its component minimum.
     return f, stats

@@ -9,7 +9,7 @@ from .api import (
     register_backend,
     unregister_backend,
 )
-from .ecl_cc_numpy import NumpyRunStats, ecl_cc_numpy
+from .ecl_cc_numpy import NumpyRunStats, ecl_cc_numpy, ecl_cc_numpy_dense
 from .ecl_cc_serial import SerialRunStats, ecl_cc_serial
 from .labels import (
     canonicalize,
@@ -40,6 +40,7 @@ __all__ = [
     "unregister_backend",
     "NumpyRunStats",
     "ecl_cc_numpy",
+    "ecl_cc_numpy_dense",
     "SerialRunStats",
     "ecl_cc_serial",
     "canonicalize",

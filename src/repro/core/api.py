@@ -1,14 +1,16 @@
 """Public entry point: :func:`connected_components` and the backend registry.
 
 Backends are looked up in :data:`BACKENDS`, a registry mapping a name to
-a :class:`BackendSpec` (runner + option schema).  The six built-in
-entries:
+a :class:`BackendSpec` (runner + option schema).  The built-in entries:
 
 ``"serial"``
     ECL-CC_SER — pure-Python transcription of the paper's serial code.
 ``"numpy"``
-    Vectorized bulk-synchronous variant; fastest natively, use for
+    Vectorized frontier-shrinking variant; fastest natively, use for
     medium/large graphs.
+``"numpy-dense"``
+    The pre-frontier bulk-synchronous formulation, kept as the wall-clock
+    benchmark baseline and work-inefficiency ablation.
 ``"gpu"``
     The full five-kernel ECL-CC on the simulated GPU (Titan X by
     default).  Slow in wall-clock terms but faithful to the paper's
@@ -267,6 +269,20 @@ def _run_numpy(graph: CSRGraph, **options) -> CCResult:
     )
 
 
+def _run_numpy_dense(graph: CSRGraph, **options) -> CCResult:
+    from .ecl_cc_numpy import ecl_cc_numpy_dense
+
+    t0 = time.perf_counter()
+    labels, stats = ecl_cc_numpy_dense(graph, **options)
+    wall_ms = (time.perf_counter() - t0) * 1e3
+    return CCResult(
+        labels=labels,
+        backend="numpy-dense",
+        stats=stats,
+        timings={"total_ms": wall_ms, "wall_ms": wall_ms},
+    )
+
+
 def _run_gpu(graph: CSRGraph, **options) -> CCResult:
     from .ecl_cc_gpu import ecl_cc_gpu  # deferred: pulls in gpusim
 
@@ -336,7 +352,13 @@ register_backend(
 register_backend(
     "numpy",
     _run_numpy,
-    description="vectorized bulk-synchronous ECL-CC (fastest natively)",
+    description="vectorized frontier-shrinking ECL-CC (fastest natively)",
+    options={"init": OptionSpec("initialization variant", _INIT_CHOICES)},
+)
+register_backend(
+    "numpy-dense",
+    _run_numpy_dense,
+    description="pre-frontier bulk-synchronous formulation (benchmark baseline)",
     options={"init": OptionSpec("initialization variant", _INIT_CHOICES)},
 )
 register_backend(

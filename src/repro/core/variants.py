@@ -67,26 +67,38 @@ def init_vectorized(graph: CSRGraph, variant: str = "Init3") -> np.ndarray:
     n = graph.num_vertices
     if variant == "Init1":
         return np.arange(n, dtype=np.int64)
+    if variant not in ("Init2", "Init3"):
+        raise ValueError(f"unknown init variant {variant!r}")
+    parent = np.arange(n, dtype=np.int64)
+    if graph.num_arcs == 0:
+        return parent
+    if graph.has_sorted_adjacency():
+        # Ascending adjacency lists (every graph from repro.graph.build)
+        # make Init2 and Init3 coincide: the first smaller neighbor, if
+        # any, is the row's first entry — an O(n) gather instead of an
+        # O(m) scan over all arcs.
+        nonempty = np.flatnonzero(graph.degrees() > 0)
+        first = graph.col_idx[graph.row_ptr[nonempty]]
+        hit = first < nonempty
+        parent[nonempty[hit]] = first[hit]
+        return parent
     src, dst = graph.arc_array()
     if variant == "Init2":
-        parent = np.arange(n, dtype=np.int64)
         smaller = dst < src
         np.minimum.at(parent, src[smaller], dst[smaller])
         return parent
-    if variant == "Init3":
-        parent = np.arange(n, dtype=np.int64)
-        hits = np.flatnonzero(dst < src)
-        if hits.size:
-            # First qualifying arc per row: row_ptr gives each row's arc
-            # range; searchsorted finds the first hit at or after its start.
-            first = np.searchsorted(hits, graph.row_ptr[:-1])
-            valid = (first < hits.size)
-            rows = np.arange(n)[valid]
-            cand = hits[first[valid]]
-            in_row = cand < graph.row_ptr[rows + 1]
-            parent[rows[in_row]] = dst[cand[in_row]]
-        return parent
-    raise ValueError(f"unknown init variant {variant!r}")
+    # Init3 on arbitrary adjacency order: first qualifying arc per row.
+    hits = np.flatnonzero(dst < src)
+    if hits.size:
+        # row_ptr gives each row's arc range; searchsorted finds the
+        # first hit at or after its start.
+        first = np.searchsorted(hits, graph.row_ptr[:-1])
+        valid = (first < hits.size)
+        rows = np.arange(n)[valid]
+        cand = hits[first[valid]]
+        in_row = cand < graph.row_ptr[rows + 1]
+        parent[rows[in_row]] = dst[cand[in_row]]
+    return parent
 
 
 # ----------------------------------------------------------------------

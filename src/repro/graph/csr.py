@@ -8,8 +8,11 @@ consume this structure.
 
 The class is deliberately immutable: the arrays are created once, marked
 non-writeable, and shared by reference between host code and the simulated
-device.  Construction helpers that clean up arbitrary edge lists live in
-:mod:`repro.graph.build`.
+device.  Derived arrays (:meth:`CSRGraph.degrees`, :meth:`CSRGraph.arc_array`,
+:meth:`CSRGraph.edge_array`) are computed lazily, memoized on the instance,
+and returned as read-only views — callers across the library share one copy
+instead of recomputing per call.  Construction helpers that clean up
+arbitrary edge lists live in :mod:`repro.graph.build`.
 """
 
 from __future__ import annotations
@@ -53,6 +56,9 @@ class CSRGraph:
         self._check_wellformed()
         row_ptr.setflags(write=False)
         col_idx.setflags(write=False)
+        # Memo cache for lazily-derived arrays; shared across with_name()
+        # relabelings (the arrays only depend on row_ptr/col_idx).
+        object.__setattr__(self, "_derived", {})
 
     def _check_wellformed(self) -> None:
         if self.row_ptr.ndim != 1 or self.col_idx.ndim != 1:
@@ -104,8 +110,13 @@ class CSRGraph:
         return int(self.row_ptr[v + 1] - self.row_ptr[v])
 
     def degrees(self) -> np.ndarray:
-        """Array of all vertex degrees."""
-        return np.diff(self.row_ptr)
+        """Read-only array of all vertex degrees (memoized)."""
+        deg = self._derived.get("degrees")
+        if deg is None:
+            deg = np.diff(self.row_ptr)
+            deg.setflags(write=False)
+            self._derived["degrees"] = deg
+        return deg
 
     def edges(self) -> Iterator[tuple[int, int]]:
         """Iterate over undirected edges once each, as ``(u, v)`` with
@@ -116,22 +127,67 @@ class CSRGraph:
                     yield (u, int(v))
 
     def arc_array(self) -> tuple[np.ndarray, np.ndarray]:
-        """Return ``(src, dst)`` arrays covering every stored arc."""
-        src = np.repeat(np.arange(self.num_vertices, dtype=np.int64), self.degrees())
-        return src, self.col_idx.copy()
+        """Read-only ``(src, dst)`` arrays covering every stored arc.
+
+        Computed once and memoized; ``dst`` is ``col_idx`` itself (not a
+        copy).  Callers needing to mutate must copy explicitly.
+        """
+        src = self._derived.get("arc_src")
+        if src is None:
+            src = np.repeat(
+                np.arange(self.num_vertices, dtype=np.int64), self.degrees()
+            )
+            src.setflags(write=False)
+            self._derived["arc_src"] = src
+        return src, self.col_idx
 
     def edge_array(self) -> tuple[np.ndarray, np.ndarray]:
-        """Return ``(u, v)`` arrays with one row per undirected edge, u < v."""
-        src, dst = self.arc_array()
-        keep = dst > src
-        return src[keep], dst[keep]
+        """Read-only ``(u, v)`` arrays, one row per undirected edge, u < v.
+
+        Computed once and memoized — the hot-path backends index these
+        every hook round and share a single materialization.
+        """
+        pair = self._derived.get("edge_uv")
+        if pair is None:
+            src, dst = self.arc_array()
+            keep = dst > src
+            u, v = src[keep], dst[keep]
+            u.setflags(write=False)
+            v.setflags(write=False)
+            pair = (u, v)
+            self._derived["edge_uv"] = pair
+        return pair
+
+    def has_sorted_adjacency(self) -> bool:
+        """Whether every adjacency list is ascending (memoized).
+
+        True for every graph built through :mod:`repro.graph.build` (the
+        composite-key dedup sorts each row); enables O(n) fast paths such
+        as the vectorized Init2/Init3 (first neighbor == minimum neighbor).
+        """
+        cached = self._derived.get("sorted_adj")
+        if cached is None:
+            if self.col_idx.size < 2:
+                cached = True
+            else:
+                ascending = self.col_idx[1:] > self.col_idx[:-1]
+                # Row boundaries may legitimately break monotonicity.
+                starts = self.row_ptr[1:-1]
+                starts = starts[(starts > 0) & (starts < self.col_idx.size)]
+                ascending[starts - 1] = True
+                cached = bool(ascending.all())
+            self._derived["sorted_adj"] = cached
+        return cached
 
     # ------------------------------------------------------------------
     # Misc
     # ------------------------------------------------------------------
     def with_name(self, name: str) -> "CSRGraph":
         """Return the same graph relabeled for reports (arrays shared)."""
-        return CSRGraph(self.row_ptr, self.col_idx, name=name)
+        g = CSRGraph(self.row_ptr, self.col_idx, name=name)
+        # Share the memo cache: derived arrays depend only on the arrays.
+        object.__setattr__(g, "_derived", self._derived)
+        return g
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -1,0 +1,143 @@
+"""Unit and property tests for the frontier-shrinking primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.frontier import (
+    flatten_active,
+    flatten_subset,
+    segment_min_hook,
+    unique_pairs,
+)
+
+
+def _flatten_reference(parent):
+    """Naive fixpoint flatten to compare the optimized paths against."""
+    parent = parent.copy()
+    while True:
+        grandparent = parent[parent]
+        if np.array_equal(grandparent, parent):
+            return parent
+        parent = grandparent
+
+
+@st.composite
+def parent_forests(draw, max_n=64):
+    """Random parent arrays with parent[v] <= v: always a valid forest."""
+    n = draw(st.integers(min_value=0, max_value=max_n))
+    vals = [draw(st.integers(min_value=0, max_value=v)) for v in range(n)]
+    return np.asarray(vals, dtype=np.int64)
+
+
+class TestUniquePairs:
+    def test_empty(self):
+        e = np.empty(0, dtype=np.int64)
+        hi, lo = unique_pairs(e, e, 10)
+        assert hi.size == 0 and lo.size == 0
+
+    def test_dedup_and_order(self):
+        hi = np.array([5, 3, 5, 3, 5], dtype=np.int64)
+        lo = np.array([1, 2, 0, 2, 1], dtype=np.int64)
+        out_hi, out_lo = unique_pairs(hi, lo, 6)
+        assert out_hi.tolist() == [3, 5, 5]
+        assert out_lo.tolist() == [2, 0, 1]
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 30), st.integers(0, 30)), max_size=80
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_matches_set_semantics(self, pairs):
+        hi = np.asarray([p[0] for p in pairs], dtype=np.int64)
+        lo = np.asarray([p[1] for p in pairs], dtype=np.int64)
+        out_hi, out_lo = unique_pairs(hi, lo, 31)
+        got = list(zip(out_hi.tolist(), out_lo.tolist()))
+        assert got == sorted(set(pairs))
+
+    def test_lexsort_fallback_for_huge_n(self):
+        # n past 2**31 exceeds the packed-key bit budget.
+        hi = np.array([7, 2, 7, 2], dtype=np.int64)
+        lo = np.array([1, 0, 1, 3], dtype=np.int64)
+        out_hi, out_lo = unique_pairs(hi, lo, 2**40)
+        assert list(zip(out_hi.tolist(), out_lo.tolist())) == [
+            (2, 0),
+            (2, 3),
+            (7, 1),
+        ]
+
+
+class TestSegmentMinHook:
+    def test_matches_minimum_at(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            n = int(rng.integers(1, 40))
+            m = int(rng.integers(0, 60))
+            hi = rng.integers(0, n, size=m).astype(np.int64)
+            lo = rng.integers(0, n, size=m).astype(np.int64)
+            hi, lo = unique_pairs(hi, lo, n)
+            expected = np.arange(n, dtype=np.int64)
+            np.minimum.at(expected, hi, lo)
+            parent = np.arange(n, dtype=np.int64)
+            segment_min_hook(parent, hi, lo)
+            assert np.array_equal(parent, expected)
+
+    def test_returns_changed_targets_only(self):
+        parent = np.arange(6, dtype=np.int64)
+        parent[4] = 0  # already below any contender
+        hi = np.array([4, 4, 5], dtype=np.int64)
+        lo = np.array([1, 2, 3], dtype=np.int64)
+        changed = segment_min_hook(parent, hi, lo)
+        assert changed.tolist() == [5]
+        assert parent[4] == 0 and parent[5] == 3
+
+    def test_empty(self):
+        parent = np.arange(3, dtype=np.int64)
+        e = np.empty(0, dtype=np.int64)
+        assert segment_min_hook(parent, e, e).size == 0
+        assert parent.tolist() == [0, 1, 2]
+
+
+class TestFlatten:
+    @given(parent_forests())
+    @settings(max_examples=100, deadline=None)
+    def test_flatten_active_matches_reference(self, parent):
+        expected = _flatten_reference(parent)
+        got = parent.copy()
+        flatten_active(got)
+        assert np.array_equal(got, expected)
+
+    @given(parent_forests())
+    @settings(max_examples=100, deadline=None)
+    def test_flatten_subset_full_index_matches_reference(self, parent):
+        expected = _flatten_reference(parent)
+        got = parent.copy()
+        flatten_subset(got, np.arange(parent.size, dtype=np.int64))
+        assert np.array_equal(got, expected)
+
+    def test_already_flat_counts_zero_passes(self):
+        class Stats:
+            doubling_passes = 0
+
+        parent = np.zeros(8, dtype=np.int64)
+        stats = Stats()
+        flatten_active(parent, stats)
+        assert stats.doubling_passes == 0
+
+    def test_long_chain_counts_log_passes(self):
+        class Stats:
+            doubling_passes = 0
+
+        n = 1024
+        parent = np.maximum(np.arange(n, dtype=np.int64) - 1, 0)
+        stats = Stats()
+        flatten_active(parent, stats)
+        assert np.array_equal(parent, np.zeros(n, dtype=np.int64))
+        # Pointer doubling: ~log2(n) passes, and only changing ones count.
+        assert 1 <= stats.doubling_passes <= 12
+
+    def test_empty(self):
+        parent = np.empty(0, dtype=np.int64)
+        assert flatten_active(parent).size == 0

@@ -95,7 +95,67 @@ class TestAccessors:
         assert g2.row_ptr is path_graph.row_ptr  # arrays shared
 
 
+class TestDerivedArrayCache:
+    def test_computed_once(self, two_cliques, monkeypatch):
+        import repro.graph.csr as csr_mod
+
+        calls = {"repeat": 0}
+        real_repeat = np.repeat
+
+        def counting_repeat(*args, **kwargs):
+            calls["repeat"] += 1
+            return real_repeat(*args, **kwargs)
+
+        monkeypatch.setattr(csr_mod.np, "repeat", counting_repeat)
+        two_cliques.arc_array()
+        two_cliques.arc_array()
+        two_cliques.edge_array()  # built on top of the cached arc arrays
+        assert calls["repeat"] == 1
+
+    def test_same_objects_returned(self, two_cliques):
+        assert two_cliques.degrees() is two_cliques.degrees()
+        assert two_cliques.arc_array()[0] is two_cliques.arc_array()[0]
+        assert two_cliques.edge_array()[0] is two_cliques.edge_array()[0]
+
+    def test_derived_arrays_are_read_only(self, two_cliques):
+        deg = two_cliques.degrees()
+        src, dst = two_cliques.arc_array()
+        u, v = two_cliques.edge_array()
+        for arr in (deg, src, dst, u, v):
+            assert not arr.flags.writeable
+            with pytest.raises(ValueError):
+                arr[0] = 99
+
+    def test_cache_survives_with_name(self, two_cliques):
+        u, v = two_cliques.edge_array()
+        renamed = two_cliques.with_name("renamed")
+        u2, v2 = renamed.edge_array()
+        assert u2 is u and v2 is v
+        assert renamed.degrees() is two_cliques.degrees()
+
+    def test_arc_dst_is_col_idx_view(self, two_cliques):
+        _, dst = two_cliques.arc_array()
+        assert dst is two_cliques.col_idx
+
+
 class TestAdjacencyOrder:
     def test_neighbors_sorted_from_builder(self):
         g = from_edges([(2, 0), (2, 1), (2, 3)])
         assert g.neighbors(2).tolist() == [0, 1, 3]
+
+    def test_has_sorted_adjacency_from_builder(self):
+        g = from_edges([(2, 0), (2, 1), (2, 3)])
+        assert g.has_sorted_adjacency()
+
+    def test_has_sorted_adjacency_detects_unsorted(self):
+        # Hand-built CSR with a descending row; still structurally valid.
+        g = CSRGraph(
+            np.array([0, 1, 3, 4], dtype=np.int64),
+            np.array([1, 0, 2, 1], dtype=np.int64),
+        )
+        assert g.has_sorted_adjacency()
+        g2 = CSRGraph(
+            np.array([0, 2, 3, 4], dtype=np.int64),
+            np.array([2, 1, 2, 0], dtype=np.int64),
+        )
+        assert not g2.has_sorted_adjacency()

@@ -130,6 +130,88 @@ def test_union_find_variants_all_agree(g):
         assert np.array_equal(r, results[0])
 
 
+# ----------------------------------------------------------------------
+# Frontier-shrinking backends: labels must be *bit-identical* to the
+# serial reference — same min-member convention, same dtype, everywhere.
+# ----------------------------------------------------------------------
+
+def _adversarial_graphs():
+    """Deterministic worst cases: empty, isolated, stars, multi-component."""
+    from repro.graph.build import empty_graph
+
+    yield empty_graph(0)
+    yield empty_graph(7)
+    yield from_edges([(0, i) for i in range(1, 12)], num_vertices=12)  # star
+    yield from_edges([(11, i) for i in range(11)], num_vertices=12)  # inverted
+    # Three components: a triangle, a path, an isolated vertex.
+    yield from_edges([(0, 1), (1, 2), (0, 2), (3, 4), (4, 5)], num_vertices=7)
+
+
+def test_frontier_backends_match_serial_on_adversarial_graphs():
+    from repro.baselines.fastsv import fastsv_cc
+    from repro.core.ecl_cc_numpy import ecl_cc_numpy_dense
+    from repro.extensions.afforest import afforest_cc
+
+    for g in _adversarial_graphs():
+        expected, _ = ecl_cc_serial(g)
+        for name, got in (
+            ("numpy", ecl_cc_numpy(g)[0]),
+            ("numpy-dense", ecl_cc_numpy_dense(g)[0]),
+            ("fastsv", fastsv_cc(g)[0]),
+            ("afforest", afforest_cc(g).labels),
+        ):
+            assert np.array_equal(got, expected), (g.name, name)
+            assert got.dtype == expected.dtype
+
+
+@given(graphs())
+@SLOW
+def test_numpy_dense_matches_serial(g):
+    from repro.core.ecl_cc_numpy import ecl_cc_numpy_dense
+
+    a, _ = ecl_cc_numpy_dense(g)
+    b, _ = ecl_cc_serial(g)
+    assert np.array_equal(a, b)
+
+
+@given(graphs())
+@SLOW
+def test_fastsv_matches_serial(g):
+    from repro.baselines.fastsv import fastsv_cc
+
+    a, _ = fastsv_cc(g)
+    b, _ = ecl_cc_serial(g)
+    assert np.array_equal(a, b)
+
+
+@given(graphs(max_n=20, max_m=40), st.integers(min_value=0, max_value=2))
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_afforest_matches_serial(g, seed):
+    from repro.extensions.afforest import afforest_cc
+
+    res = afforest_cc(g, seed=seed)
+    expected, _ = ecl_cc_serial(g)
+    assert np.array_equal(res.labels, expected)
+
+
+@given(graphs())
+@SLOW
+def test_frontier_sizes_are_monotone_non_increasing(g):
+    from repro.baselines.fastsv import fastsv_cc
+
+    _, numpy_stats = ecl_cc_numpy(g)
+    sizes = numpy_stats.frontier_sizes
+    # Each round's frontier is a deduplicated subset of the survivors of
+    # the previous one, so the curve can only shrink.
+    assert all(a >= b for a, b in zip(sizes, sizes[1:]))
+    assert all(s > 0 for s in sizes)
+    # FastSV's wide-regime live counts are not provably monotone (pair
+    # *values* can transiently re-diverge inside one tree), but every
+    # recorded round must still be non-empty.
+    _, fastsv_stats = fastsv_cc(g)
+    assert all(s > 0 for s in fastsv_stats.frontier_sizes)
+
+
 @given(st.lists(st.tuples(st.integers(0, 19), st.integers(0, 19)), max_size=60))
 @FAST
 def test_disjoint_set_parent_chains_decrease(pairs):

@@ -1,0 +1,144 @@
+"""Tests for the wall-clock benchmark gate and its observability hooks."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.ecl_cc_numpy import ecl_cc_numpy
+from repro.core.ecl_cc_serial import ecl_cc_serial
+from repro.errors import VerificationError
+from repro.experiments import wallclock
+from repro.experiments.wallclock import (
+    check_gate,
+    legacy_numpy_cc,
+    run_wallclock_gate,
+    write_gate_json,
+)
+from repro.generators import load
+from repro.observe import Tracer, use_tracer
+from repro.observe.export import to_chrome_trace
+
+GATE_NAMES = ["2d-2e20.sym", "rmat16.sym"]
+
+
+class TestLegacySnapshot:
+    def test_matches_serial(self):
+        for name in GATE_NAMES:
+            g = load(name, "tiny")
+            expected, _ = ecl_cc_serial(g)
+            assert np.array_equal(legacy_numpy_cc(g), expected)
+
+    def test_empty_graph(self):
+        from repro.graph.build import empty_graph
+
+        assert legacy_numpy_cc(empty_graph(0)).size == 0
+        assert legacy_numpy_cc(empty_graph(4)).tolist() == [0, 1, 2, 3]
+
+
+class TestGateRun:
+    @pytest.fixture(scope="class")
+    def payload(self):
+        return run_wallclock_gate(
+            scale="tiny", names=GATE_NAMES, repeats=1, verify=True
+        )
+
+    def test_schema(self, payload):
+        assert payload["schema_version"] == wallclock.SCHEMA_VERSION
+        assert payload["scale"] == "tiny"
+        assert {"python", "numpy", "machine", "system"} <= set(
+            payload["environment"]
+        )
+        assert [r["name"] for r in payload["graphs"]] == GATE_NAMES
+        for row in payload["graphs"]:
+            assert row["before_ms"] > 0 and row["after_ms"] > 0
+            assert row["speedup"] > 0
+            assert row["labels_verified"]
+            assert isinstance(row["frontier_sizes"], list)
+
+    def test_high_diameter_flag(self, payload):
+        flags = {r["name"]: r["high_diameter"] for r in payload["graphs"]}
+        assert flags["2d-2e20.sym"] is True
+        assert flags["rmat16.sym"] is False
+
+    def test_json_roundtrip(self, payload, tmp_path):
+        path = write_gate_json(payload, tmp_path / "gate.json")
+        assert json.loads(path.read_text()) == payload
+
+    def test_label_mismatch_raises(self, monkeypatch):
+        def bad_serial(graph):
+            return np.zeros(graph.num_vertices, dtype=np.int64) - 1, None
+
+        monkeypatch.setattr(wallclock, "ecl_cc_serial", bad_serial)
+        with pytest.raises(VerificationError, match="diverge"):
+            run_wallclock_gate(
+                scale="tiny", names=["rmat16.sym"], repeats=1, verify=True
+            )
+
+
+class TestCheckGate:
+    @staticmethod
+    def row(name, speedup, high_diameter=True, n=200_000):
+        return {
+            "name": name,
+            "speedup": speedup,
+            "high_diameter": high_diameter,
+            "num_vertices": n,
+        }
+
+    def test_passes(self):
+        payload = {"graphs": [self.row("a", 3.5), self.row("b", 1.0, False)]}
+        assert check_gate(payload) == []
+
+    def test_flags_regression(self):
+        payload = {"graphs": [self.row("a", 3.5), self.row("b", 0.8, False)]}
+        problems = check_gate(payload)
+        assert len(problems) == 1 and "b" in problems[0]
+
+    def test_requires_high_diameter_target(self):
+        # Big speedup, but on a low-diameter / too-small graph only.
+        payload = {
+            "graphs": [
+                self.row("a", 9.0, high_diameter=False),
+                self.row("b", 9.0, n=50_000),
+                self.row("c", 2.9),
+            ]
+        }
+        problems = check_gate(payload)
+        assert len(problems) == 1 and "3.0x" in problems[0]
+
+
+class TestFrontierTraceVisibility:
+    def test_frontier_gauges_reach_chrome_trace(self):
+        g = load("rmat16.sym", "tiny")
+        tracer = Tracer()
+        with use_tracer(tracer):
+            # Init1 leaves the whole first frontier alive, guaranteeing
+            # at least one hook round even on easy graphs.
+            ecl_cc_numpy(g, init="Init1")
+        trace = to_chrome_trace(tracer)
+        counter_events = [
+            e for e in trace["traceEvents"] if e.get("ph") == "C"
+        ]
+        names = {e["name"] for e in counter_events}
+        assert "numpy.frontier_edges" in names
+        assert "numpy.active_vertices" in names
+        span_names = {
+            e["name"] for e in trace["traceEvents"] if e.get("ph") == "X"
+        }
+        assert "numpy:hook-rounds" in span_names
+
+    def test_fastsv_gauge_reaches_chrome_trace(self):
+        from repro.baselines.fastsv import fastsv_cc
+
+        g = load("rmat16.sym", "tiny")
+        tracer = Tracer()
+        with use_tracer(tracer):
+            fastsv_cc(g)
+        trace = to_chrome_trace(tracer)
+        names = {
+            e["name"]
+            for e in trace["traceEvents"]
+            if e.get("ph") == "C"
+        }
+        assert "fastsv.frontier_pairs" in names
