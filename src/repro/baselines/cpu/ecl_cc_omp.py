@@ -34,16 +34,22 @@ def ecl_cc_omp(
     init: str = "Init3",
     jump: str = "halving",
     cas: Callable[[np.ndarray, int, int, int], int] = compare_and_swap,
+    scheduler=None,
 ) -> CpuRunResult:
     """Run ECL-CC_OMP under the virtual-thread pool; returns labels and
-    the modeled parallel runtime."""
+    the modeled parallel runtime.
+
+    ``scheduler`` injects a chunk-dispatch-order policy (the pluggable
+    cpusim protocol; see :mod:`repro.verify.schedulers`) so verification
+    can explore hostile interleavings of the parallel regions.
+    """
     n = graph.num_vertices
     find = FIND_VARIANTS[jump]
     init_fn = INIT_VARIANTS[init]
     row_ptr = graph.row_ptr
     col_idx = graph.col_idx
     parent = np.empty(n, dtype=np.int64)
-    pool = VirtualThreadPool(spec)
+    pool = VirtualThreadPool(spec, scheduler=scheduler)
 
     def init_body(start: int, stop: int) -> None:
         for v in range(start, stop):

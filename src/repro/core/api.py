@@ -372,6 +372,10 @@ register_backend(
         "fini": OptionSpec("finalization variant", _FINI_CHOICES),
         "thresholds": OptionSpec("(mid, high) worklist degree thresholds"),
         "seed": OptionSpec("warp-scheduler seed (None = round-robin)"),
+        "scheduler": OptionSpec(
+            "injectable warp scheduler (repro.verify protocol); overrides seed"
+        ),
+        "hook": OptionSpec("injectable hook routine (verification harness)"),
         "collect_paths": OptionSpec("record Table 4 path-length stats"),
         "warp_broadcast": OptionSpec("lane-0-broadcast warp-kernel ablation"),
         "max_warps_kernel2": OptionSpec("warp cap for the medium-degree kernel"),
@@ -387,6 +391,9 @@ register_backend(
         "init": OptionSpec("initialization variant", _INIT_CHOICES),
         "jump": OptionSpec("pointer-jumping variant", _JUMP_CPU_CHOICES),
         "cas": OptionSpec("injectable compare-and-swap callable"),
+        "scheduler": OptionSpec(
+            "injectable chunk-order scheduler (repro.verify protocol)"
+        ),
     },
 )
 register_backend(
@@ -402,6 +409,9 @@ register_backend(
     options={
         "device": OptionSpec("gpusim DeviceSpec (default TITAN_X)"),
         "seed": OptionSpec("scheduler and sampling seed"),
+        "scheduler": OptionSpec(
+            "injectable warp scheduler (repro.verify protocol); overrides seed"
+        ),
         "neighbor_rounds": OptionSpec("sampled neighbors per vertex (phase 1)"),
         "num_samples": OptionSpec("label samples for giant-component detection"),
     },

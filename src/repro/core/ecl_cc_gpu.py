@@ -185,18 +185,21 @@ def g_process_edges(
     parent: DeviceArray,
     find,
     recorder: PathStats | None,
+    hook=g_hook,
 ):
     """Process a strided slice of vertex ``v``'s adjacency list.
 
     ``first``/``stride`` split the work across a warp's or block's lanes;
-    thread-granularity callers pass ``(0, 1)``.
+    thread-granularity callers pass ``(0, 1)``.  ``hook`` is injectable so
+    the verification harness can substitute deliberately broken hooking
+    routines (e.g. CAS without retry) and prove the fuzzer catches them.
     """
     v_rep = yield from find(v, parent, recorder)
     for e in range(beg + first, end, stride):
         u = yield ("ld", col_idx, e)
         if v > u:
             u_rep = yield from find(u, parent, recorder)
-            v_rep = yield from g_hook(v_rep, u_rep, parent)
+            v_rep = yield from hook(v_rep, u_rep, parent)
 
 
 # ----------------------------------------------------------------------
@@ -230,7 +233,8 @@ def k_init(ctx, row_ptr, col_idx, parent, n, variant):
 
 
 def k_compute1(
-    ctx, row_ptr, col_idx, parent, n, wl, find, thresh_mid, thresh_high, recorder
+    ctx, row_ptr, col_idx, parent, n, wl, find, thresh_mid, thresh_high,
+    recorder, hook,
 ):
     """Thread-granularity compute kernel (degree <= thresh_mid)."""
     v = ctx.global_id
@@ -246,12 +250,12 @@ def k_compute1(
             yield from wl.g_push_front(v)
         return
     yield from g_process_edges(
-        v, beg, end, 0, 1, col_idx, parent, find, recorder
+        v, beg, end, 0, 1, col_idx, parent, find, recorder, hook
     )
 
 
 def k_compute2(
-    ctx, row_ptr, col_idx, parent, wl, find, warp_size, recorder
+    ctx, row_ptr, col_idx, parent, wl, find, warp_size, recorder, hook
 ):
     """Warp-granularity compute kernel (medium-degree worklist side).
 
@@ -266,12 +270,13 @@ def k_compute2(
         beg = yield ("ld", row_ptr, v)
         end = yield ("ld", row_ptr, v + 1)
         yield from g_process_edges(
-            v, beg, end, ctx.lane, warp_size, col_idx, parent, find, recorder
+            v, beg, end, ctx.lane, warp_size, col_idx, parent, find,
+            recorder, hook,
         )
 
 
 def k_compute2_bcast(
-    ctx, row_ptr, col_idx, parent, wl, find, warp_size, recorder
+    ctx, row_ptr, col_idx, parent, wl, find, warp_size, recorder, hook
 ):
     """Warp kernel variant: lane 0 finds the representative and
     broadcasts it through a warp-shared slot (the ``__shfl`` idiom) —
@@ -295,10 +300,10 @@ def k_compute2_bcast(
             u = yield ("ld", col_idx, e)
             if v > u:
                 u_rep = yield from find(u, parent, recorder)
-                v_rep = yield from g_hook(v_rep, u_rep, parent)
+                v_rep = yield from hook(v_rep, u_rep, parent)
 
 
-def k_compute3(ctx, row_ptr, col_idx, parent, wl, find, recorder):
+def k_compute3(ctx, row_ptr, col_idx, parent, wl, find, recorder, hook):
     """Block-granularity compute kernel (high-degree worklist side)."""
     block = ctx.block_id
     num_blocks = ctx.grid_size // ctx.block_dim
@@ -309,7 +314,8 @@ def k_compute3(ctx, row_ptr, col_idx, parent, wl, find, recorder):
         beg = yield ("ld", row_ptr, v)
         end = yield ("ld", row_ptr, v + 1)
         yield from g_process_edges(
-            v, beg, end, tib, ctx.block_dim, col_idx, parent, find, recorder
+            v, beg, end, tib, ctx.block_dim, col_idx, parent, find,
+            recorder, hook,
         )
 
 
@@ -403,6 +409,8 @@ def ecl_cc_gpu(
     fini: str = "Fini3",
     thresholds: tuple[int, int] = (DEFAULT_THRESH_MID, DEFAULT_THRESH_HIGH),
     seed: int | None = None,
+    scheduler=None,
+    hook=None,
     collect_paths: bool = False,
     warp_broadcast: bool = False,
     max_warps_kernel2: int = 256,
@@ -412,6 +420,11 @@ def ecl_cc_gpu(
 
     ``seed`` randomizes the warp scheduler (different benign-race
     interleavings); ``None`` gives deterministic round-robin scheduling.
+    ``scheduler`` injects a full warp-scheduling policy (the pluggable
+    protocol of :mod:`repro.gpusim.kernel`, e.g. the adversarial families
+    in :mod:`repro.verify.schedulers`); it takes precedence over ``seed``.
+    ``hook`` substitutes the Fig. 6 hooking routine (verification
+    harness; default :func:`g_hook`).
     ``collect_paths`` enables the Table 4 path-length instrumentation.
     ``warp_broadcast`` swaps the warp kernel for the lane-0-broadcast
     variant (an ablation of the redundant per-lane find).
@@ -423,9 +436,11 @@ def ecl_cc_gpu(
         raise ValueError("thresholds must satisfy mid <= high")
     find = JUMP_VARIANTS[jump]
     recorder = PathStats() if collect_paths else None
+    if hook is None:
+        hook = g_hook
 
     n = graph.num_vertices
-    gpu = GPU(device, seed=seed)
+    gpu = GPU(device, seed=seed, scheduler=scheduler)
     d_row = gpu.memory.to_device(graph.row_ptr, name="row_ptr")
     d_col = gpu.memory.to_device(graph.col_idx, name="col_idx")
     d_parent = gpu.memory.alloc(max(n, 1), name="parent")
@@ -435,7 +450,7 @@ def ecl_cc_gpu(
     gpu.launch(k_init, n, d_row, d_col, d_parent, n, init, name="init")
     gpu.launch(
         k_compute1, n, d_row, d_col, d_parent, n, wl, find,
-        thresh_mid, thresh_high, recorder, name="compute1",
+        thresh_mid, thresh_high, recorder, hook, name="compute1",
     )
     front, back = wl.front_count, wl.back_count
     if tracer.enabled:
@@ -447,12 +462,12 @@ def ecl_cc_gpu(
     kernel2 = k_compute2_bcast if warp_broadcast else k_compute2
     gpu.launch(
         kernel2, threads2, d_row, d_col, d_parent, wl, find, ws, recorder,
-        name="compute2", span_attrs={"worklist_front": front},
+        hook, name="compute2", span_attrs={"worklist_front": front},
     )
     threads3 = min(max(back, 1), max_blocks_kernel3) * device.block_threads if back else 0
     gpu.launch(
         k_compute3, threads3, d_row, d_col, d_parent, wl, find, recorder,
-        name="compute3", span_attrs={"worklist_back": back},
+        hook, name="compute3", span_attrs={"worklist_back": back},
     )
     gpu.launch(k_finalize, n, d_parent, n, fini, name="finalize")
     # Fini1's compression writes can race with other threads' final writes

@@ -44,10 +44,22 @@ class RegionStats:
 
 
 class VirtualThreadPool:
-    """Executes parallel-for regions and accumulates modeled time."""
+    """Executes parallel-for regions and accumulates modeled time.
 
-    def __init__(self, spec: CpuSpec = E5_2687W) -> None:
+    A pluggable ``scheduler`` (same protocol as
+    :class:`repro.gpusim.kernel.GPU`'s, see
+    :mod:`repro.verify.schedulers`) takes over *chunk dispatch order*:
+    instead of executing chunks in index order, the pool repeatedly asks
+    ``scheduler.pick(remaining_chunk_ids)`` which chunk runs next.  Chunk
+    order is the interleaving knob of the virtual-thread executor — bodies
+    that race on shared arrays (e.g. ECL-CC_OMP's CAS hooks) observe a
+    different store order under every schedule, and each decision lands
+    in the scheduler's replayable trace.
+    """
+
+    def __init__(self, spec: CpuSpec = E5_2687W, *, scheduler=None) -> None:
         self.spec = spec
+        self.scheduler = scheduler
         self.regions: list[RegionStats] = []
 
     # ------------------------------------------------------------------
@@ -108,6 +120,8 @@ class VirtualThreadPool:
             heapq.heapify(loads)
             total = 0.0
             chunks = self._chunks(n, schedule, chunk)
+            if self.scheduler is not None and len(chunks) > 1:
+                chunks = self._scheduled_order(name, chunks)
             for start, stop in chunks:
                 t0 = time.perf_counter()
                 body(start, stop)
@@ -127,6 +141,22 @@ class VirtualThreadPool:
             self.regions.append(stats)
             self._annotate(tracer, tspan, stats)
         return stats
+
+    def _scheduled_order(self, name: str, chunks: list) -> list:
+        """Let the injected scheduler choose the chunk execution order."""
+        sched = self.scheduler
+        sched.begin_launch(f"region:{name}")
+        remaining = list(range(len(chunks)))
+        order = []
+        while remaining:
+            pos = sched.pick(remaining)
+            if not 0 <= pos < len(remaining):
+                raise ValueError(
+                    f"scheduler picked position {pos} with "
+                    f"{len(remaining)} chunk(s) remaining"
+                )
+            order.append(remaining.pop(pos))
+        return [chunks[i] for i in order]
 
     def _annotate(self, tracer, tspan, stats: RegionStats) -> None:
         """Attach the region's measurements to its span (traced runs only)."""

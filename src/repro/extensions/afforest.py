@@ -97,14 +97,20 @@ def afforest_cc(
     *,
     device: DeviceSpec = TITAN_X,
     seed: int | None = None,
+    scheduler=None,
     neighbor_rounds: int = DEFAULT_NEIGHBOR_ROUNDS,
     num_samples: int = DEFAULT_SAMPLES,
 ) -> AfforestResult:
-    """Run Afforest; returns labels (min-member convention) and stats."""
+    """Run Afforest; returns labels (min-member convention) and stats.
+
+    ``scheduler`` injects a warp-scheduling policy (the pluggable gpusim
+    protocol; see :mod:`repro.verify.schedulers`) and takes precedence
+    over ``seed``'s built-in random picker.
+    """
     if neighbor_rounds < 0:
         raise ValueError("neighbor_rounds must be non-negative")
     n = graph.num_vertices
-    gpu = GPU(device, seed=seed)
+    gpu = GPU(device, seed=seed, scheduler=scheduler)
     d_row = gpu.memory.to_device(graph.row_ptr, name="row_ptr")
     d_col = gpu.memory.to_device(graph.col_idx, name="col_idx")
     d_parent = gpu.memory.to_device(

@@ -29,6 +29,25 @@ lane of one warp by one op (lockstep issue); the warp to step is chosen
 round-robin, or uniformly at random when the launch is seeded — the seed
 is the knob that exercises different benign-race interleavings.
 
+Adversarial scheduling: a *pluggable scheduler* may be injected via
+``GPU(..., scheduler=...)`` and takes over warp selection entirely
+(regardless of ``seed``, including an explicit ``seed=None``).  A
+scheduler is any object implementing the protocol consumed at the
+yield-op boundary below (see :mod:`repro.verify.schedulers` for the
+adversarial families and the replayable decision traces):
+
+* ``begin_launch(kernel_name)`` — called once per kernel launch.
+* ``pick(keys) -> position`` — choose the warp to step next; ``keys``
+  is one stable warp id per ready warp, and the return value is a
+  position into that sequence.
+* ``note_op(key, kind, array_name, index, old, new)`` — visibility
+  callback fired for every executed ``cas``/``st``/``min`` op (hazard
+  tracking, monotonicity monitoring).
+* ``query_drop(array_name, index) -> bool`` — consulted for every
+  ``st`` op; returning True makes the store a *lost update* (the write
+  is discarded, cycles are still charged), which is how the verify
+  subsystem stresses the paper's benign-race claim directly.
+
 Cycle accounting: a warp step costs one issue slot plus the service
 latency of each *distinct* cache line it touches (intra-warp coalescing),
 plus a serialization charge per atomic.  Per-SM cycle counters advance
@@ -101,14 +120,15 @@ class _Lane:
 
 
 class _Warp:
-    __slots__ = ("lanes", "sm", "block", "shared", "parked")
+    __slots__ = ("lanes", "sm", "block", "shared", "parked", "uid")
 
-    def __init__(self, lanes: list[_Lane], sm: int, block: "_Block") -> None:
+    def __init__(self, lanes: list[_Lane], sm: int, block: "_Block", uid: int = 0) -> None:
         self.lanes = lanes
         self.sm = sm
         self.block = block
         self.shared = {}     # warp-shared slots ("wput"/"wget", models __shfl)
         self.parked = False  # all lanes waiting at the barrier
+        self.uid = uid       # stable global warp id (for pluggable schedulers)
 
 
 class _Block:
@@ -147,12 +167,23 @@ class GPU:
         stats = gpu.launch(my_kernel, n, d_parent, name="init")
     """
 
-    def __init__(self, device: DeviceSpec = TITAN_X, *, seed: int | None = None) -> None:
+    def __init__(
+        self,
+        device: DeviceSpec = TITAN_X,
+        *,
+        seed: int | None = None,
+        scheduler=None,
+    ) -> None:
         self.device = device
         self.memory = DeviceMemory(device.line_bytes)
         self.cache = CacheModel(
             device.num_sms, device.l1_bytes, device.l2_bytes, device.line_bytes
         )
+        # An injected scheduler always wins warp selection — including with
+        # an explicit ``seed=None``, which historically forced round-robin.
+        # The seeded uniform-random picker remains the fast built-in path
+        # when no scheduler is supplied.
+        self.scheduler = scheduler
         self._rng = random.Random(seed) if seed is not None else None
         self.launches: list[LaunchStats] = []
         self.max_warp_steps = 200_000_000  # runaway-kernel backstop
@@ -251,7 +282,7 @@ class GPU:
                         grid_size=grid_size,
                     )
                     lanes.append(_Lane(kernel(ctx, *args)))
-                warps.append(_Warp(lanes, sm, block))
+                warps.append(_Warp(lanes, sm, block, uid=block_id * warps_in_block + w))
             block.warps = warps
             block.alive_lanes = warps_in_block * warp_size
             return block, warps
@@ -275,6 +306,9 @@ class GPU:
         # Hoisted locals for the hot loop.
         cache = self.cache
         rng = self._rng
+        sched = self.scheduler
+        if sched is not None:
+            sched.begin_launch(kname)
         issue = dev.issue_cycles
         tier_cost = {
             "l1": dev.l1_hit_cycles,
@@ -290,7 +324,14 @@ class GPU:
         max_steps = self.max_warp_steps
 
         while ready:
-            if rng is not None:
+            if sched is not None:
+                idx = sched.pick([w.uid for w in ready])
+                if not 0 <= idx < len(ready):
+                    raise SimulationError(
+                        f"scheduler picked position {idx} with "
+                        f"{len(ready)} ready warp(s)"
+                    )
+            elif rng is not None:
                 idx = rng.randrange(len(ready))
             else:
                 idx = rr % len(ready)
@@ -324,7 +365,17 @@ class GPU:
                 elif kind == "st":
                     arr = op[1]
                     i = op[2]
-                    arr.data[i] = op[3]
+                    if sched is None:
+                        arr.data[i] = op[3]
+                    else:
+                        # Lost-update injection point: a dropped store
+                        # models the benign race where an unsynchronized
+                        # path-compression write is overwritten before it
+                        # lands.  Cycles are charged either way.
+                        old = int(arr.data[i])
+                        if not sched.query_drop(arr.name, i):
+                            arr.data[i] = op[3]
+                        sched.note_op(warp.uid, "st", arr.name, i, old, int(op[3]))
                     lane.value = None
                     line = (arr.addr + i * arr.itemsize) >> arr._line_shift
                     key = (line, "w")
@@ -338,6 +389,11 @@ class GPU:
                     if old == op[3]:
                         arr.data[i] = op[4]
                     lane.value = old
+                    if sched is not None:
+                        sched.note_op(
+                            warp.uid, "cas", arr.name, i, old,
+                            int(op[4]) if old == op[3] else old,
+                        )
                     line = (arr.addr + i * arr.itemsize) >> arr._line_shift
                     cost += tier_cost[cache.atomic(line)] + atomic_cycles
                 elif kind == "add":
@@ -355,6 +411,10 @@ class GPU:
                     if op[3] < old:
                         arr.data[i] = op[3]
                     lane.value = old
+                    if sched is not None:
+                        sched.note_op(
+                            warp.uid, "min", arr.name, i, old, min(old, int(op[3]))
+                        )
                     line = (arr.addr + i * arr.itemsize) >> arr._line_shift
                     cost += tier_cost[cache.atomic(line)] + atomic_cycles
                 elif kind == "nop":

@@ -1,0 +1,110 @@
+"""repro.verify: oracles, adversarial schedulers, and the fuzzing harness.
+
+Layered bottom-up:
+
+* :mod:`~repro.verify.oracle` — reference labelings (scipy + BFS) and
+  the O(n+m) structural verifier (formerly ``repro.core.verify``, which
+  remains as a thin alias).
+* :mod:`~repro.verify.schedulers` — pluggable warp/chunk schedulers
+  (round-robin, random, PCT, targeted preemption, lost-update
+  injection), each recording a replayable :class:`ScheduleTrace`.
+* :mod:`~repro.verify.metamorphic` — solver-independent invariants
+  (permutation equivariance, edge-order invariance, intra-component
+  insertion, disjoint-union composition).
+* :mod:`~repro.verify.differential` — the Init×Jump×Fini ablation
+  cross-product of every registered backend vs the serial reference.
+* :mod:`~repro.verify.minimize` — ddmin graph shrinking + schedule-trace
+  prefix truncation for failing trials.
+* :mod:`~repro.verify.fuzz` — the budgeted driver combining all of the
+  above; ``python -m repro.verify`` is its CLI.
+* :mod:`~repro.verify.broken` — known-broken mutants the harness must
+  catch (fuzzer falsifiability).
+"""
+
+# oracle must import before the submodules that pull in repro.core (the
+# repro.core.verify alias resolves back into this package).
+from .oracle import (
+    assert_valid_labels,
+    bfs_labels,
+    reference_labels,
+    verify_labels,
+    verify_labels_structural,
+)
+from .schedulers import (
+    ADVERSARIAL_FAMILIES,
+    SCHEDULER_FAMILIES,
+    LostUpdateScheduler,
+    PCTScheduler,
+    RandomScheduler,
+    ReplayScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+    ScheduleTrace,
+    TargetedPreemptionScheduler,
+    make_scheduler,
+)
+from .metamorphic import (
+    METAMORPHIC_CHECKS,
+    check_edge_order,
+    check_insertion,
+    check_permutation,
+    check_union,
+    disjoint_union,
+    permute_vertices,
+    shuffle_adjacency,
+)
+from .differential import (
+    DiffConfig,
+    ablation_configs,
+    differential_check,
+    run_config,
+    serial_reference,
+)
+from .minimize import ddmin_edges, minimize_graph, shrink_trace
+from .fuzz import Counterexample, FuzzReport, fuzz, replay, trial_graph
+
+__all__ = [
+    # oracle
+    "assert_valid_labels",
+    "bfs_labels",
+    "reference_labels",
+    "verify_labels",
+    "verify_labels_structural",
+    # schedulers
+    "ADVERSARIAL_FAMILIES",
+    "SCHEDULER_FAMILIES",
+    "LostUpdateScheduler",
+    "PCTScheduler",
+    "RandomScheduler",
+    "ReplayScheduler",
+    "RoundRobinScheduler",
+    "Scheduler",
+    "ScheduleTrace",
+    "TargetedPreemptionScheduler",
+    "make_scheduler",
+    # metamorphic
+    "METAMORPHIC_CHECKS",
+    "check_edge_order",
+    "check_insertion",
+    "check_permutation",
+    "check_union",
+    "disjoint_union",
+    "permute_vertices",
+    "shuffle_adjacency",
+    # differential
+    "DiffConfig",
+    "ablation_configs",
+    "differential_check",
+    "run_config",
+    "serial_reference",
+    # minimize
+    "ddmin_edges",
+    "minimize_graph",
+    "shrink_trace",
+    # fuzz
+    "Counterexample",
+    "FuzzReport",
+    "fuzz",
+    "replay",
+    "trial_graph",
+]

@@ -1,0 +1,157 @@
+"""CLI for the verification harness.
+
+Subcommands::
+
+    python -m repro.verify fuzz --trials 500 --seed 0 [--seconds S]
+        [--backends gpu,omp,...] [--out counterexample.json]
+    python -m repro.verify replay counterexample.json
+    python -m repro.verify selfcheck [--trials N] [--seed S]
+
+``fuzz`` exits non-zero on the first failing trial and writes the
+minimized, replayable counterexample (JSON) to ``--out``.  ``replay``
+re-runs such an artifact and reports whether the failure reproduces.
+``selfcheck`` proves the harness can catch a real bug: it registers the
+known-broken non-retrying-hook backend and demands the fuzzer find a
+counterexample for it within the budget.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..observe import Tracer, use_tracer
+from .fuzz import Counterexample, fuzz, replay
+
+
+def _parse_backends(arg: str | None) -> list[str] | None:
+    if not arg:
+        return None
+    return [b.strip() for b in arg.split(",") if b.strip()]
+
+
+def _progress(done: int, report) -> None:
+    print(f"  ... {done} trials, {report.decisions} schedule decisions", flush=True)
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    report = fuzz(
+        trials=args.trials,
+        seconds=args.seconds,
+        seed=args.seed,
+        backends=_parse_backends(args.backends),
+        minimize=not args.no_minimize,
+        progress=None if args.quiet else _progress,
+    )
+    print(report.summary())
+    if report.counterexample is not None:
+        payload = report.counterexample.to_json()
+        if args.out:
+            with open(args.out, "w") as fp:
+                fp.write(payload + "\n")
+            print(f"counterexample written to {args.out}")
+        else:
+            print(payload)
+        return 1
+    return 0
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    try:
+        with open(args.path) as fp:
+            cx = Counterexample.from_json(fp.read())
+    except (OSError, ValueError, TypeError) as exc:
+        print(f"cannot load counterexample {args.path!r}: {exc}", file=sys.stderr)
+        return 2
+    from ..core.api import BACKENDS
+
+    if cx.backend not in BACKENDS:
+        from .broken import BROKEN_BACKENDS, register_broken_backends
+
+        if cx.backend in BROKEN_BACKENDS:
+            register_broken_backends()  # replaying a selfcheck artifact
+        else:
+            print(
+                f"counterexample targets unknown backend {cx.backend!r}",
+                file=sys.stderr,
+            )
+            return 2
+    msg = replay(cx)
+    if msg is None:
+        print(f"{args.path}: does NOT reproduce (labels correct)")
+        return 1 if args.expect_failure else 0
+    print(f"{args.path}: reproduces -> {msg}")
+    return 0 if args.expect_failure else 1
+
+
+def cmd_selfcheck(args: argparse.Namespace) -> int:
+    from .broken import register_broken_backends, unregister_broken_backends
+
+    names = register_broken_backends()
+    try:
+        failures = 0
+        for name in names:
+            report = fuzz(trials=args.trials, seed=args.seed, backends=[name])
+            cx = report.counterexample
+            if cx is None:
+                print(f"MISSED: {name} survived {report.trials} trials")
+                failures += 1
+                continue
+            print(
+                f"caught {name} at trial {cx.trial}: {cx.message}\n"
+                f"  minimized to n={cx.num_vertices}, "
+                f"{len(cx.edges)} edges, family={cx.family}, "
+                f"trace={'yes' if cx.trace else 'no'}"
+            )
+            if replay(cx) is None:
+                print(f"  REPLAY FAILED for {name}: counterexample did not reproduce")
+                failures += 1
+        if failures:
+            print(f"selfcheck: FAIL ({failures} problem(s))")
+            return 1
+        print("selfcheck: OK — every known-broken mutant was caught and replayed")
+        return 0
+    finally:
+        unregister_broken_backends()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.verify",
+        description="adversarial-schedule fuzzing and differential verification",
+    )
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    p_fuzz = sub.add_parser("fuzz", help="run the fuzzing loop")
+    p_fuzz.add_argument("--trials", type=int, default=None)
+    p_fuzz.add_argument("--seconds", type=float, default=None)
+    p_fuzz.add_argument("--seed", type=int, default=0)
+    p_fuzz.add_argument("--backends", default=None, help="comma-separated subset")
+    p_fuzz.add_argument("--out", default=None, help="counterexample JSON path")
+    p_fuzz.add_argument("--no-minimize", action="store_true")
+    p_fuzz.add_argument("--quiet", action="store_true")
+    p_fuzz.set_defaults(fn=cmd_fuzz)
+
+    p_replay = sub.add_parser("replay", help="re-run a counterexample artifact")
+    p_replay.add_argument("path")
+    p_replay.add_argument(
+        "--expect-failure",
+        action="store_true",
+        help="exit 0 iff the failure reproduces (CI triage mode)",
+    )
+    p_replay.set_defaults(fn=cmd_replay)
+
+    p_self = sub.add_parser(
+        "selfcheck", help="verify the harness catches known-broken mutants"
+    )
+    p_self.add_argument("--trials", type=int, default=200)
+    p_self.add_argument("--seed", type=int, default=0)
+    p_self.set_defaults(fn=cmd_selfcheck)
+
+    args = parser.parse_args(argv)
+    with use_tracer(Tracer(meta={"tool": "repro.verify"})):
+        return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

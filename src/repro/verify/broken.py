@@ -1,0 +1,79 @@
+"""Deliberately broken kernel variants — the harness's own test subjects.
+
+A fuzzer that has never caught a real concurrency bug is unfalsifiable.
+This module registers a mutant with a known, schedule-dependent defect
+so the test suite (and ``python -m repro.verify selfcheck``) can demand
+that the adversarial schedulers expose it within a bounded budget:
+
+``gpu-broken-hook``
+    Fig. 6's hooking loop *without* the CAS retry: each edge attempts
+    its compare-and-swap once and ignores failure.  Under contention,
+    two warps racing to hook different subtrees into the same
+    representative lose one union — correct on every uncontended
+    schedule (so friendly round-robin runs pass), wrong the moment a
+    scheduler interleaves two hooks on the same root.
+"""
+
+from __future__ import annotations
+
+from ..core.api import OptionSpec, register_backend, unregister_backend
+from ..core.ecl_cc_gpu import ecl_cc_gpu
+from ..gpusim.memory import DeviceArray
+
+__all__ = [
+    "g_hook_noretry",
+    "BROKEN_BACKENDS",
+    "register_broken_backends",
+    "unregister_broken_backends",
+]
+
+
+def g_hook_noretry(v_rep: int, u_rep: int, parent: DeviceArray):
+    """Fig. 6 minus the retry loop: a failed CAS silently drops the union."""
+    if v_rep != u_rep:
+        if v_rep < u_rep:
+            yield ("cas", parent, u_rep, u_rep, v_rep)
+        else:
+            ret = yield ("cas", parent, v_rep, v_rep, u_rep)
+            if ret == v_rep:
+                v_rep = u_rep
+    return v_rep
+
+
+def _run_broken_hook(graph, **options):
+    return ecl_cc_gpu(graph, hook=g_hook_noretry, **options).labels
+
+
+_SCHED_OPTS = {
+    "device": OptionSpec("gpusim DeviceSpec"),
+    "init": OptionSpec("initialization variant"),
+    "jump": OptionSpec("pointer-jumping variant"),
+    "fini": OptionSpec("finalization variant"),
+    "seed": OptionSpec("warp-scheduler seed"),
+    "scheduler": OptionSpec("injectable warp scheduler"),
+}
+
+#: name -> (runner, description); registered on demand, never by default.
+BROKEN_BACKENDS = {
+    "gpu-broken-hook": (
+        _run_broken_hook,
+        "ECL-CC GPU with a non-retrying hook (KNOWN BROKEN, tests only)",
+    ),
+}
+
+
+def register_broken_backends() -> list[str]:
+    """Register the mutants (idempotent); returns the registered names."""
+    names = []
+    for name, (runner, desc) in BROKEN_BACKENDS.items():
+        register_backend(
+            name, runner, options=dict(_SCHED_OPTS), description=desc,
+            overwrite=True,
+        )
+        names.append(name)
+    return names
+
+
+def unregister_broken_backends() -> None:
+    for name in BROKEN_BACKENDS:
+        unregister_backend(name)

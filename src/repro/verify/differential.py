@@ -1,0 +1,152 @@
+"""Differential oracle: every backend × ablation config vs the references.
+
+The cross-product of the paper's ablation axes (Init1–3 × Jump1–4 ×
+Fini1–3) over every registered backend is compared against
+``ecl_cc_serial``'s canonical labels — all implementations in this
+library finalize to minimum-member IDs, so agreement must be
+*bit-identical*, not merely partition-equivalent.  The serial reference
+itself is cross-checked against the independent scipy/BFS oracles and
+the O(n+m) structural verifier, so a shared-logic bug cannot hide.
+
+Schedulers are injected per-run for every backend whose option schema
+declares a ``scheduler`` option (gpu, omp, afforest, and any third-party
+backend that registers one), which is how the fuzz driver subjects the
+same configs to hostile interleavings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .oracle import reference_labels, verify_labels_structural
+
+__all__ = [
+    "DiffConfig",
+    "ablation_configs",
+    "run_config",
+    "serial_reference",
+    "differential_check",
+]
+
+_INITS = ("Init1", "Init2", "Init3")
+_FINIS = ("Fini1", "Fini2", "Fini3")
+_JUMPS_CPU = ("none", "single", "full", "halving")
+_JUMPS_GPU = ("Jump1", "Jump2", "Jump3", "Jump4")
+
+
+@dataclass(frozen=True)
+class DiffConfig:
+    """One backend invocation in the ablation cross-product."""
+
+    backend: str
+    options: tuple = ()  # sorted (key, value) pairs; hashable
+
+    def as_kwargs(self) -> dict:
+        return dict(self.options)
+
+    def describe(self) -> str:
+        opts = ", ".join(f"{k}={v}" for k, v in self.options)
+        return f"{self.backend}({opts})" if opts else self.backend
+
+
+def _cfg(backend: str, **options) -> DiffConfig:
+    return DiffConfig(backend, tuple(sorted(options.items())))
+
+
+def ablation_configs(backends=None) -> list[DiffConfig]:
+    """The full ablation cross-product for the requested backends.
+
+    ``backends`` defaults to every currently registered backend; unknown
+    names raise so a typo cannot silently skip coverage.  Backends whose
+    schema does not declare the ablation axes get a single default
+    config.
+    """
+    from ..core.api import BACKENDS
+
+    if backends is None:
+        backends = list(BACKENDS)
+    configs: list[DiffConfig] = []
+    for name in backends:
+        spec = BACKENDS.get(name)
+        if spec is None:
+            raise ValueError(f"unknown backend {name!r}")
+        opts = spec.options
+        inits = _INITS if "init" in opts else (None,)
+        jumps = (
+            (_JUMPS_GPU if name.startswith(("gpu", "afforest")) else _JUMPS_CPU)
+            if "jump" in opts
+            else (None,)
+        )
+        finis = _FINIS if "fini" in opts else (None,)
+        for init in inits:
+            for jump in jumps:
+                for fini in finis:
+                    kv = {}
+                    if init is not None:
+                        kv["init"] = init
+                    if jump is not None:
+                        kv["jump"] = jump
+                    if fini is not None:
+                        kv["fini"] = fini
+                    configs.append(_cfg(name, **kv))
+    return configs
+
+
+def run_config(graph, cfg: DiffConfig, *, scheduler=None) -> np.ndarray:
+    """Run one config, injecting ``scheduler`` where the backend takes one."""
+    from ..core.api import BACKENDS, connected_components
+
+    kwargs = cfg.as_kwargs()
+    if scheduler is not None and "scheduler" in BACKENDS[cfg.backend].options:
+        kwargs["scheduler"] = scheduler
+    return np.asarray(connected_components(graph, backend=cfg.backend, **kwargs))
+
+
+def serial_reference(graph) -> np.ndarray:
+    """Canonical serial labels, cross-checked against independent oracles."""
+    from ..core.ecl_cc_serial import ecl_cc_serial
+
+    labels, _ = ecl_cc_serial(graph)
+    ref = reference_labels(graph)
+    if not np.array_equal(labels, ref):
+        raise AssertionError(
+            f"serial reference disagrees with scipy oracle on {graph.name!r}"
+        )
+    return labels
+
+
+def differential_check(
+    graph, cfg: DiffConfig, *, scheduler=None, reference: np.ndarray | None = None
+) -> str | None:
+    """Run one config and compare bit-identically against the reference.
+
+    Returns ``None`` on agreement, a failure message otherwise.  The
+    structural verifier runs as well so a *reference* bug (or an agreed
+    wrong answer) is still flagged.
+    """
+    ref = serial_reference(graph) if reference is None else reference
+    try:
+        labels = run_config(graph, cfg, scheduler=scheduler)
+    except Exception as exc:  # solver crash = finding, not harness error
+        return f"{cfg.describe()}: raised {type(exc).__name__}: {exc}"
+    if labels.shape != ref.shape:
+        return (
+            f"{cfg.describe()}: label shape {labels.shape} != {ref.shape} "
+            f"on {graph.name!r}"
+        )
+    if not np.array_equal(labels, ref):
+        bad = np.flatnonzero(labels != ref)
+        return (
+            f"{cfg.describe()}: {bad.size} labels differ from serial "
+            f"reference (first at vertex {int(bad[0])}: got "
+            f"{int(labels[bad[0]])}, want {int(ref[bad[0]])}) on "
+            f"{graph.name!r}"
+        )
+    if not verify_labels_structural(graph, labels):
+        return (
+            f"{cfg.describe()}: labels match the serial reference but "
+            f"fail structural verification on {graph.name!r}"
+        )
+    return None

@@ -1,0 +1,188 @@
+"""Metamorphic invariants for connected-components solvers.
+
+Differential testing needs a reference; metamorphic testing needs only a
+*relation* between runs, so it keeps catching bugs even where the oracle
+and the subject share assumptions.  Four relations every correct solver
+must satisfy (all phrased against the library-wide convention that labels
+are canonical minimum-member vertex IDs):
+
+``permutation``
+    Relabeling vertices by a permutation ``pi`` permutes the partition:
+    running on the relabeled graph and pulling labels back through ``pi``
+    must induce the same partition as running on the original.  Catches
+    anything keyed to absolute vertex IDs beyond the min-label convention
+    (e.g. ``unique_pairs`` packing bugs at specific ID widths).
+
+``edge_order``
+    Labels must not depend on adjacency-list order: shuffling every
+    adjacency list in place (preserving the vertex numbering) must give
+    bit-identical labels.  Exercises the unsorted-adjacency paths of
+    Init2/Init3 and any frontier code assuming sorted rows.
+
+``insertion``
+    Adding an edge between two vertices already in the same component
+    must leave the labeling bit-identical.
+
+``union``
+    The labeling of a disjoint union ``G ⊕ H`` must be the labeling of
+    ``G`` concatenated with the labeling of ``H`` shifted by ``|V(G)|``
+    — component counts compose additively as a corollary.
+
+Each check returns ``None`` on success or a human-readable failure
+message; the fuzz driver turns non-None into a counterexample.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from ..graph.build import from_arc_arrays
+
+__all__ = [
+    "permute_vertices",
+    "shuffle_adjacency",
+    "disjoint_union",
+    "check_permutation",
+    "check_edge_order",
+    "check_insertion",
+    "check_union",
+    "METAMORPHIC_CHECKS",
+]
+
+
+def permute_vertices(graph: CSRGraph, perm: np.ndarray) -> CSRGraph:
+    """The same graph with vertex ``v`` renamed to ``perm[v]``."""
+    perm = np.asarray(perm, dtype=np.int64)
+    src, dst = graph.arc_array()
+    return from_arc_arrays(
+        perm[src], perm[dst], graph.num_vertices, name=f"{graph.name}~perm"
+    )
+
+
+def shuffle_adjacency(graph: CSRGraph, rng: np.random.Generator) -> CSRGraph:
+    """Shuffle every adjacency list in place (same graph, same numbering).
+
+    Built directly as a CSR (bypassing :mod:`repro.graph.build`, whose
+    dedup pass would re-sort the rows), so solvers see genuinely
+    unsorted adjacency lists.
+    """
+    col = graph.col_idx.copy()
+    row_ptr = graph.row_ptr
+    for v in range(graph.num_vertices):
+        beg, end = int(row_ptr[v]), int(row_ptr[v + 1])
+        if end - beg > 1:
+            rng.shuffle(col[beg:end])
+    return CSRGraph(row_ptr, col, name=f"{graph.name}~rowshuf")
+
+
+def disjoint_union(g: CSRGraph, h: CSRGraph) -> CSRGraph:
+    """``G ⊕ H`` with ``H``'s vertices shifted past ``G``'s."""
+    gs, gd = g.arc_array()
+    hs, hd = h.arc_array()
+    off = g.num_vertices
+    return from_arc_arrays(
+        np.concatenate([gs, hs + off]),
+        np.concatenate([gd, hd + off]),
+        g.num_vertices + h.num_vertices,
+        name=f"{g.name}+{h.name}",
+    )
+
+
+def check_permutation(run, graph: CSRGraph, rng: np.random.Generator) -> str | None:
+    """Vertex-permutation equivariance (partition-level)."""
+    from ..core.labels import equivalent_labelings
+
+    n = graph.num_vertices
+    if n == 0:
+        return None
+    perm = rng.permutation(n).astype(np.int64)
+    base = np.asarray(run(graph))
+    permuted = np.asarray(run(permute_vertices(graph, perm)))
+    if permuted.shape != (n,):
+        return f"permutation: label shape {permuted.shape} != ({n},)"
+    # pulled_back[v] = label of v's image; equivalence as partitions.
+    if not equivalent_labelings(base, permuted[perm]):
+        return (
+            "permutation: relabeled run induces a different partition "
+            f"(graph {graph.name!r}, n={n})"
+        )
+    return None
+
+
+def check_edge_order(run, graph: CSRGraph, rng: np.random.Generator) -> str | None:
+    """Adjacency-order invariance (bit-level, labels are canonical)."""
+    base = np.asarray(run(graph))
+    shuffled = np.asarray(run(shuffle_adjacency(graph, rng)))
+    if not np.array_equal(base, shuffled):
+        bad = np.flatnonzero(base != shuffled)
+        return (
+            f"edge_order: {bad.size} labels changed under adjacency "
+            f"shuffle (first at vertex {int(bad[0])}, graph {graph.name!r})"
+        )
+    return None
+
+
+def check_insertion(run, graph: CSRGraph, rng: np.random.Generator) -> str | None:
+    """Intra-component edge insertion preserves the labeling exactly."""
+    n = graph.num_vertices
+    base = np.asarray(run(graph))
+    if n == 0:
+        return None
+    # Pick a component with >= 2 members and join two random members.
+    labels, counts = np.unique(base, return_counts=True)
+    big = labels[counts >= 2]
+    if big.size == 0:
+        return None  # all singletons: no intra-component edge to add
+    comp = int(big[rng.integers(big.size)])
+    members = np.flatnonzero(base == comp)
+    a, b = (int(x) for x in rng.choice(members, size=2, replace=False))
+    src, dst = graph.arc_array()
+    augmented = from_arc_arrays(
+        np.concatenate([src, [a]]),
+        np.concatenate([dst, [b]]),
+        n,
+        name=f"{graph.name}+({a},{b})",
+    )
+    after = np.asarray(run(augmented))
+    if not np.array_equal(base, after):
+        bad = np.flatnonzero(base != after)
+        return (
+            f"insertion: adding intra-component edge ({a},{b}) changed "
+            f"{bad.size} labels (first at vertex {int(bad[0])}, "
+            f"graph {graph.name!r})"
+        )
+    return None
+
+
+def check_union(run, graph: CSRGraph, rng: np.random.Generator) -> str | None:
+    """Disjoint union composes labelings (and component counts)."""
+    n = graph.num_vertices
+    base = np.asarray(run(graph))
+    # Union with a small deterministic partner: a path + an isolate.
+    k = 4
+    partner = from_arc_arrays(
+        np.arange(k - 2, dtype=np.int64),
+        np.arange(1, k - 1, dtype=np.int64),
+        k,
+        name="partner",
+    )
+    partner_labels = np.asarray(run(partner))
+    union = disjoint_union(graph, partner)
+    got = np.asarray(run(union))
+    want = np.concatenate([base, partner_labels + n])
+    if not np.array_equal(got, want):
+        bad = np.flatnonzero(got != want)
+        return (
+            f"union: disjoint-union labels diverge at {bad.size} "
+            f"vertices (first at {int(bad[0])}, graph {graph.name!r})"
+        )
+    return None
+
+
+METAMORPHIC_CHECKS = {
+    "permutation": check_permutation,
+    "edge_order": check_edge_order,
+    "insertion": check_insertion,
+    "union": check_union,
+}

@@ -1,0 +1,164 @@
+"""Delta-debugging minimization of failing (graph, schedule) pairs.
+
+A fuzzing counterexample found on a 200-vertex graph under a
+4,000-decision schedule is diagnosable only after shrinking.  Two
+cooperating reducers:
+
+* :func:`ddmin_edges` — classic ddmin (Zeller & Hildebrandt) over the
+  undirected edge list: find a 1-minimal edge subset that still fails,
+  then compact away unused vertex IDs (isolated vertices are kept only
+  if removing them makes the failure vanish).
+* :func:`shrink_trace` — binary-search the shortest prefix of a recorded
+  :class:`~repro.verify.schedulers.ScheduleTrace` whose replay (with the
+  deterministic round-robin fallback past the prefix) still fails, then
+  zero out drop decisions that are not needed.
+
+Both operate on an opaque ``fails(graph)`` / ``fails_with_trace(trace)``
+predicate supplied by the caller, so the same machinery minimizes
+differential, metamorphic, and crash findings alike.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ..graph.build import from_edges
+from ..graph.csr import CSRGraph
+from .schedulers import ScheduleTrace
+
+__all__ = ["ddmin_edges", "compact_vertices", "minimize_graph", "shrink_trace"]
+
+
+def _build(edges: Sequence[tuple[int, int]], num_vertices: int) -> CSRGraph:
+    return from_edges(list(edges), num_vertices=num_vertices, name="minimized")
+
+
+def ddmin_edges(
+    edges: Sequence[tuple[int, int]],
+    num_vertices: int,
+    fails: Callable[[CSRGraph], bool],
+    *,
+    max_probes: int = 400,
+) -> list[tuple[int, int]]:
+    """1-minimal failing edge subset via ddmin.
+
+    ``fails(graph)`` must return True when the failure reproduces.  The
+    probe budget bounds worst-case quadratic behaviour; on budget
+    exhaustion the smallest failing subset seen so far is returned.
+    """
+    edges = [tuple(int(x) for x in e) for e in edges]
+    if not edges or not fails(_build(edges, num_vertices)):
+        return edges  # caller's failure isn't edge-driven (or no edges)
+    probes = 0
+    granularity = 2
+    while len(edges) >= 2:
+        size = max(1, len(edges) // granularity)
+        chunks = [edges[i : i + size] for i in range(0, len(edges), size)]
+        reduced = False
+        for i, chunk in enumerate(chunks):
+            if probes >= max_probes:
+                return edges
+            complement = [e for j, c in enumerate(chunks) if j != i for e in c]
+            if not complement:
+                continue
+            probes += 1
+            if fails(_build(complement, num_vertices)):
+                edges = complement
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+        if not reduced:
+            if granularity >= len(edges):
+                break
+            granularity = min(len(edges), granularity * 2)
+    return edges
+
+
+def compact_vertices(
+    edges: Sequence[tuple[int, int]],
+    num_vertices: int,
+    fails: Callable[[CSRGraph], bool],
+) -> tuple[list[tuple[int, int]], int]:
+    """Drop isolated vertices / compact IDs while the failure persists."""
+    edges = [tuple(int(x) for x in e) for e in edges]
+    used = sorted({v for e in edges for v in e})
+    new_id = {old: new for new, old in enumerate(used)}
+    candidate = [(new_id[u], new_id[v]) for u, v in edges]
+    n = len(used)
+    if n < num_vertices and n > 0 and fails(_build(candidate, n)):
+        return candidate, n
+    return edges, num_vertices
+
+
+def minimize_graph(
+    edges: Sequence[tuple[int, int]],
+    num_vertices: int,
+    fails: Callable[[CSRGraph], bool],
+    *,
+    max_probes: int = 400,
+) -> tuple[list[tuple[int, int]], int]:
+    """ddmin the edges, then compact the vertex range."""
+    small = ddmin_edges(edges, num_vertices, fails, max_probes=max_probes)
+    return compact_vertices(small, num_vertices, fails)
+
+
+def shrink_trace(
+    trace: ScheduleTrace,
+    fails_with_trace: Callable[[ScheduleTrace], bool],
+    *,
+    max_probes: int = 60,
+) -> ScheduleTrace:
+    """Shortest failing prefix of a decision trace (plus drop pruning).
+
+    Replays are deterministic, so a prefix of the picks (round-robin
+    beyond it) is a well-defined smaller schedule.  Binary search finds
+    the shortest failing pick-prefix; a second pass greedily zeroes
+    blocks of drop decisions that the failure does not need.
+    """
+    probes = 0
+
+    def prefix(picks_len: int, drops: list) -> ScheduleTrace:
+        return ScheduleTrace(
+            family=trace.family,
+            seed=trace.seed,
+            rng_state=trace.rng_state,
+            launches=list(trace.launches),
+            picks=list(trace.picks[:picks_len]),
+            drops=list(drops),
+        )
+
+    drops = list(trace.drops)
+    lo, hi = 0, len(trace.picks)
+    # Invariant: prefix(hi) fails (the full trace reproduced the failure).
+    while lo < hi and probes < max_probes:
+        mid = (lo + hi) // 2
+        probes += 1
+        if fails_with_trace(prefix(mid, drops)):
+            hi = mid
+        else:
+            lo = mid + 1
+    best_len = hi
+
+    # Prune drop decisions in halving blocks (only 1-bits matter).
+    block = max(len(drops) // 2, 1)
+    while block >= 1 and any(drops) and probes < max_probes:
+        changed = False
+        for start in range(0, len(drops), block):
+            window = drops[start : start + block]
+            if not any(window):
+                continue
+            if probes >= max_probes:
+                break
+            candidate = drops[:start] + [0] * len(window) + drops[start + block :]
+            probes += 1
+            if fails_with_trace(prefix(best_len, candidate)):
+                drops = candidate
+                changed = True
+        if block == 1 and not changed:
+            break
+        block //= 2
+
+    # Trim trailing zero drops: replay treats missing entries as "keep".
+    while drops and drops[-1] == 0:
+        drops.pop()
+    return prefix(best_len, drops)

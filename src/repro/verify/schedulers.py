@@ -1,0 +1,354 @@
+"""Adversarial schedulers and replayable decision traces.
+
+ECL-CC's correctness argument (§3) is that its unsynchronized
+path-compression writes form a *benign* data race: a lost or delayed
+write can cost work but never produces an incorrect representative.  The
+gpusim warp scheduler and the cpusim chunk dispatcher historically only
+explored two friendly schedules (round-robin and seeded uniform-random),
+so this module supplies hostile ones, all implementing the pluggable
+protocol consumed by :class:`repro.gpusim.kernel.GPU` and
+:class:`repro.cpusim.pool.VirtualThreadPool`:
+
+* :class:`RoundRobinScheduler` / :class:`RandomScheduler` — the two
+  historical schedules, now recorded as traces like everything else.
+* :class:`PCTScheduler` — probabilistic concurrency testing (Burckhardt
+  et al., ASPLOS'10): random warp priorities, always step the
+  highest-priority ready warp, lower the leader's priority at ``depth-1``
+  random change points.  Finds bugs of preemption depth ``d`` with
+  provable probability.
+* :class:`TargetedPreemptionScheduler` — preempts a warp immediately
+  after every ``cas``/``st`` it issues against the shared ``parent``
+  array, maximizing the window between a hazard and the warp's next op
+  (the window every lost-update/ABA interleaving needs).
+* :class:`LostUpdateScheduler` — drops a configurable fraction of the
+  plain stores to ``parent`` during the compute kernels.  Those stores
+  are exactly the path-compression writes (hooks go through ``cas``),
+  so this stresses the benign-race claim head-on: final labels must not
+  change no matter which compression writes are lost.
+
+Every scheduler records its decisions into a :class:`ScheduleTrace`:
+the picked positions, the store-drop verdicts, the launch sequence, and
+the initial :mod:`random` state.  :class:`ReplayScheduler` re-executes a
+trace decision-for-decision — no RNG is consulted during replay, so a
+trace reproduces the exact interleaving on any Python version.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Sequence
+
+__all__ = [
+    "ScheduleTrace",
+    "Scheduler",
+    "RoundRobinScheduler",
+    "RandomScheduler",
+    "PCTScheduler",
+    "TargetedPreemptionScheduler",
+    "LostUpdateScheduler",
+    "ReplayScheduler",
+    "SCHEDULER_FAMILIES",
+    "ADVERSARIAL_FAMILIES",
+    "make_scheduler",
+]
+
+
+def _jsonable(obj):
+    """Recursively convert tuples (e.g. ``random.getstate()``) to lists."""
+    if isinstance(obj, (tuple, list)):
+        return [_jsonable(x) for x in obj]
+    return obj
+
+
+@dataclass
+class ScheduleTrace:
+    """A replayable record of every decision one scheduler made.
+
+    ``picks`` are positions into the ready sequence passed to each
+    ``pick`` call; ``drops`` are the 0/1 verdicts of each ``query_drop``
+    call, in query order; ``launches`` the kernel/region names in launch
+    order.  ``rng_state`` snapshots the scheduler's initial
+    ``random.Random`` state so the exact generator configuration is part
+    of the artifact — replay itself never touches an RNG, making traces
+    exact across Python versions.
+    """
+
+    family: str = "base"
+    seed: int | None = None
+    rng_state: list | None = None
+    launches: list = field(default_factory=list)
+    picks: list = field(default_factory=list)
+    drops: list = field(default_factory=list)
+
+    @property
+    def num_decisions(self) -> int:
+        return len(self.picks) + len(self.drops)
+
+    def to_dict(self) -> dict:
+        return {
+            "family": self.family,
+            "seed": self.seed,
+            "rng_state": self.rng_state,
+            "launches": list(self.launches),
+            "picks": list(self.picks),
+            "drops": list(self.drops),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ScheduleTrace":
+        return cls(
+            family=d.get("family", "base"),
+            seed=d.get("seed"),
+            rng_state=d.get("rng_state"),
+            launches=list(d.get("launches", [])),
+            picks=[int(p) for p in d.get("picks", [])],
+            drops=[int(x) for x in d.get("drops", [])],
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict())
+
+    @classmethod
+    def from_json(cls, s: str) -> "ScheduleTrace":
+        return cls.from_dict(json.loads(s))
+
+
+class Scheduler:
+    """Base scheduler: round-robin decisions, full trace recording.
+
+    Subclasses override :meth:`choose` (warp/chunk selection),
+    :meth:`drop_store` (lost-update injection), :meth:`note_op` (hazard
+    visibility), and :meth:`on_launch`.  The public ``pick`` /
+    ``query_drop`` entry points are final: they delegate to the
+    overridables and append every decision to :attr:`trace`.
+    """
+
+    family = "roundrobin"
+
+    def __init__(self, seed: int | None = None) -> None:
+        self.rng = random.Random(seed)
+        self.trace = ScheduleTrace(
+            family=self.family,
+            seed=seed,
+            rng_state=_jsonable(self.rng.getstate()),
+        )
+        self._kernel = ""
+        self._rr = 0
+
+    # -- protocol entry points (called by GPU / VirtualThreadPool) ------
+    def begin_launch(self, name: str) -> None:
+        self.trace.launches.append(name)
+        self._kernel = name
+        self.on_launch(name)
+
+    def pick(self, keys: Sequence[int]) -> int:
+        pos = self.choose(keys)
+        self.trace.picks.append(pos)
+        return pos
+
+    def query_drop(self, array_name: str, index: int) -> bool:
+        verdict = bool(self.drop_store(array_name, index))
+        self.trace.drops.append(int(verdict))
+        return verdict
+
+    def note_op(self, key: int, kind: str, array_name: str, index: int, old: int, new: int) -> None:
+        """Executed-op visibility hook (``cas``/``st``/``min`` only)."""
+
+    # -- overridables ----------------------------------------------------
+    def on_launch(self, name: str) -> None:
+        self._rr = 0
+
+    def choose(self, keys: Sequence[int]) -> int:
+        pos = self._rr % len(keys)
+        self._rr += 1
+        return pos
+
+    def drop_store(self, array_name: str, index: int) -> bool:
+        return False
+
+
+class RoundRobinScheduler(Scheduler):
+    """The historical deterministic schedule, with trace recording."""
+
+    family = "roundrobin"
+
+
+class RandomScheduler(Scheduler):
+    """The historical seeded uniform-random schedule, now replayable."""
+
+    family = "random"
+
+    def choose(self, keys: Sequence[int]) -> int:
+        return self.rng.randrange(len(keys))
+
+
+class PCTScheduler(Scheduler):
+    """Probabilistic concurrency testing over warps/chunks.
+
+    Each key gets a random priority on first sight; every step runs the
+    highest-priority ready key.  At ``depth - 1`` step counts sampled
+    from ``[0, expected_steps)`` the current leader's priority is dropped
+    below every other, forcing a context switch at an unpredictable
+    depth — the schedule shape that surfaces ordering bugs needing ``d``
+    preemptions with probability ``>= 1/(n * k^(d-1))``.
+    """
+
+    family = "pct"
+
+    def __init__(self, seed: int | None = None, *, depth: int = 3, expected_steps: int = 4000) -> None:
+        super().__init__(seed)
+        if depth < 1:
+            raise ValueError("depth must be >= 1")
+        self.depth = depth
+        self.expected_steps = max(int(expected_steps), 1)
+        self._priorities: dict[int, float] = {}
+        self._change_points = set(
+            self.rng.randrange(self.expected_steps) for _ in range(depth - 1)
+        )
+        self._step = 0
+        self._demote = 0.0  # strictly decreasing floor for demoted keys
+
+    def choose(self, keys: Sequence[int]) -> int:
+        pri = self._priorities
+        for k in keys:
+            if k not in pri:
+                pri[k] = self.rng.random()
+        best = max(range(len(keys)), key=lambda i: pri[keys[i]])
+        if self._step in self._change_points:
+            self._demote -= 1.0
+            pri[keys[best]] = self._demote
+            best = max(range(len(keys)), key=lambda i: pri[keys[i]])
+        self._step += 1
+        return best
+
+
+class TargetedPreemptionScheduler(Scheduler):
+    """Preempt right after every hazard op on the target arrays.
+
+    When the stepped warp executes a ``cas`` or ``st`` against an array
+    in ``target_arrays`` (the shared ``parent`` by default), the next
+    ``pick`` deliberately schedules a *different* warp, so rivals run in
+    the window between a warp's hazard and its next instruction — the
+    widest possible race window at every retry-loop and compression
+    write.  Off-hazard picks are uniform random.
+    """
+
+    family = "targeted"
+
+    def __init__(self, seed: int | None = None, *, target_arrays: Sequence[str] = ("parent",)) -> None:
+        super().__init__(seed)
+        self.target_arrays = tuple(target_arrays)
+        self._preempt: int | None = None
+
+    def note_op(self, key: int, kind: str, array_name: str, index: int, old: int, new: int) -> None:
+        if kind in ("cas", "st") and array_name in self.target_arrays:
+            self._preempt = key
+
+    def choose(self, keys: Sequence[int]) -> int:
+        avoid, self._preempt = self._preempt, None
+        if avoid is not None and len(keys) > 1:
+            others = [i for i, k in enumerate(keys) if k != avoid]
+            if others:
+                return others[self.rng.randrange(len(others))]
+        return self.rng.randrange(len(keys))
+
+
+class LostUpdateScheduler(Scheduler):
+    """Drop a fraction of path-compression stores; pick warps randomly.
+
+    Only plain ``st`` ops against ``target_array`` during kernels whose
+    name starts with one of ``kernel_prefixes`` are candidates — in the
+    ECL-CC pipeline that is precisely the set of path-compression writes
+    (hooks use ``cas``; init/finalize stores run in their own kernels).
+    The paper's benign-race claim says final labels are invariant under
+    any subset of these writes being lost.
+    """
+
+    family = "lostupdate"
+
+    def __init__(
+        self,
+        seed: int | None = None,
+        *,
+        drop_fraction: float = 0.5,
+        target_array: str = "parent",
+        kernel_prefixes: Sequence[str] = ("compute",),
+    ) -> None:
+        super().__init__(seed)
+        if not 0.0 <= drop_fraction <= 1.0:
+            raise ValueError("drop_fraction must be in [0, 1]")
+        self.drop_fraction = drop_fraction
+        self.target_array = target_array
+        self.kernel_prefixes = tuple(kernel_prefixes)
+
+    def choose(self, keys: Sequence[int]) -> int:
+        return self.rng.randrange(len(keys))
+
+    def drop_store(self, array_name: str, index: int) -> bool:
+        if array_name != self.target_array:
+            return False
+        if not self._kernel.startswith(self.kernel_prefixes):
+            return False
+        return self.rng.random() < self.drop_fraction
+
+
+class ReplayScheduler(Scheduler):
+    """Re-execute a recorded :class:`ScheduleTrace` decision-for-decision.
+
+    No RNG is consulted: picks and drop verdicts come straight from the
+    trace, so the interleaving is bit-exact on any Python version.  Past
+    the end of the trace (e.g. after delta-debugging truncated it) the
+    replay degrades to deterministic round-robin and drop-nothing, which
+    keeps truncated traces runnable.  Out-of-range recorded picks (the
+    ready set shrank relative to the recording) wrap via modulo.
+    """
+
+    family = "replay"
+
+    def __init__(self, trace: ScheduleTrace) -> None:
+        super().__init__(seed=trace.seed)
+        self.source = trace
+        self._picks = list(trace.picks)
+        self._drops = list(trace.drops)
+        self._pi = 0
+        self._di = 0
+
+    def choose(self, keys: Sequence[int]) -> int:
+        if self._pi < len(self._picks):
+            pos = self._picks[self._pi]
+            self._pi += 1
+            return pos % len(keys)
+        return super().choose(keys)
+
+    def drop_store(self, array_name: str, index: int) -> bool:
+        if self._di < len(self._drops):
+            verdict = self._drops[self._di]
+            self._di += 1
+            return bool(verdict)
+        return False
+
+
+SCHEDULER_FAMILIES = {
+    "roundrobin": RoundRobinScheduler,
+    "random": RandomScheduler,
+    "pct": PCTScheduler,
+    "targeted": TargetedPreemptionScheduler,
+    "lostupdate": LostUpdateScheduler,
+}
+
+#: The hostile families the fuzzer rotates through (CI runs all three).
+ADVERSARIAL_FAMILIES = ("pct", "targeted", "lostupdate")
+
+
+def make_scheduler(family: str, seed: int | None = None, **kwargs) -> Scheduler:
+    """Instantiate a scheduler family by name (see SCHEDULER_FAMILIES)."""
+    try:
+        cls = SCHEDULER_FAMILIES[family]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduler family {family!r}; "
+            f"choose from {tuple(SCHEDULER_FAMILIES)}"
+        ) from None
+    return cls(seed, **kwargs)

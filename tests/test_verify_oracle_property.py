@@ -1,0 +1,78 @@
+"""Property-based test: the structural verifier accepts exactly the
+labelings BFS induces and rejects every single-element perturbation."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.build import from_edges
+from repro.verify import bfs_labels, reference_labels, verify_labels_structural
+
+
+@st.composite
+def graphs(draw):
+    """Random small graphs, biased toward the degenerate shapes."""
+    n = draw(st.integers(min_value=0, max_value=14))
+    if n == 0:
+        return from_edges([], num_vertices=0, name="hyp-empty")
+    m = draw(st.integers(min_value=0, max_value=3 * n))
+    vert = st.integers(min_value=0, max_value=n - 1)
+    # Self-loops allowed on purpose: the builder must drop them.
+    edges = draw(st.lists(st.tuples(vert, vert), min_size=m, max_size=m))
+    return from_edges(edges, num_vertices=n, name="hyp")
+
+
+@settings(max_examples=120, deadline=None)
+@given(graphs())
+def test_accepts_bfs_induced_labels(graph):
+    labels = bfs_labels(graph)
+    assert verify_labels_structural(graph, labels)
+    # bfs and scipy agree (both canonical min-member IDs).
+    assert np.array_equal(labels, reference_labels(graph))
+
+
+@settings(max_examples=120, deadline=None)
+@given(graphs(), st.data())
+def test_rejects_any_single_perturbation(graph, data):
+    n = graph.num_vertices
+    if n == 0:
+        return
+    labels = bfs_labels(graph)
+    i = data.draw(st.integers(min_value=0, max_value=n - 1), label="index")
+    # Candidate wrong values: every in-range label plus out-of-range ones.
+    wrong = data.draw(
+        st.integers(min_value=-2, max_value=n + 1).filter(
+            lambda w: w != labels[i]
+        ),
+        label="value",
+    )
+    bad = labels.copy()
+    bad[i] = wrong
+    assert not verify_labels_structural(graph, bad)
+
+
+@settings(max_examples=60, deadline=None)
+@given(graphs())
+def test_rejects_wrong_shape(graph):
+    labels = bfs_labels(graph)
+    assert not verify_labels_structural(graph, np.append(labels, 0))
+    if graph.num_vertices:
+        assert not verify_labels_structural(graph, labels[:-1])
+
+
+def test_degenerate_cases_explicitly():
+    empty = from_edges([], num_vertices=0, name="empty")
+    assert verify_labels_structural(empty, np.empty(0, dtype=np.int64))
+
+    single = from_edges([], num_vertices=1, name="single")
+    assert verify_labels_structural(single, np.zeros(1, dtype=np.int64))
+
+    # Self-loop input: dropped by the builder, vertex stays its own rep.
+    loops = from_edges([(0, 0), (1, 2)], num_vertices=3, name="loops")
+    assert verify_labels_structural(loops, np.array([0, 1, 1]))
+    assert not verify_labels_structural(loops, np.array([0, 0, 0]))
+
+    # Merged-components labeling (partition too coarse) must be rejected
+    # even though every screen except reachability passes.
+    two = from_edges([(0, 1), (2, 3)], num_vertices=4, name="two")
+    assert verify_labels_structural(two, np.array([0, 0, 2, 2]))
+    assert not verify_labels_structural(two, np.array([0, 0, 0, 0]))
