@@ -86,7 +86,9 @@ def main(argv: list[str] | None = None) -> int:
         marker = " [high-diameter]" if row["high_diameter"] else ""
         print(
             f"{row['name']:{width}s}  before {row['before_ms']:9.2f} ms  "
-            f"after {row['after_ms']:9.2f} ms  speedup {row['speedup']:5.2f}x"
+            f"after {row['after_ms']:9.2f} ms  speedup {row['speedup']:5.2f}x  "
+            f"resilient {row['resilient_ms']:9.2f} ms "
+            f"({row['supervisor_overhead']:+.1%})"
             f"{marker}"
         )
     print(f"wrote {path}")

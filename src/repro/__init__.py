@@ -4,23 +4,30 @@ Implementation for GPUs" (Jaiganesh & Burtscher, HPDC 2018).
 Public API highlights:
 
 * :func:`repro.connected_components` — label components with any backend.
+* :func:`repro.resilient_components` — the same, under a fault-tolerant
+  supervisor (watchdog, checkpointed retry, backend degradation).
 * :mod:`repro.graph` — CSR graphs, builders, file I/O, statistics.
 * :mod:`repro.generators` — synthetic graphs and the 18-input suite.
 * :mod:`repro.gpusim` — the simulated GPU the CUDA kernels run on.
 * :mod:`repro.observe` — structured tracing/metrics across all layers.
+* :mod:`repro.resilience` — fault injection (chaos testing) and the
+  resilient supervisor.
 * :mod:`repro.experiments` — regenerate every table/figure of the paper.
 """
 
 from .core.api import connected_components, count_components, register_backend
 from .core.result import CCResult
 from .graph.csr import CSRGraph
+from .resilience import FaultPlan, resilient_components
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "connected_components",
     "count_components",
     "register_backend",
+    "resilient_components",
+    "FaultPlan",
     "CCResult",
     "CSRGraph",
     "__version__",

@@ -17,6 +17,7 @@ import numpy as np
 
 from ...cpusim.pool import VirtualThreadPool
 from ...cpusim.spec import CpuSpec, E5_2687W
+from ...errors import ReproError
 from ...graph.csr import CSRGraph
 from ...observe import current_tracer
 from ...unionfind.concurrent import compare_and_swap
@@ -35,6 +36,7 @@ def ecl_cc_omp(
     jump: str = "halving",
     cas: Callable[[np.ndarray, int, int, int], int] = compare_and_swap,
     scheduler=None,
+    initial_parent: np.ndarray | None = None,
 ) -> CpuRunResult:
     """Run ECL-CC_OMP under the virtual-thread pool; returns labels and
     the modeled parallel runtime.
@@ -42,13 +44,27 @@ def ecl_cc_omp(
     ``scheduler`` injects a chunk-dispatch-order policy (the pluggable
     cpusim protocol; see :mod:`repro.verify.schedulers`) so verification
     can explore hostile interleavings of the parallel regions.
+    ``initial_parent`` resumes from a checkpointed parent array (init is
+    skipped; hooking is idempotent, so any in-component state converges
+    to the same labels); on failure the raised
+    :class:`~repro.errors.ReproError` carries ``exc.checkpoint``, the
+    surviving parent array.
     """
     n = graph.num_vertices
     find = FIND_VARIANTS[jump]
     init_fn = INIT_VARIANTS[init]
     row_ptr = graph.row_ptr
     col_idx = graph.col_idx
-    parent = np.empty(n, dtype=np.int64)
+    if initial_parent is not None:
+        parent = np.asarray(initial_parent, dtype=np.int64).copy()
+        if parent.shape != (n,):
+            raise ValueError(
+                f"initial_parent has shape {parent.shape}, expected ({n},)"
+            )
+    else:
+        # Identity, not np.empty: a worker crash mid-init then still
+        # leaves a valid resume checkpoint.
+        parent = np.arange(n, dtype=np.int64)
     pool = VirtualThreadPool(spec, scheduler=scheduler)
 
     def init_body(start: int, stop: int) -> None:
@@ -92,14 +108,21 @@ def ecl_cc_omp(
                 parent[v] = vstat
 
     tracer = current_tracer()
-    with tracer.span(
-        "omp:run", category="baselines.omp", num_threads=spec.num_threads
-    ) as sp:
-        pool.parallel_for(n, init_body, schedule="guided", name="init")
-        pool.parallel_for(n, compute_body, schedule="guided", name="compute")
-        pool.parallel_for(n, finalize_body, schedule="guided", name="finalize")
-        if tracer.enabled:
-            sp.update(modeled_ms=pool.modeled_time_ms)
+    try:
+        with tracer.span(
+            "omp:run", category="baselines.omp", num_threads=spec.num_threads
+        ) as sp:
+            if initial_parent is None:
+                pool.parallel_for(n, init_body, schedule="guided", name="init")
+            pool.parallel_for(n, compute_body, schedule="guided", name="compute")
+            pool.parallel_for(n, finalize_body, schedule="guided", name="finalize")
+            if tracer.enabled:
+                sp.update(modeled_ms=pool.modeled_time_ms)
+    except ReproError as exc:
+        # Attach the surviving parent array for supervised resume.
+        if getattr(exc, "checkpoint", None) is None:
+            exc.checkpoint = parent.copy()
+        raise
 
     return CpuRunResult(
         name="ECL-CC_OMP",

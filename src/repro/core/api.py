@@ -52,6 +52,7 @@ __all__ = [
     "BACKENDS",
     "BackendSpec",
     "OptionSpec",
+    "get_backend",
     "register_backend",
     "unregister_backend",
 ]
@@ -105,6 +106,17 @@ class BackendSpec:
 
 
 BACKENDS: dict[str, BackendSpec] = {}
+
+
+def get_backend(name: str) -> BackendSpec:
+    """Look up a registered backend; unknown names list what exists."""
+    spec = BACKENDS.get(name)
+    if spec is None:
+        raise UnknownBackendError(
+            f"unknown backend {name!r}; registered backends: "
+            f"{', '.join(sorted(BACKENDS)) or '(none)'}"
+        )
+    return spec
 
 
 def register_backend(
@@ -172,6 +184,7 @@ def connected_components(
     *,
     backend: str = "numpy",
     full_result: bool = False,
+    resilient: bool = False,
     **options,
 ):
     """Compute connected-component labels of an undirected CSR graph.
@@ -186,6 +199,13 @@ def connected_components(
     full_result:
         When true, return the full :class:`CCResult` (stats, timings,
         trace, ...) instead of just the label array.
+    resilient:
+        Run under the :mod:`repro.resilience` supervisor: watchdogged
+        attempts, checkpointed retry, and graceful degradation from
+        ``backend`` down the default chain (``gpu → omp → numpy →
+        serial``; a backend outside the chain degrades into the full
+        chain).  See :func:`repro.resilience.resilient_components` for
+        the fine-grained knobs.
     options:
         Backend-specific keyword arguments (``init=``, ``jump=``,
         ``fini=``, ``device=``, ``seed=``, ...), validated against the
@@ -197,11 +217,18 @@ def connected_components(
         ``labels`` with ``labels[v]`` = min vertex ID of v's component
         (or the :class:`CCResult` when ``full_result`` is set).
     """
-    spec = BACKENDS.get(backend)
-    if spec is None:
-        raise UnknownBackendError(
-            f"unknown backend {backend!r}; choose from {tuple(BACKENDS)}"
+    if resilient:
+        from ..resilience import DEFAULT_CHAIN, resilient_components
+
+        if backend in DEFAULT_CHAIN:
+            chain = DEFAULT_CHAIN[DEFAULT_CHAIN.index(backend):]
+        else:
+            get_backend(backend)  # fail fast on unknown names
+            chain = (backend, *DEFAULT_CHAIN)
+        return resilient_components(
+            graph, backends=chain, full_result=full_result, **options
         )
+    spec = get_backend(backend)
     spec.validate_options(options)
 
     tracer = current_tracer()
@@ -229,7 +256,10 @@ def count_components(graph: CSRGraph, *, backend: str = "numpy", **options) -> i
 
     Isolated vertices each count as their own component; the empty graph
     has zero components (no ``np.unique`` call on a zero-length array).
+    Backend name and options are validated *before* the empty-graph
+    shortcut so misuse fails identically on every input.
     """
+    get_backend(backend).validate_options(options)
     if graph.num_vertices == 0:
         return 0
     result = connected_components(
@@ -380,6 +410,9 @@ register_backend(
         "warp_broadcast": OptionSpec("lane-0-broadcast warp-kernel ablation"),
         "max_warps_kernel2": OptionSpec("warp cap for the medium-degree kernel"),
         "max_blocks_kernel3": OptionSpec("block cap for the high-degree kernel"),
+        "initial_parent": OptionSpec(
+            "checkpointed parent array to resume from (skips the init kernel)"
+        ),
     },
 )
 register_backend(
@@ -393,6 +426,9 @@ register_backend(
         "cas": OptionSpec("injectable compare-and-swap callable"),
         "scheduler": OptionSpec(
             "injectable chunk-order scheduler (repro.verify protocol)"
+        ),
+        "initial_parent": OptionSpec(
+            "checkpointed parent array to resume from (skips the init region)"
         ),
     },
 )

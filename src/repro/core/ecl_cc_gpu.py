@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..errors import SimulationError
+from ..errors import ReproError, SimulationError
 from ..graph.csr import CSRGraph
 from ..observe import current_tracer
 from ..gpusim.device import DeviceSpec, TITAN_X
@@ -415,6 +415,7 @@ def ecl_cc_gpu(
     warp_broadcast: bool = False,
     max_warps_kernel2: int = 256,
     max_blocks_kernel3: int = 64,
+    initial_parent: np.ndarray | None = None,
 ) -> GpuRunResult:
     """Run ECL-CC on the simulated GPU; returns labels and measurements.
 
@@ -428,6 +429,12 @@ def ecl_cc_gpu(
     ``collect_paths`` enables the Table 4 path-length instrumentation.
     ``warp_broadcast`` swaps the warp kernel for the lane-0-broadcast
     variant (an ablation of the redundant per-lane find).
+    ``initial_parent`` resumes from a checkpointed parent array (any
+    in-component state satisfying ``parent[v] <= v``): the init kernel
+    is skipped and hooking re-derives the rest — ECL-CC's hooks are
+    idempotent, so resuming converges to the same canonical labels.
+    On failure, any :class:`~repro.errors.ReproError` leaves the run
+    carrying ``exc.checkpoint``, the surviving parent array.
     """
     if jump not in JUMP_VARIANTS:
         raise ValueError(f"unknown jump variant {jump!r}")
@@ -441,42 +448,63 @@ def ecl_cc_gpu(
 
     n = graph.num_vertices
     gpu = GPU(device, seed=seed, scheduler=scheduler)
-    d_row = gpu.memory.to_device(graph.row_ptr, name="row_ptr")
-    d_col = gpu.memory.to_device(graph.col_idx, name="col_idx")
-    d_parent = gpu.memory.alloc(max(n, 1), name="parent")
-    wl = DoubleSidedWorklist(gpu.memory, n)
+    d_parent = None
+    if initial_parent is not None:
+        host_parent = np.asarray(initial_parent, dtype=np.int64)
+        if host_parent.shape != (n,):
+            raise ValueError(
+                f"initial_parent has shape {host_parent.shape}, expected ({n},)"
+            )
+        if n == 0:
+            host_parent = np.zeros(1, dtype=np.int64)
+    else:
+        # Identity, not zeros: a crash before/while init runs then leaves
+        # a parent array that is still a valid resume checkpoint.
+        host_parent = np.arange(max(n, 1), dtype=np.int64)
+    try:
+        d_row = gpu.memory.to_device(graph.row_ptr, name="row_ptr")
+        d_col = gpu.memory.to_device(graph.col_idx, name="col_idx")
+        d_parent = gpu.memory.to_device(host_parent, name="parent")
+        wl = DoubleSidedWorklist(gpu.memory, n)
 
-    tracer = current_tracer()
-    gpu.launch(k_init, n, d_row, d_col, d_parent, n, init, name="init")
-    gpu.launch(
-        k_compute1, n, d_row, d_col, d_parent, n, wl, find,
-        thresh_mid, thresh_high, recorder, hook, name="compute1",
-    )
-    front, back = wl.front_count, wl.back_count
-    if tracer.enabled:
-        tracer.gauge("worklist.front", front)
-        tracer.gauge("worklist.back", back)
-        tracer.gauge("worklist.occupancy", wl.occupancy())
-    ws = device.warp_size
-    threads2 = min(max(front, 1), max_warps_kernel2) * ws if front else 0
-    kernel2 = k_compute2_bcast if warp_broadcast else k_compute2
-    gpu.launch(
-        kernel2, threads2, d_row, d_col, d_parent, wl, find, ws, recorder,
-        hook, name="compute2", span_attrs={"worklist_front": front},
-    )
-    threads3 = min(max(back, 1), max_blocks_kernel3) * device.block_threads if back else 0
-    gpu.launch(
-        k_compute3, threads3, d_row, d_col, d_parent, wl, find, recorder,
-        hook, name="compute3", span_attrs={"worklist_back": back},
-    )
-    gpu.launch(k_finalize, n, d_parent, n, fini, name="finalize")
-    # Fini1's compression writes can race with other threads' final writes
-    # (a stale intermediate landing after a root was stored).  The chains
-    # stay valid, so one extra flatten pass repairs it; Fini2/Fini3 always
-    # converge in a single pass.  Experiments measure kernels[0:5] only.
-    p = d_parent.data
-    while n and not np.array_equal(p, p[p]):
-        gpu.launch(k_finalize, n, d_parent, n, "Fini3", name="finalize-fixup")
+        tracer = current_tracer()
+        if initial_parent is None:
+            gpu.launch(k_init, n, d_row, d_col, d_parent, n, init, name="init")
+        gpu.launch(
+            k_compute1, n, d_row, d_col, d_parent, n, wl, find,
+            thresh_mid, thresh_high, recorder, hook, name="compute1",
+        )
+        front, back = wl.front_count, wl.back_count
+        if tracer.enabled:
+            tracer.gauge("worklist.front", front)
+            tracer.gauge("worklist.back", back)
+            tracer.gauge("worklist.occupancy", wl.occupancy())
+        ws = device.warp_size
+        threads2 = min(max(front, 1), max_warps_kernel2) * ws if front else 0
+        kernel2 = k_compute2_bcast if warp_broadcast else k_compute2
+        gpu.launch(
+            kernel2, threads2, d_row, d_col, d_parent, wl, find, ws, recorder,
+            hook, name="compute2", span_attrs={"worklist_front": front},
+        )
+        threads3 = min(max(back, 1), max_blocks_kernel3) * device.block_threads if back else 0
+        gpu.launch(
+            k_compute3, threads3, d_row, d_col, d_parent, wl, find, recorder,
+            hook, name="compute3", span_attrs={"worklist_back": back},
+        )
+        gpu.launch(k_finalize, n, d_parent, n, fini, name="finalize")
+        # Fini1's compression writes can race with other threads' final writes
+        # (a stale intermediate landing after a root was stored).  The chains
+        # stay valid, so one extra flatten pass repairs it; Fini2/Fini3 always
+        # converge in a single pass.  Experiments measure kernels[0:5] only.
+        p = d_parent.data
+        while n and not np.array_equal(p, p[p]):
+            gpu.launch(k_finalize, n, d_parent, n, "Fini3", name="finalize-fixup")
+    except ReproError as exc:
+        # Attach the surviving parent array so a supervised retry can
+        # resume from it instead of restarting at Init.
+        if getattr(exc, "checkpoint", None) is None and d_parent is not None:
+            exc.checkpoint = d_parent.data[:n].copy()
+        raise
 
     return GpuRunResult(
         labels=d_parent.data[:n].copy(),

@@ -34,6 +34,9 @@ class CCResult:
     stats: Any = None
     timings: dict[str, float] = field(default_factory=dict)
     trace: list | None = None  # Spans recorded while the run was traced
+    # Recovery history (repro.resilience RecoveryInfo) when the run went
+    # through the resilient supervisor; None for direct runs.
+    recovery: Any = None
 
     # -- uniform accessors ----------------------------------------------
     @property

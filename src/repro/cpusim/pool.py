@@ -25,6 +25,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable
 
+from ..errors import WatchdogTimeoutError, WorkerError
 from ..observe import current_tracer
 from .spec import CpuSpec, E5_2687W
 
@@ -55,6 +56,19 @@ class VirtualThreadPool:
     that race on shared arrays (e.g. ECL-CC_OMP's CAS hooks) observe a
     different store order under every schedule, and each decision lands
     in the scheduler's replayable trace.
+
+    If the scheduler additionally defines ``on_chunk(region, index,
+    start, stop)`` it is called immediately before each chunk body runs;
+    raising from it models a worker crash mid-region (the
+    fault-injection seam used by :mod:`repro.resilience`).
+
+    Exceptions raised by a chunk body (or by ``on_chunk``) are wrapped
+    in :class:`~repro.errors.WorkerError` carrying the worker id, the
+    chunk index and range, and the region/spec names, with the original
+    exception chained as ``__cause__`` — a raw traceback from inside
+    the pool names none of those.  Watchdog timeouts propagate
+    unwrapped: a deadline expiry is an attempt-level event, not a
+    worker crash.
     """
 
     def __init__(self, spec: CpuSpec = E5_2687W, *, scheduler=None) -> None:
@@ -120,14 +134,39 @@ class VirtualThreadPool:
             heapq.heapify(loads)
             total = 0.0
             chunks = self._chunks(n, schedule, chunk)
-            if self.scheduler is not None and len(chunks) > 1:
+            # A scheduler may expose only the on_chunk seam (observation /
+            # fault injection) without taking over dispatch order.
+            if (
+                self.scheduler is not None
+                and hasattr(self.scheduler, "pick")
+                and len(chunks) > 1
+            ):
                 chunks = self._scheduled_order(name, chunks)
-            for start, stop in chunks:
+            on_chunk = getattr(self.scheduler, "on_chunk", None)
+            for ci, (start, stop) in enumerate(chunks):
+                # The least-loaded virtual thread takes the chunk; pop it
+                # first so a crashing body can name the worker it ran on.
+                load, tid = heapq.heappop(loads)
                 t0 = time.perf_counter()
-                body(start, stop)
+                try:
+                    if on_chunk is not None:
+                        on_chunk(name, ci, start, stop)
+                    body(start, stop)
+                except WatchdogTimeoutError:
+                    raise
+                except Exception as exc:
+                    raise WorkerError(
+                        f"worker {tid} crashed in region {name!r} "
+                        f"(chunk {ci} of {len(chunks)}, vertices "
+                        f"[{start}:{stop}), spec {self.spec.name!r}): {exc}",
+                        worker=tid,
+                        region=name,
+                        chunk_index=ci,
+                        chunk_range=(start, stop),
+                        spec=self.spec.name,
+                    ) from exc
                 dt = time.perf_counter() - t0
                 total += dt
-                load, tid = heapq.heappop(loads)
                 heapq.heappush(loads, (load + dt, tid))
             span = max(load for load, _ in loads) if loads else 0.0
             stats = RegionStats(

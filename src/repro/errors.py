@@ -52,6 +52,84 @@ class UnknownOptionError(ReproError, TypeError):
     """
 
 
+class WorkerError(SimulationError):
+    """A virtual-thread worker raised while executing a chunk.
+
+    Wraps the original exception (available as ``__cause__``) with the
+    execution context a raw traceback from inside the pool lacks:
+    which virtual worker crashed, which chunk of which region it was
+    running, and on which CPU spec.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        worker: int = -1,
+        region: str = "",
+        chunk_index: int = -1,
+        chunk_range: tuple[int, int] = (-1, -1),
+        spec: str = "",
+    ) -> None:
+        super().__init__(message)
+        self.worker = worker
+        self.region = region
+        self.chunk_index = chunk_index
+        self.chunk_range = chunk_range
+        self.spec = spec
+
+
+class FaultError(ReproError):
+    """Base class for failures raised by the fault-injection plane.
+
+    Carries a ``checkpoint``: the surviving parent array at the moment
+    the fault surfaced (attached by the backend that owned the array),
+    which the :mod:`repro.resilience` supervisor re-drives to
+    convergence instead of restarting from Init.  ``context`` holds the
+    injection site (kernel/region, trigger count, ...).
+    """
+
+    kind = "fault"
+
+    def __init__(self, message: str, **context) -> None:
+        super().__init__(message)
+        self.checkpoint = None
+        self.context = context
+
+
+class KernelAbortError(FaultError):
+    """An injected transient kernel abort (the launch dies mid-flight)."""
+
+    kind = "kernel_abort"
+
+
+class DeviceOOMError(FaultError):
+    """An injected device out-of-memory at allocation time.
+
+    Treated as *non-transient* by the supervisor: retrying the same
+    backend on the same graph would allocate the same footprint, so an
+    OOM degrades straight to the next backend in the chain.
+    """
+
+    kind = "oom"
+
+
+class WorkerCrashError(FaultError):
+    """An injected virtual-thread worker crash (cpusim chunk dispatch)."""
+
+    kind = "worker_crash"
+
+
+class WatchdogTimeoutError(FaultError):
+    """An attempt exceeded its deadline (hung/lost warp, stuck region)."""
+
+    kind = "watchdog"
+
+
+class ResilienceExhaustedError(ReproError):
+    """Every backend in the degradation chain failed all its attempts."""
+
+
 class VerificationError(ReproError):
     """A connected-components labeling failed verification."""
 

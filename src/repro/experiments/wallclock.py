@@ -52,7 +52,7 @@ __all__ = [
     "write_gate_json",
 ]
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 #: Suite members whose diameter grows with n (meshes and road networks):
 #: the inputs the frontier formulation is required to win big on.
@@ -132,6 +132,26 @@ def _time_best(fn, repeats: int) -> float:
     return best * 1e3
 
 
+def _time_best_pair(fn_a, fn_b, repeats: int) -> tuple[float, float]:
+    """Best-of wall times of two functions measured interleaved.
+
+    Timing A's repeats and then B's lets a load spike land entirely on
+    one side, which on ~10 ms workloads can dwarf the few-percent
+    difference being measured.  Alternating A,B per round exposes both
+    to the same machine conditions; at least nine rounds so the best-of
+    minimum is stable.
+    """
+    best_a = best_b = float("inf")
+    for _ in range(max(repeats, 9)):
+        t0 = time.perf_counter()
+        fn_a()
+        best_a = min(best_a, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        fn_b()
+        best_b = min(best_b, time.perf_counter() - t0)
+    return best_a * 1e3, best_b * 1e3
+
+
 def run_wallclock_gate(
     scale: str = "medium",
     names: list[str] | None = None,
@@ -142,12 +162,18 @@ def run_wallclock_gate(
 
     Per graph: wall time of the pre-change snapshot (``before_ms``), the
     frontier backend (``after_ms``), the shared-cache dense ablation
-    (``dense_ms``), and FastSV (``fastsv_ms``); the frontier backend's
-    round counts and frontier curve; and — when ``verify`` is set — a
+    (``dense_ms``), FastSV (``fastsv_ms``), and the frontier backend
+    wrapped in the resilient supervisor with no faults armed
+    (``resilient_ms``, with the ratio ``supervisor_overhead`` =
+    ``resilient_ms / after_ms - 1``); the frontier backend's round
+    counts and frontier curve; and — when ``verify`` is set — a
     bit-for-bit label comparison of every measured backend against the
     serial reference.  A mismatch raises :class:`VerificationError`
     naming the graph and backend; nothing is silently recorded.
     """
+    # Local import: repro.resilience imports the core package this
+    # module sits next to.
+    from ..resilience import resilient_components
     tracer = current_tracer()
     rows = []
     for name in names or suite_names():
@@ -162,7 +188,11 @@ def run_wallclock_gate(
             graph.edge_array()
             graph.degrees()
             labels, stats = ecl_cc_numpy(graph)
-            after_ms = _time_best(lambda: ecl_cc_numpy(graph), repeats)
+            after_ms, resilient_ms = _time_best_pair(
+                lambda: ecl_cc_numpy(graph),
+                lambda: resilient_components(graph, backends=("numpy",)),
+                repeats,
+            )
             before_ms = _time_best(lambda: legacy_numpy_cc(graph), repeats)
             dense_ms = _time_best(lambda: ecl_cc_numpy_dense(graph), repeats)
             fastsv_ms = _time_best(lambda: fastsv_cc(graph), repeats)
@@ -173,6 +203,7 @@ def run_wallclock_gate(
                     ("numpy-dense", ecl_cc_numpy_dense(graph)[0]),
                     ("fastsv", fastsv_cc(graph)[0]),
                     ("legacy", legacy_numpy_cc(graph)),
+                    ("resilient", resilient_components(graph, backends=("numpy",))),
                 ):
                     if not np.array_equal(got, reference):
                         raise VerificationError(
@@ -189,6 +220,12 @@ def run_wallclock_gate(
                     "after_ms": round(after_ms, 3),
                     "dense_ms": round(dense_ms, 3),
                     "fastsv_ms": round(fastsv_ms, 3),
+                    "resilient_ms": round(resilient_ms, 3),
+                    # From the *rounded* fields, so the recorded ratio is
+                    # exactly reconstructible from the row.
+                    "supervisor_overhead": round(
+                        round(resilient_ms, 3) / round(after_ms, 3) - 1.0, 4
+                    ),
                     "speedup": round(before_ms / after_ms, 3),
                     "hook_rounds": stats.hook_rounds,
                     "doubling_passes": stats.doubling_passes,
@@ -217,12 +254,18 @@ def check_gate(
     min_speedup: float = 3.0,
     max_regression: float = 0.05,
     min_vertices: int = 100_000,
+    max_overhead: float = 0.05,
+    overhead_slack_ms: float = 0.3,
 ) -> list[str]:
     """Apply the acceptance thresholds; returns a list of problems.
 
     The gate passes (empty list) when every graph's ``speedup`` is at
-    least ``1 - max_regression`` *and* at least one high-diameter graph
-    with ``num_vertices >= min_vertices`` reaches ``min_speedup``.
+    least ``1 - max_regression``, at least one high-diameter graph
+    with ``num_vertices >= min_vertices`` reaches ``min_speedup``, and
+    the zero-fault resilient supervisor adds at most ``max_overhead``
+    (relative) on every graph.  ``overhead_slack_ms`` is an absolute
+    allowance on top of the relative bound: the smallest suite graphs
+    finish in ~2 ms, where a 5% budget is inside timer jitter.
     """
     problems = []
     floor = 1.0 - max_regression
@@ -233,6 +276,16 @@ def check_gate(
                 f"{row['name']}: speedup {row['speedup']:.2f}x is below the "
                 f"no-regression floor {floor:.2f}x"
             )
+        if "resilient_ms" in row:
+            budget_ms = row["after_ms"] * (1.0 + max_overhead) + overhead_slack_ms
+            if row["resilient_ms"] > budget_ms:
+                problems.append(
+                    f"{row['name']}: zero-fault resilient run "
+                    f"{row['resilient_ms']:.2f} ms exceeds the supervisor "
+                    f"overhead budget {budget_ms:.2f} ms "
+                    f"(after {row['after_ms']:.2f} ms + {max_overhead:.0%} "
+                    f"+ {overhead_slack_ms:.2f} ms slack)"
+                )
         if (
             row["high_diameter"]
             and row["num_vertices"] >= min_vertices

@@ -48,6 +48,16 @@ adversarial families and the replayable decision traces):
   is discarded, cycles are still charged), which is how the verify
   subsystem stresses the paper's benign-race claim directly.
 
+Two further hooks are *optional* (looked up once per launch, absent on
+the verify schedulers):
+
+* ``transform_store(arr, index, value) -> value`` — may rewrite the
+  value of a plain ``st`` before it lands; the fault-injection plane
+  (:mod:`repro.resilience`) uses it to model corrupted parent-array
+  stores.  Cycles are charged for the original store either way.
+* ``on_alloc(name, nbytes)`` — installed onto the device memory's
+  allocation hook at construction; raising from it models device OOM.
+
 Cycle accounting: a warp step costs one issue slot plus the service
 latency of each *distinct* cache line it touches (intra-warp coalescing),
 plus a serialization charge per atomic.  Per-SM cycle counters advance
@@ -184,6 +194,9 @@ class GPU:
         # The seeded uniform-random picker remains the fast built-in path
         # when no scheduler is supplied.
         self.scheduler = scheduler
+        alloc_hook = getattr(scheduler, "on_alloc", None)
+        if alloc_hook is not None:
+            self.memory.alloc_hook = alloc_hook
         self._rng = random.Random(seed) if seed is not None else None
         self.launches: list[LaunchStats] = []
         self.max_warp_steps = 200_000_000  # runaway-kernel backstop
@@ -307,6 +320,7 @@ class GPU:
         cache = self.cache
         rng = self._rng
         sched = self.scheduler
+        xform = getattr(sched, "transform_store", None)
         if sched is not None:
             sched.begin_launch(kname)
         issue = dev.issue_cycles
@@ -371,11 +385,14 @@ class GPU:
                         # Lost-update injection point: a dropped store
                         # models the benign race where an unsynchronized
                         # path-compression write is overwritten before it
-                        # lands.  Cycles are charged either way.
+                        # lands.  Cycles are charged either way.  A
+                        # transform_store hook (fault injection) may
+                        # corrupt the value before it lands.
                         old = int(arr.data[i])
+                        value = op[3] if xform is None else xform(arr, i, op[3])
                         if not sched.query_drop(arr.name, i):
-                            arr.data[i] = op[3]
-                        sched.note_op(warp.uid, "st", arr.name, i, old, int(op[3]))
+                            arr.data[i] = value
+                        sched.note_op(warp.uid, "st", arr.name, i, old, int(value))
                     lane.value = None
                     line = (arr.addr + i * arr.itemsize) >> arr._line_shift
                     key = (line, "w")

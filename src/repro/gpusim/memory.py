@@ -43,6 +43,10 @@ class DeviceMemory:
 
     Allocations are aligned to the cache-line size so distinct arrays
     never produce false line sharing.
+
+    ``alloc_hook(name, nbytes)``, when set, is consulted before every
+    registration; it may raise (e.g. :class:`~repro.errors.DeviceOOMError`
+    from the fault-injection plane) to model an allocation failure.
     """
 
     def __init__(self, line_bytes: int = 128) -> None:
@@ -51,6 +55,7 @@ class DeviceMemory:
         self.line_bytes = line_bytes
         self._next_addr = line_bytes  # keep address 0 unused
         self.arrays: list[DeviceArray] = []
+        self.alloc_hook = None  # (name, nbytes) -> None, may raise
 
     def alloc(self, size: int, *, name: str, dtype=np.int64, fill: int | None = None) -> DeviceArray:
         """Allocate a zero/fill-initialized device array."""
@@ -69,6 +74,8 @@ class DeviceMemory:
         return self._register(data, name)
 
     def _register(self, data: np.ndarray, name: str) -> DeviceArray:
+        if self.alloc_hook is not None:
+            self.alloc_hook(name, max(int(data.nbytes), 1))
         addr = self._next_addr
         nbytes = max(int(data.nbytes), 1)
         # Align the next allocation up to a line boundary.

@@ -1,0 +1,45 @@
+"""Fault injection and resilient execution (``repro.resilience``).
+
+Two halves, designed together:
+
+* a **fault-injection plane** — :class:`FaultPlan` / :class:`FaultSpec`
+  describe deterministic faults (kernel aborts, device OOM, lost warps,
+  worker crashes, corrupted stores, hangs) that :class:`FaultInjector`
+  fires through the pluggable scheduler seams the simulators already
+  expose; and
+* a **supervised runner** — :func:`resilient_components` adds watchdog
+  deadlines, bounded retry with checkpointed resume, a backend
+  degradation chain with a circuit breaker, and structural verification
+  of every fault-injected result.
+
+``python -m repro.resilience selfcheck`` runs the seeded chaos matrix
+(every fault family on gpu and omp) and asserts bit-identical recovery.
+"""
+
+from .faults import FAULT_KINDS, FaultEvent, FaultPlan, FaultSpec
+from .health import GLOBAL_HEALTH, BackendHealth, BackendState
+from .injector import FaultInjector, Watchdog
+from .supervisor import (
+    DEFAULT_CHAIN,
+    AttemptRecord,
+    RecoveryInfo,
+    resilient_components,
+    sanitize_checkpoint,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultSpec",
+    "FaultPlan",
+    "FaultEvent",
+    "FaultInjector",
+    "Watchdog",
+    "BackendHealth",
+    "BackendState",
+    "GLOBAL_HEALTH",
+    "DEFAULT_CHAIN",
+    "AttemptRecord",
+    "RecoveryInfo",
+    "resilient_components",
+    "sanitize_checkpoint",
+]

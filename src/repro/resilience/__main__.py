@@ -1,0 +1,279 @@
+"""CLI for the chaos layer.
+
+Subcommands::
+
+    python -m repro.resilience selfcheck [--seed S] [--vertices N]
+        [--artifacts DIR]
+    python -m repro.resilience plan --seed S [--out plan.json]
+        [--backends gpu,omp] [--faults N]
+    python -m repro.resilience run plan.json [--vertices N] [--seed S]
+        [--deadline D] [--trace out.trace.json]
+
+``selfcheck`` drives the seeded chaos matrix — every fault family on
+both the simulated GPU and the virtual-thread pool — and demands that
+each run (a) recovers, (b) produces labels bit-identical to the serial
+oracle, (c) records the injected fault in its recovery history, and
+(d) replays deterministically after a JSON round-trip of the plan.  On
+failure it writes the offending :class:`FaultPlan` and the Chrome
+trace of the run to ``--artifacts`` so CI can upload them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from ..observe import Tracer, to_chrome_trace, use_tracer
+from .faults import FaultPlan, FaultSpec
+from .supervisor import resilient_components
+
+GPU_CHAIN = ("gpu", "omp", "numpy", "serial")
+OMP_CHAIN = ("omp", "numpy", "serial")
+
+
+def chaos_matrix(num_vertices: int) -> list[tuple[str, tuple[str, ...], FaultSpec]]:
+    """The (case, chain, fault) matrix: one row per fault family/substrate.
+
+    Trigger points land mid-computation.  The corrupt-store case writes
+    ``num_vertices - 2`` — the representative of the pair component the
+    chaos graph appends (see :func:`_graph`) — into a core vertex's
+    parent slot, which is guaranteed *cross-component* corruption: the
+    fixup passes cannot silently repair it, so it must survive to the
+    structural verifier and be caught there.
+    """
+    return [
+        (
+            "gpu-kernel-abort",
+            GPU_CHAIN,
+            FaultSpec(kind="kernel_abort", backend="gpu", where="compute", at=40),
+        ),
+        (
+            "gpu-oom",
+            GPU_CHAIN,
+            FaultSpec(kind="oom", backend="gpu", where="parent", at=0),
+        ),
+        (
+            "gpu-lost-warp",
+            GPU_CHAIN,
+            FaultSpec(kind="lost_warp", backend="gpu", where="compute1", at=5),
+        ),
+        (
+            "gpu-corrupt-store",
+            GPU_CHAIN,
+            FaultSpec(kind="corrupt_store", backend="gpu", where="init",
+                      array="parent", at=50, value=num_vertices - 2),
+        ),
+        (
+            "gpu-hang",
+            GPU_CHAIN,
+            FaultSpec(kind="hang", backend="gpu", where="compute", at=30),
+        ),
+        (
+            "omp-worker-crash",
+            OMP_CHAIN,
+            FaultSpec(kind="worker_crash", backend="omp", where="compute", at=2),
+        ),
+        (
+            "omp-hang",
+            OMP_CHAIN,
+            FaultSpec(kind="hang", backend="omp", where="compute", at=1),
+        ),
+    ]
+
+
+def _graph(vertices: int, seed: int):
+    """G(n-2, 2(n-2)) plus a disjoint pair {n-2, n-1}.
+
+    The guaranteed second component gives the corrupt-store case a
+    cross-component target that no amount of re-hooking can legitimize.
+    """
+    from ..generators import random_gnm
+    from ..graph.build import from_arc_arrays
+
+    if vertices < 8:
+        raise ValueError("chaos graph needs at least 8 vertices")
+    core = random_gnm(vertices - 2, (vertices - 2) * 2, seed=seed)
+    src, dst = core.arc_array()
+    src = np.concatenate([src, [vertices - 2, vertices - 1]])
+    dst = np.concatenate([dst, [vertices - 1, vertices - 2]])
+    return from_arc_arrays(src, dst, vertices, name=f"chaos-{vertices}")
+
+
+def _dump_artifacts(directory: str, case: str, plan: FaultPlan, tracer: Tracer) -> None:
+    import json
+
+    out = Path(directory)
+    out.mkdir(parents=True, exist_ok=True)
+    plan.save(out / f"{case}.plan.json")
+    (out / f"{case}.trace.json").write_text(
+        json.dumps(to_chrome_trace(tracer)) + "\n", encoding="utf-8"
+    )
+    print(f"  artifacts written to {out}/{case}.{{plan,trace}}.json")
+
+
+def _run_case(case, chain, fault, graph, oracle, deadline_s, artifacts) -> list[str]:
+    """Run one matrix entry twice (original + round-tripped plan)."""
+    problems: list[str] = []
+    plan = FaultPlan(faults=[fault], name=case)
+    sequences = []
+    for phase, the_plan in (
+        ("run", plan),
+        ("replay", FaultPlan.from_json(plan.to_json())),
+    ):
+        tracer = Tracer(meta={"tool": "repro.resilience", "case": case})
+        try:
+            with use_tracer(tracer):
+                result = resilient_components(
+                    graph,
+                    plan=the_plan,
+                    backends=chain,
+                    deadline_s=deadline_s,
+                    backoff_s=0.0,
+                    full_result=True,
+                )
+        except Exception as exc:  # noqa: BLE001 - selfcheck reports, not raises
+            problems.append(f"{case}/{phase}: did not recover: {exc!r}")
+            _dump_artifacts(artifacts, f"{case}-{phase}", the_plan, tracer)
+            break
+        rec = result.recovery
+        if not np.array_equal(result.labels, oracle):
+            problems.append(f"{case}/{phase}: labels differ from serial oracle")
+        if fault.kind not in [ev.kind for ev in rec.faults]:
+            problems.append(
+                f"{case}/{phase}: fault {fault.kind!r} never fired "
+                f"(events: {[ev.kind for ev in rec.faults]})"
+            )
+        if not rec.verified:
+            problems.append(f"{case}/{phase}: result was not verified")
+        recovered = rec.retries > 0 or rec.fallbacks > 0 or rec.corrupt_results > 0
+        if not recovered:
+            problems.append(f"{case}/{phase}: no recovery action recorded")
+        spans = [s.name for s in tracer.spans]
+        if "resilience:attempt" not in spans:
+            problems.append(f"{case}/{phase}: no attempt spans in trace")
+        sequences.append(rec.sequence())
+        if problems:
+            _dump_artifacts(artifacts, f"{case}-{phase}", the_plan, tracer)
+            break
+    if len(sequences) == 2 and sequences[0] != sequences[1]:
+        problems.append(
+            f"{case}: replay diverged:\n    first:  {sequences[0]}\n"
+            f"    second: {sequences[1]}"
+        )
+        _dump_artifacts(artifacts, f"{case}-diverged", plan, tracer)
+    return problems
+
+
+def cmd_selfcheck(args: argparse.Namespace) -> int:
+    from ..core.api import connected_components
+
+    graph = _graph(args.vertices, args.seed)
+    oracle = connected_components(graph, backend="serial")
+    matrix = chaos_matrix(graph.num_vertices)
+    print(
+        f"chaos selfcheck: {len(matrix)} cases on {graph.name} "
+        f"(n={graph.num_vertices}, m={graph.num_edges})"
+    )
+    failures = 0
+    for case, chain, fault in matrix:
+        problems = _run_case(
+            case, chain, fault, graph, oracle, args.deadline, args.artifacts
+        )
+        if problems:
+            failures += 1
+            for p in problems:
+                print(f"FAIL {p}")
+        else:
+            print(f"ok   {case}: recovered, bit-identical, replay deterministic")
+    if failures:
+        print(f"selfcheck: FAIL ({failures}/{len(matrix)} cases)")
+        return 1
+    print("selfcheck: OK — every fault family recovered bit-identically")
+    return 0
+
+
+def cmd_plan(args: argparse.Namespace) -> int:
+    backends = tuple(b.strip() for b in args.backends.split(",") if b.strip())
+    plan = FaultPlan.random(args.seed, backends=backends, num_faults=args.faults)
+    if args.out:
+        plan.save(args.out)
+        print(f"plan written to {args.out}")
+    else:
+        print(plan.to_json())
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    import json
+
+    try:
+        plan = FaultPlan.load(args.path)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"cannot load plan {args.path!r}: {exc}", file=sys.stderr)
+        return 2
+    graph = _graph(args.vertices, args.seed)
+    tracer = Tracer(meta={"tool": "repro.resilience", "plan": plan.name})
+    with use_tracer(tracer):
+        result = resilient_components(
+            graph, plan=plan, deadline_s=args.deadline, full_result=True
+        )
+    rec = result.recovery
+    print(
+        f"recovered on backend {rec.backend!r}: "
+        f"{len(rec.attempts)} attempt(s), {rec.retries} retries, "
+        f"{rec.fallbacks} fallbacks, {len(rec.faults)} fault(s) fired, "
+        f"verified={rec.verified}"
+    )
+    for a in rec.attempts:
+        line = f"  {a.backend}#{a.attempt}: {a.status}"
+        if a.error:
+            line += f" ({a.error_kind}: {a.error.splitlines()[0]})"
+        print(line)
+    if args.trace:
+        Path(args.trace).write_text(
+            json.dumps(to_chrome_trace(tracer)) + "\n", encoding="utf-8"
+        )
+        print(f"trace written to {args.trace}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.resilience",
+        description="fault injection and resilient execution",
+    )
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    p_self = sub.add_parser(
+        "selfcheck", help="run the seeded chaos matrix and verify recovery"
+    )
+    p_self.add_argument("--seed", type=int, default=7)
+    p_self.add_argument("--vertices", type=int, default=148)
+    p_self.add_argument("--deadline", type=float, default=2.0)
+    p_self.add_argument("--artifacts", default="chaos-artifacts")
+    p_self.set_defaults(fn=cmd_selfcheck)
+
+    p_plan = sub.add_parser("plan", help="generate a random fault plan")
+    p_plan.add_argument("--seed", type=int, required=True)
+    p_plan.add_argument("--backends", default="gpu,omp")
+    p_plan.add_argument("--faults", type=int, default=3)
+    p_plan.add_argument("--out", default=None)
+    p_plan.set_defaults(fn=cmd_plan)
+
+    p_run = sub.add_parser("run", help="execute a fault plan on a test graph")
+    p_run.add_argument("path")
+    p_run.add_argument("--vertices", type=int, default=150)
+    p_run.add_argument("--seed", type=int, default=7)
+    p_run.add_argument("--deadline", type=float, default=5.0)
+    p_run.add_argument("--trace", default=None)
+    p_run.set_defaults(fn=cmd_run)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,85 @@
+"""Per-backend health state and a consecutive-failure circuit breaker.
+
+The supervisor records every attempt outcome here.  A backend whose
+*consecutive* failure count reaches ``failure_threshold`` trips its
+circuit open: for the next ``cooldown_s`` the supervisor skips it
+entirely and degrades straight to the next backend in the chain, so a
+persistently broken backend stops eating retry budget on every call.
+When the cooldown lapses the circuit goes *half-open* — the backend
+gets exactly one probe attempt; success closes the circuit, another
+failure re-opens it for a fresh cooldown.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["BackendState", "BackendHealth", "GLOBAL_HEALTH"]
+
+
+@dataclass
+class BackendState:
+    """Mutable health record for one backend."""
+
+    successes: int = 0
+    failures: int = 0
+    consecutive_failures: int = 0
+    open_until: float = 0.0  # perf_counter deadline while the circuit is open
+    last_error: str = ""
+
+
+@dataclass
+class BackendHealth:
+    """Circuit breaker over a set of named backends."""
+
+    failure_threshold: int = 3
+    cooldown_s: float = 30.0
+    states: dict[str, BackendState] = field(default_factory=dict)
+
+    def state(self, backend: str) -> BackendState:
+        return self.states.setdefault(backend, BackendState())
+
+    def record_success(self, backend: str) -> None:
+        st = self.state(backend)
+        st.successes += 1
+        st.consecutive_failures = 0
+        st.open_until = 0.0
+
+    def record_failure(self, backend: str, error: str = "") -> None:
+        st = self.state(backend)
+        st.failures += 1
+        st.consecutive_failures += 1
+        st.last_error = error
+        if st.consecutive_failures >= self.failure_threshold:
+            st.open_until = time.perf_counter() + self.cooldown_s
+
+    def available(self, backend: str) -> bool:
+        """Whether the supervisor may attempt this backend right now."""
+        st = self.state(backend)
+        if st.open_until <= time.perf_counter():
+            if st.open_until:
+                # Cooldown lapsed: half-open.  Grant a single probe; one
+                # more failure re-trips immediately.
+                st.open_until = 0.0
+                st.consecutive_failures = self.failure_threshold - 1
+            return True
+        return False
+
+    def snapshot(self) -> dict[str, dict]:
+        """JSON-friendly view (for traces / CLI output)."""
+        now = time.perf_counter()
+        return {
+            name: {
+                "successes": st.successes,
+                "failures": st.failures,
+                "consecutive_failures": st.consecutive_failures,
+                "circuit_open": st.open_until > now,
+                "last_error": st.last_error,
+            }
+            for name, st in sorted(self.states.items())
+        }
+
+
+#: Process-wide health shared by callers that do not pass their own.
+GLOBAL_HEALTH = BackendHealth()

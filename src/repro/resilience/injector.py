@@ -1,0 +1,256 @@
+"""Deterministic fault injection through the scheduler seams.
+
+:class:`FaultInjector` speaks the pluggable-scheduler protocol of
+:class:`repro.gpusim.kernel.GPU` and
+:class:`repro.cpusim.pool.VirtualThreadPool` — ``begin_launch`` /
+``pick`` / ``note_op`` / ``query_drop`` — plus the three fault seams
+those components expose on top of it: ``transform_store`` (corrupt a
+store in flight), ``on_alloc`` (fail an allocation), and ``on_chunk``
+(crash or stall a virtual worker).  When it is not firing a fault it
+behaves exactly like the *default* scheduler (round-robin warp picks,
+no dropped stores), so a zero-fault attempt under the injector computes
+the same schedule the backend would have computed without it.
+
+Trigger points are event counts, not probabilities: the ``at``-th warp
+pick inside kernels whose name matches ``where``, the ``at``-th store
+to a named array, the ``at``-th allocation, the ``at``-th chunk
+dispatch.  Injecting the same :class:`~.faults.FaultPlan` twice
+therefore fires the same faults at the same instants, which is what
+makes chaos runs replayable.
+
+A :class:`Watchdog` bounds each attempt in wall-clock time; the
+injector polls it on every scheduling decision, so a lost warp or an
+injected hang surfaces as :class:`~repro.errors.WatchdogTimeoutError`
+instead of a stuck process.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..errors import (
+    DeviceOOMError,
+    KernelAbortError,
+    SimulationError,
+    WatchdogTimeoutError,
+    WorkerCrashError,
+)
+from .faults import FaultEvent, FaultSpec
+
+__all__ = ["Watchdog", "FaultInjector"]
+
+
+class Watchdog:
+    """Wall-clock deadline for one execution attempt.
+
+    ``poll()`` raises :class:`WatchdogTimeoutError` once the deadline
+    has passed; with ``deadline_s=None`` it never fires (unbounded
+    attempt).  The clock starts at construction; ``restart()`` rearms
+    it for a fresh attempt.
+    """
+
+    def __init__(self, deadline_s: float | None = None) -> None:
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError("deadline_s must be positive (or None)")
+        self.deadline_s = deadline_s
+        self._t0 = time.perf_counter()
+
+    def restart(self) -> None:
+        self._t0 = time.perf_counter()
+
+    @property
+    def elapsed_s(self) -> float:
+        return time.perf_counter() - self._t0
+
+    def expired(self) -> bool:
+        return self.deadline_s is not None and self.elapsed_s > self.deadline_s
+
+    def poll(self) -> None:
+        if self.expired():
+            raise WatchdogTimeoutError(
+                f"attempt exceeded its {self.deadline_s:.3f}s deadline",
+                deadline_s=self.deadline_s,
+                elapsed_s=self.elapsed_s,
+            )
+
+
+class FaultInjector:
+    """Scheduler-protocol fault injector for one backend attempt.
+
+    Construct one per attempt with the faults armed for that attempt
+    (see :meth:`FaultPlan.for_backend`); every fault fires at most once
+    per injector.  Fired faults append a :class:`FaultEvent` to
+    :attr:`events`, which the supervisor aggregates into the run's
+    recovery record (and selfcheck compares across replays).
+    """
+
+    def __init__(
+        self,
+        faults: list[FaultSpec],
+        *,
+        backend: str = "gpu",
+        attempt: int = 0,
+        watchdog: Watchdog | None = None,
+    ) -> None:
+        self.faults = list(faults)
+        self.backend = backend
+        self.attempt = attempt
+        self.watchdog = watchdog
+        self.events: list[FaultEvent] = []
+        # The virtual-thread pool counts chunk dispatches, not warp
+        # picks, as the hang trigger stream.
+        self._pool = backend in ("omp",)
+        self._launch = ""
+        self._rr = 0
+        self._counts: dict[int, int] = {}
+        self._fired: set[int] = set()
+        self._lost: set[int] = set()
+
+    # -- bookkeeping -----------------------------------------------------
+    def _record(self, spec: FaultSpec, where: str, trigger: int, detail: str) -> FaultEvent:
+        ev = FaultEvent(
+            kind=spec.kind,
+            backend=self.backend,
+            attempt=self.attempt,
+            where=where,
+            trigger=trigger,
+            detail=detail,
+        )
+        self.events.append(ev)
+        return ev
+
+    def _bump(self, spec: FaultSpec) -> bool:
+        """Count one trigger event for ``spec``; True when it fires."""
+        n = self._counts.get(id(spec), 0)
+        self._counts[id(spec)] = n + 1
+        if n == spec.at:
+            self._fired.add(id(spec))
+            return True
+        return False
+
+    def _armed(self, *kinds: str) -> list[FaultSpec]:
+        return [
+            f for f in self.faults if f.kind in kinds and id(f) not in self._fired
+        ]
+
+    def _poll(self) -> None:
+        if self.watchdog is not None:
+            self.watchdog.poll()
+
+    def hang_until_expiry(self) -> None:
+        """Stall (politely) until the attempt watchdog fires."""
+        wd = self.watchdog
+        if wd is None or wd.deadline_s is None:
+            raise SimulationError(
+                "injected hang with no attempt deadline; refusing to stall forever"
+            )
+        while True:
+            wd.poll()
+            time.sleep(min(1e-3, wd.deadline_s / 10))
+
+    # -- scheduler protocol ----------------------------------------------
+    def begin_launch(self, name: str) -> None:
+        # Pool regions arrive as "region:<name>"; fault specs address
+        # both substrates by the bare name.
+        self._launch = name[len("region:"):] if name.startswith("region:") else name
+        self._rr = 0
+
+    def pick(self, keys: list[int]) -> int:
+        self._poll()
+        launch = self._launch
+        hang_kinds = () if self._pool else ("hang",)
+        for f in self._armed("kernel_abort", "lost_warp", *hang_kinds):
+            if not launch.startswith(f.where):
+                continue
+            if not self._bump(f):
+                continue
+            if f.kind == "kernel_abort":
+                self._record(f, launch, f.at, "launch aborted mid-flight")
+                raise KernelAbortError(
+                    f"injected kernel abort in {launch!r} "
+                    f"(warp pick {f.at}, attempt {self.attempt})",
+                    launch=launch,
+                    trigger=f.at,
+                )
+            if f.kind == "lost_warp":
+                victim = keys[self._rr % len(keys)]
+                self._lost.add(victim)
+                self._record(f, launch, f.at, f"warp {victim} stopped scheduling")
+            elif f.kind == "hang":
+                self._record(f, launch, f.at, "scheduler stalled")
+                self.hang_until_expiry()
+        pos = self._rr % len(keys)
+        self._rr += 1
+        if self._lost:
+            # Never schedule a lost warp again; if only lost warps remain
+            # ready, the kernel starves and the watchdog decides.
+            for _ in range(len(keys)):
+                if keys[pos] not in self._lost:
+                    break
+                pos = (pos + 1) % len(keys)
+            else:
+                self._poll()
+                self.hang_until_expiry()
+        return pos
+
+    def note_op(self, warp, kind, array, index, old, new) -> None:
+        pass
+
+    def query_drop(self, array: str, index: int) -> bool:
+        return False
+
+    # -- fault seams ------------------------------------------------------
+    def transform_store(self, arr, index: int, value: int) -> int:
+        launch = self._launch
+        for f in self._armed("corrupt_store"):
+            if arr.name != f.array or not launch.startswith(f.where):
+                continue
+            if not self._bump(f):
+                continue
+            m = max(len(arr), 1)
+            bad = f.value if f.value is not None else (int(index) + 1) % m
+            if bad == int(value):  # make sure the store really is wrong
+                bad = (bad + 1) % m
+            self._record(
+                f, launch, f.at,
+                f"store {arr.name}[{index}] corrupted: {int(value)} -> {bad}",
+            )
+            return int(bad)
+        return int(value)
+
+    def on_alloc(self, name: str, nbytes: int) -> None:
+        for f in self._armed("oom"):
+            if not name.startswith(f.where):
+                continue
+            if not self._bump(f):
+                continue
+            self._record(f, name, f.at, f"allocation of {nbytes} bytes refused")
+            raise DeviceOOMError(
+                f"injected device OOM allocating {name!r} ({nbytes} bytes, "
+                f"attempt {self.attempt})",
+                allocation=name,
+                nbytes=nbytes,
+            )
+
+    def on_chunk(self, region: str, index: int, start: int, stop: int) -> None:
+        self._poll()
+        hang_kinds = ("hang",) if self._pool else ()
+        for f in self._armed("worker_crash", *hang_kinds):
+            if not region.startswith(f.where):
+                continue
+            if not self._bump(f):
+                continue
+            if f.kind == "worker_crash":
+                self._record(
+                    f, region, f.at,
+                    f"worker crashed on chunk {index} [{start}:{stop})",
+                )
+                raise WorkerCrashError(
+                    f"injected worker crash in region {region!r} "
+                    f"(chunk {index}, vertices [{start}:{stop}), "
+                    f"attempt {self.attempt})",
+                    region=region,
+                    chunk=index,
+                )
+            self._record(f, region, f.at, f"worker stalled on chunk {index}")
+            self.hang_until_expiry()

@@ -36,6 +36,21 @@ class TestRegistryCompleteness:
         with pytest.raises(UnknownBackendError):
             connected_components(path_graph, backend="quantum")
 
+    def test_unknown_backend_message_lists_registered(self, path_graph):
+        with pytest.raises(UnknownBackendError) as exc_info:
+            connected_components(path_graph, backend="quantum")
+        msg = str(exc_info.value)
+        for name in ALL_BACKENDS:
+            assert name in msg
+
+    def test_unknown_backend_fails_before_graph_work(self):
+        from repro.core.api import get_backend
+
+        # Dispatch misuse must not depend on the input: even with no
+        # graph at hand the registry lookup itself carries the listing.
+        with pytest.raises(UnknownBackendError, match="registered backends"):
+            get_backend("quantum")
+
 
 class TestCCResultParity:
     @pytest.mark.parametrize("backend", ALL_BACKENDS)
@@ -175,6 +190,14 @@ class TestCountComponents:
         from repro.graph.build import empty_graph
 
         assert count_components(empty_graph(0)) == 0
+
+    def test_empty_graph_still_validates_backend_and_options(self):
+        from repro.graph.build import empty_graph
+
+        with pytest.raises(UnknownBackendError):
+            count_components(empty_graph(0), backend="quantum")
+        with pytest.raises(UnknownOptionError):
+            count_components(empty_graph(0), bogus=True)
 
     def test_isolated_vertices_counted(self, isolated_graph):
         assert count_components(isolated_graph) == 5

@@ -1,0 +1,92 @@
+"""Edge cases of DeviceSpec.scaled and scaled_device."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpusim.device import K40, TITAN_X, DeviceSpec, scaled_device
+
+
+class TestScaled:
+    @pytest.mark.parametrize("factor", [0, -1, -0.5])
+    def test_nonpositive_factor_rejected(self, factor):
+        with pytest.raises(ValueError, match="must be positive"):
+            TITAN_X.scaled(factor)
+
+    def test_huge_factor_keeps_16_lines(self):
+        tiny = TITAN_X.scaled(1e12)
+        assert tiny.l2_bytes == 16 * TITAN_X.line_bytes
+
+    def test_unit_factor_is_identity_capacity(self):
+        assert TITAN_X.scaled(1.0).l2_bytes == TITAN_X.l2_bytes
+
+    def test_l1_never_shrinks(self):
+        assert TITAN_X.scaled(1000).l1_bytes == TITAN_X.l1_bytes
+
+    def test_fractional_factor_grows_l2(self):
+        grown = K40.scaled(0.5)
+        assert grown.l2_bytes == K40.l2_bytes * 2
+
+    def test_name_records_factor(self):
+        assert "÷1000" in TITAN_X.scaled(1000).name
+
+    def test_scaled_spec_still_valid(self):
+        spec = TITAN_X.scaled(7.3)
+        assert spec.warps_per_block == TITAN_X.warps_per_block
+        assert spec.block_threads % spec.warp_size == 0
+
+
+class TestScaledDevice:
+    def test_tiny_graph_clamps_to_floor(self):
+        spec = scaled_device(TITAN_X, graph_arcs=1)
+        assert spec.l2_bytes == 16 * TITAN_X.line_bytes
+
+    def test_zero_arcs_uses_full_paper_factor(self):
+        assert (
+            scaled_device(TITAN_X, graph_arcs=0).l2_bytes
+            == TITAN_X.scaled(100_000_000).l2_bytes
+        )
+
+    def test_graph_larger_than_paper_not_grown(self):
+        spec = scaled_device(TITAN_X, graph_arcs=10**10)
+        assert spec.l2_bytes == TITAN_X.l2_bytes  # factor clamped to 1.0
+
+    def test_proportional_scaling(self):
+        spec = scaled_device(TITAN_X, graph_arcs=1_000_000, paper_arcs=100_000_000)
+        assert spec.l2_bytes == max(
+            16 * TITAN_X.line_bytes, TITAN_X.l2_bytes // 100
+        )
+
+
+class TestDeviceSpecValidation:
+    def test_block_threads_must_be_warp_multiple(self):
+        with pytest.raises(ValueError, match="multiple of warp_size"):
+            DeviceSpec(
+                name="bad", num_sms=1, warp_size=32, block_threads=48,
+                max_resident_blocks=1, l1_bytes=1024, l2_bytes=4096,
+                line_bytes=128, clock_ghz=1.0,
+            )
+
+    def test_dimensions_must_be_positive(self):
+        with pytest.raises(ValueError, match="positive"):
+            DeviceSpec(
+                name="bad", num_sms=0, warp_size=32, block_threads=32,
+                max_resident_blocks=1, l1_bytes=1024, l2_bytes=4096,
+                line_bytes=128, clock_ghz=1.0,
+            )
+
+    def test_line_bytes_power_of_two(self):
+        with pytest.raises(ValueError, match="power of two"):
+            DeviceSpec(
+                name="bad", num_sms=1, warp_size=32, block_threads=32,
+                max_resident_blocks=1, l1_bytes=1024, l2_bytes=4096,
+                line_bytes=96, clock_ghz=1.0,
+            )
+
+    def test_warps_per_block_rounding(self):
+        spec = DeviceSpec(
+            name="w", num_sms=1, warp_size=32, block_threads=96,
+            max_resident_blocks=1, l1_bytes=1024, l2_bytes=4096,
+            line_bytes=128, clock_ghz=1.0,
+        )
+        assert spec.warps_per_block == 3

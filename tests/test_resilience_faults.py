@@ -1,0 +1,261 @@
+"""Unit tests for the fault-injection plane (plans, injector, watchdog)."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    DeviceOOMError,
+    KernelAbortError,
+    SimulationError,
+    WatchdogTimeoutError,
+)
+from repro.resilience import FaultInjector, FaultPlan, FaultSpec, Watchdog
+from repro.resilience.faults import FaultEvent
+
+
+class TestFaultSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec(kind="gamma_ray")
+
+    def test_negative_trigger_rejected(self):
+        with pytest.raises(ValueError, match="must be >= 0"):
+            FaultSpec(kind="hang", at=-1)
+
+    def test_matches_backend_and_attempt(self):
+        f = FaultSpec(kind="kernel_abort", backend="gpu", attempt=1)
+        assert f.matches("gpu", 1)
+        assert not f.matches("gpu", 0)
+        assert not f.matches("omp", 1)
+
+    def test_wildcards(self):
+        f = FaultSpec(kind="hang", backend="*", attempt=-1)
+        for backend in ("gpu", "omp"):
+            for attempt in (0, 1, 5):
+                assert f.matches(backend, attempt)
+
+    def test_dict_round_trip(self):
+        f = FaultSpec(kind="corrupt_store", backend="omp", attempt=2,
+                      where="finalize", at=7, array="parent", value=3)
+        assert FaultSpec.from_dict(f.to_dict()) == f
+
+
+class TestFaultPlan:
+    def test_json_round_trip(self):
+        plan = FaultPlan(
+            faults=[
+                FaultSpec(kind="oom", where="parent"),
+                FaultSpec(kind="hang", backend="omp", at=3),
+            ],
+            seed=42,
+            name="unit",
+        )
+        back = FaultPlan.from_json(plan.to_json())
+        assert back == plan
+        assert back.to_dict()["schema"].startswith("repro.resilience/")
+
+    def test_save_load(self, tmp_path):
+        plan = FaultPlan(faults=[FaultSpec(kind="worker_crash", backend="omp")])
+        path = plan.save(tmp_path / "plan.json")
+        assert FaultPlan.load(path) == plan
+
+    def test_random_is_deterministic(self):
+        a = FaultPlan.random(123)
+        b = FaultPlan.random(123)
+        assert a == b
+        assert a != FaultPlan.random(124)
+        assert a.seed == 123
+
+    def test_random_respects_substrate(self):
+        plan = FaultPlan.random(5, num_faults=20)
+        for f in plan.faults:
+            if f.backend == "omp":
+                assert f.kind in ("worker_crash", "hang")
+
+    def test_for_backend_filters(self):
+        plan = FaultPlan(faults=[
+            FaultSpec(kind="oom", backend="gpu", attempt=0),
+            FaultSpec(kind="hang", backend="omp", attempt=-1),
+        ])
+        assert len(plan.for_backend("gpu", 0)) == 1
+        assert len(plan.for_backend("gpu", 1)) == 0
+        assert len(plan.for_backend("omp", 9)) == 1
+
+    def test_truthiness(self):
+        assert not FaultPlan()
+        assert FaultPlan(faults=[FaultSpec(kind="hang")])
+
+    def test_event_round_trip(self):
+        ev = FaultEvent(kind="oom", backend="gpu", attempt=1,
+                        where="parent", trigger=0, detail="x")
+        assert FaultEvent.from_dict(ev.to_dict()) == ev
+
+
+class TestWatchdog:
+    def test_unbounded_never_fires(self):
+        wd = Watchdog(None)
+        wd.poll()  # no deadline, no raise
+        assert not wd.expired()
+
+    def test_deadline_fires(self):
+        wd = Watchdog(0.005)
+        time.sleep(0.02)
+        assert wd.expired()
+        with pytest.raises(WatchdogTimeoutError, match="deadline"):
+            wd.poll()
+
+    def test_restart_rearms(self):
+        wd = Watchdog(0.05)
+        time.sleep(0.06)
+        wd.restart()
+        wd.poll()  # fresh clock: no raise
+
+    def test_invalid_deadline(self):
+        with pytest.raises(ValueError):
+            Watchdog(0.0)
+
+
+class _FakeArray:
+    name = "parent"
+
+    def __len__(self):
+        return 10
+
+
+class TestFaultInjector:
+    def test_round_robin_matches_default(self):
+        inj = FaultInjector([], backend="gpu")
+        inj.begin_launch("compute1")
+        keys = [10, 11, 12]
+        assert [inj.pick(keys) for _ in range(5)] == [0, 1, 2, 0, 1]
+        inj.begin_launch("compute2")  # position resets per launch
+        assert inj.pick(keys) == 0
+
+    def test_kernel_abort_fires_at_trigger(self):
+        spec = FaultSpec(kind="kernel_abort", where="compute", at=2)
+        inj = FaultInjector([spec], backend="gpu")
+        inj.begin_launch("compute1")
+        inj.pick([0, 1])
+        inj.pick([0, 1])
+        with pytest.raises(KernelAbortError, match="injected kernel abort"):
+            inj.pick([0, 1])
+        assert [e.kind for e in inj.events] == ["kernel_abort"]
+        assert inj.events[0].where == "compute1"
+        assert inj.events[0].trigger == 2
+
+    def test_where_prefix_gates_trigger(self):
+        spec = FaultSpec(kind="kernel_abort", where="finalize", at=0)
+        inj = FaultInjector([spec], backend="gpu")
+        inj.begin_launch("compute1")
+        for _ in range(10):
+            inj.pick([0, 1])  # wrong launch: never fires
+        inj.begin_launch("finalize")
+        with pytest.raises(KernelAbortError):
+            inj.pick([0, 1])
+
+    def test_lost_warp_never_scheduled_again(self):
+        spec = FaultSpec(kind="lost_warp", where="compute", at=0)
+        inj = FaultInjector([spec], backend="gpu")
+        inj.begin_launch("compute1")
+        keys = [7, 8, 9]
+        picks = [inj.pick(keys) for _ in range(6)]
+        # Victim is warp 7 (position 0 at the trigger); it is skipped
+        # ever after.
+        assert keys[picks[0]] != 7
+        assert all(keys[p] != 7 for p in picks)
+        assert inj.events[0].kind == "lost_warp"
+
+    def test_starved_kernel_hits_watchdog(self):
+        spec = FaultSpec(kind="lost_warp", where="compute", at=0)
+        inj = FaultInjector([spec], backend="gpu", watchdog=Watchdog(0.01))
+        inj.begin_launch("compute1")
+        with pytest.raises(WatchdogTimeoutError):
+            for _ in range(100):
+                inj.pick([5])  # the only ready warp is the victim
+
+    def test_hang_without_watchdog_refuses(self):
+        spec = FaultSpec(kind="hang", where="compute", at=0)
+        inj = FaultInjector([spec], backend="gpu")
+        with pytest.raises(SimulationError, match="no attempt deadline"):
+            inj.begin_launch("compute1")
+            inj.pick([0])
+
+    def test_corrupt_store_changes_value(self):
+        spec = FaultSpec(kind="corrupt_store", where="compute",
+                         array="parent", at=1)
+        inj = FaultInjector([spec], backend="gpu")
+        inj.begin_launch("compute1")
+        arr = _FakeArray()
+        assert inj.transform_store(arr, 4, 2) == 2  # trigger 0: untouched
+        bad = inj.transform_store(arr, 4, 2)        # trigger 1: corrupted
+        assert bad != 2 and 0 <= bad < len(arr)
+        assert inj.transform_store(arr, 4, 2) == 2  # one-shot
+        assert inj.events[0].kind == "corrupt_store"
+
+    def test_corrupt_store_explicit_value_avoids_identity(self):
+        spec = FaultSpec(kind="corrupt_store", where="c", array="parent",
+                         at=0, value=2)
+        inj = FaultInjector([spec], backend="gpu")
+        inj.begin_launch("c")
+        # The requested corrupt value equals the true store: bump it so
+        # the store is still actually wrong.
+        assert inj.transform_store(_FakeArray(), 0, 2) != 2
+
+    def test_oom_matches_allocation_prefix(self):
+        spec = FaultSpec(kind="oom", where="parent", at=0)
+        inj = FaultInjector([spec], backend="gpu")
+        inj.on_alloc("row_ptr", 100)  # no match
+        inj.on_alloc("col_idx", 100)
+        with pytest.raises(DeviceOOMError, match="injected device OOM"):
+            inj.on_alloc("parent", 800)
+        assert inj.events[0].where == "parent"
+
+    def test_worker_crash_counts_chunks(self):
+        spec = FaultSpec(kind="worker_crash", backend="omp",
+                         where="compute", at=1)
+        inj = FaultInjector([spec], backend="omp")
+        inj.begin_launch("region:compute")
+        inj.on_chunk("compute", 0, 0, 8)
+        from repro.errors import WorkerCrashError
+
+        with pytest.raises(WorkerCrashError):
+            inj.on_chunk("compute", 1, 8, 16)
+
+    def test_pool_hang_counts_chunks_not_picks(self):
+        spec = FaultSpec(kind="hang", backend="omp", where="compute", at=0)
+        inj = FaultInjector([spec], backend="omp", watchdog=Watchdog(0.01))
+        inj.begin_launch("region:compute")
+        for _ in range(5):
+            inj.pick([0, 1, 2])  # chunk-order picks do not trigger
+        with pytest.raises(WatchdogTimeoutError):
+            inj.on_chunk("compute", 0, 0, 8)
+
+    def test_query_drop_never_drops(self):
+        inj = FaultInjector([], backend="gpu")
+        assert inj.query_drop("parent", 3) is False
+
+
+class TestInjectorNeutrality:
+    """A fault-free injector must not change what a backend computes."""
+
+    def test_gpu_schedule_unchanged(self, two_cliques):
+        from repro.core.ecl_cc_gpu import ecl_cc_gpu
+
+        plain = ecl_cc_gpu(two_cliques)
+        injected = ecl_cc_gpu(
+            two_cliques, scheduler=FaultInjector([], backend="gpu")
+        )
+        assert np.array_equal(plain.labels, injected.labels)
+
+    def test_omp_schedule_unchanged(self, two_cliques):
+        from repro.baselines.cpu.ecl_cc_omp import ecl_cc_omp
+
+        plain = ecl_cc_omp(two_cliques)
+        injected = ecl_cc_omp(
+            two_cliques, scheduler=FaultInjector([], backend="omp")
+        )
+        assert np.array_equal(plain.labels, injected.labels)

@@ -1,0 +1,101 @@
+"""Worker-context wrapping and the fault seams of the virtual-thread pool."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cpusim.pool import VirtualThreadPool
+from repro.cpusim.spec import E5_2687W
+from repro.errors import ReproError, WatchdogTimeoutError, WorkerError
+
+
+class TestWorkerErrorWrapping:
+    def test_body_exception_wrapped_with_context(self):
+        pool = VirtualThreadPool(E5_2687W)
+
+        def body(start, stop):
+            if start >= 8:
+                raise RuntimeError("array exploded")
+
+        with pytest.raises(WorkerError) as exc_info:
+            pool.parallel_for(32, body, schedule="static", chunk=4,
+                              name="hookup")
+        err = exc_info.value
+        # The message names everything a bare traceback would not.
+        for fragment in ("worker", "hookup", "chunk", "[8:12)", E5_2687W.name):
+            assert fragment in str(err)
+        # And the same context is available structurally.
+        assert err.region == "hookup"
+        assert err.chunk_index == 2
+        assert err.chunk_range == (8, 12)
+        assert err.spec == E5_2687W.name
+        assert 0 <= err.worker < E5_2687W.num_threads
+        assert isinstance(err.__cause__, RuntimeError)
+
+    def test_worker_error_is_repro_error(self):
+        pool = VirtualThreadPool(E5_2687W)
+        with pytest.raises(ReproError):
+            pool.parallel_for(4, lambda s, t: 1 / 0, name="zed")
+
+    def test_watchdog_timeout_not_wrapped(self):
+        """A deadline expiry is an attempt-level event, not a worker crash."""
+        pool = VirtualThreadPool(E5_2687W)
+
+        def body(start, stop):
+            raise WatchdogTimeoutError("deadline blew")
+
+        with pytest.raises(WatchdogTimeoutError):
+            pool.parallel_for(4, body, name="slow")
+
+
+class _ChunkSpy:
+    """Scheduler exposing only the on_chunk seam."""
+
+    def __init__(self):
+        self.calls = []
+
+    def on_chunk(self, region, index, start, stop):
+        self.calls.append((region, index, start, stop))
+
+
+class TestOnChunkSeam:
+    def test_called_before_every_chunk(self):
+        spy = _ChunkSpy()
+        pool = VirtualThreadPool(E5_2687W, scheduler=spy)
+        seen = []
+        pool.parallel_for(12, lambda s, t: seen.append((s, t)),
+                          schedule="static", chunk=4, name="r")
+        assert [c[1] for c in spy.calls] == [0, 1, 2]
+        assert all(c[0] == "r" for c in spy.calls)
+        assert [(c[2], c[3]) for c in spy.calls] == seen
+
+    def test_on_chunk_exception_wrapped(self):
+        class Crasher(_ChunkSpy):
+            def on_chunk(self, region, index, start, stop):
+                raise RuntimeError("chunk dispatch blew up")
+
+        pool = VirtualThreadPool(E5_2687W, scheduler=Crasher())
+        with pytest.raises(WorkerError, match="chunk dispatch blew up"):
+            pool.parallel_for(4, lambda s, t: None, name="r")
+
+
+class TestOmpCheckpointAttach:
+    def test_crash_carries_parent_checkpoint(self, two_cliques):
+        from repro.baselines.cpu.ecl_cc_omp import ecl_cc_omp
+        from repro.resilience import FaultInjector, FaultSpec
+
+        inj = FaultInjector(
+            [FaultSpec(kind="worker_crash", backend="omp", where="compute",
+                       at=1)],
+            backend="omp",
+        )
+        with pytest.raises(ReproError) as exc_info:
+            ecl_cc_omp(two_cliques, scheduler=inj)
+        cp = exc_info.value.checkpoint
+        n = two_cliques.num_vertices
+        assert cp is not None and cp.shape == (n,)
+        # Identity-based init means even an early crash leaves a valid
+        # in-component checkpoint.
+        assert np.all(cp <= np.arange(n))
+        assert np.all(cp >= 0)

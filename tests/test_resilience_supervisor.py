@@ -1,0 +1,381 @@
+"""Supervisor tests: retry, resume, degradation, verification, replay."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import connected_components, count_components, resilient_components
+from repro.errors import (
+    KernelAbortError,
+    ReproError,
+    ResilienceExhaustedError,
+    UnknownBackendError,
+    UnknownOptionError,
+)
+from repro.observe import Tracer, use_tracer
+from repro.resilience import (
+    BackendHealth,
+    FaultPlan,
+    FaultSpec,
+    sanitize_checkpoint,
+)
+
+
+@pytest.fixture
+def oracle(two_cliques):
+    return connected_components(two_cliques, backend="serial")
+
+
+def _plan(*faults):
+    return FaultPlan(faults=list(faults))
+
+
+class TestZeroFaultPath:
+    def test_plain_success_single_attempt(self, two_cliques, oracle):
+        res = resilient_components(two_cliques, backends=("numpy",),
+                                   full_result=True)
+        assert np.array_equal(res.labels, oracle)
+        rec = res.recovery
+        assert rec.backend == "numpy"
+        assert [a.status for a in rec.attempts] == ["ok"]
+        assert rec.retries == rec.fallbacks == 0
+        assert not rec.verified  # zero-fault auto mode skips verification
+
+    def test_labels_only_by_default(self, two_cliques, oracle):
+        labels = resilient_components(two_cliques, backends=("numpy",))
+        assert isinstance(labels, np.ndarray)
+        assert np.array_equal(labels, oracle)
+
+    def test_forced_verification(self, two_cliques):
+        res = resilient_components(two_cliques, backends=("numpy",),
+                                   verify=True, full_result=True)
+        assert res.recovery.verified
+
+
+class TestRetryAndFallback:
+    def test_transient_fault_retries_same_backend(self, two_cliques, oracle):
+        res = resilient_components(
+            two_cliques,
+            plan=_plan(FaultSpec(kind="worker_crash", backend="omp",
+                                 where="compute", at=0)),
+            backends=("omp", "serial"),
+            backoff_s=0.0,
+            full_result=True,
+        )
+        rec = res.recovery
+        assert np.array_equal(res.labels, oracle)
+        assert rec.backend == "omp"
+        assert rec.retries == 1 and rec.fallbacks == 0
+        assert [a.status for a in rec.attempts] == ["fault", "ok"]
+        assert rec.verified
+
+    def test_oom_skips_retries_and_degrades(self, two_cliques, oracle):
+        res = resilient_components(
+            two_cliques,
+            plan=_plan(FaultSpec(kind="oom", backend="gpu", where="parent",
+                                 attempt=-1)),
+            backends=("gpu", "omp", "serial"),
+            backoff_s=0.0,
+            full_result=True,
+        )
+        rec = res.recovery
+        assert np.array_equal(res.labels, oracle)
+        assert rec.backend == "omp"
+        assert rec.fallbacks == 1
+        # OOM is non-transient: exactly one gpu attempt, no retry burn.
+        assert [a.backend for a in rec.attempts] == ["gpu", "omp"]
+
+    def test_persistent_fault_exhausts_then_degrades(self, two_cliques, oracle):
+        res = resilient_components(
+            two_cliques,
+            plan=_plan(FaultSpec(kind="kernel_abort", backend="omp",
+                                 where="compute", at=0, attempt=-1)),
+            backends=("omp", "numpy"),
+            max_retries=1,
+            backoff_s=0.0,
+            full_result=True,
+        )
+        rec = res.recovery
+        assert np.array_equal(res.labels, oracle)
+        assert rec.backend == "numpy"
+        assert [a.backend for a in rec.attempts] == ["omp", "omp", "numpy"]
+        assert rec.retries == 1 and rec.fallbacks == 1
+
+    def test_all_backends_exhausted_raises(self, two_cliques):
+        with pytest.raises(ResilienceExhaustedError, match="all backends"):
+            resilient_components(
+                two_cliques,
+                plan=_plan(FaultSpec(kind="kernel_abort", backend="omp",
+                                     where="compute", at=0, attempt=-1)),
+                backends=("omp",),
+                max_retries=1,
+                backoff_s=0.0,
+            )
+
+    def test_backoff_delays_grow(self, two_cliques, monkeypatch):
+        delays = []
+        import repro.resilience.supervisor as sup
+
+        monkeypatch.setattr(sup.time, "sleep", delays.append)
+        resilient_components(
+            two_cliques,
+            plan=_plan(FaultSpec(kind="worker_crash", backend="omp",
+                                 where="compute", at=0, attempt=-1)),
+            backends=("omp", "serial"),
+            max_retries=2,
+            backoff_s=0.01,
+            backoff_factor=3.0,
+        )
+        assert delays == pytest.approx([0.01, 0.03])
+
+
+class TestCheckpointResume:
+    @pytest.mark.parametrize("init", ["Init1", "Init2", "Init3"])
+    def test_resume_mid_computation_equivalent(self, two_cliques, oracle, init):
+        """Crash mid-compute, grab the checkpoint, resume: same labels."""
+        from repro.core.ecl_cc_gpu import ecl_cc_gpu
+        from repro.resilience import FaultInjector
+
+        inj = FaultInjector(
+            [FaultSpec(kind="kernel_abort", where="compute", at=10)],
+            backend="gpu",
+        )
+        with pytest.raises(KernelAbortError) as exc_info:
+            ecl_cc_gpu(two_cliques, init=init, scheduler=inj)
+        checkpoint = exc_info.value.checkpoint
+        assert checkpoint is not None
+        n = two_cliques.num_vertices
+        assert checkpoint.shape == (n,)
+        # The surviving parent array respects the monotone invariant...
+        assert np.all(checkpoint <= np.arange(n))
+        # ...and resuming from it converges to the oracle labels.
+        resumed = ecl_cc_gpu(two_cliques, init=init, initial_parent=checkpoint)
+        assert np.array_equal(resumed.labels, oracle)
+
+    @pytest.mark.parametrize("init", ["Init1", "Init2", "Init3"])
+    def test_supervised_retry_resumes(self, two_cliques, oracle, init):
+        res = resilient_components(
+            two_cliques,
+            plan=_plan(FaultSpec(kind="kernel_abort", backend="gpu",
+                                 where="compute", at=10)),
+            backends=("gpu",),
+            backoff_s=0.0,
+            init=init,
+            full_result=True,
+        )
+        rec = res.recovery
+        assert np.array_equal(res.labels, oracle)
+        assert [a.resumed for a in rec.attempts] == [False, True]
+
+    def test_omp_checkpoint_resume(self, two_cliques, oracle):
+        from repro.baselines.cpu.ecl_cc_omp import ecl_cc_omp
+
+        cp = np.arange(two_cliques.num_vertices)
+        res = ecl_cc_omp(two_cliques, initial_parent=cp)
+        assert np.array_equal(res.labels, oracle)
+
+    def test_corrupt_checkpoint_discarded(self, two_cliques, oracle):
+        """A verification failure restarts fresh, not from poisoned state."""
+        res = resilient_components(
+            two_cliques,
+            plan=_plan(FaultSpec(kind="corrupt_store", backend="gpu",
+                                 where="init", array="parent", at=2, value=4)),
+            backends=("gpu",),
+            backoff_s=0.0,
+            full_result=True,
+        )
+        rec = res.recovery
+        assert np.array_equal(res.labels, oracle)
+        if rec.corrupt_results:  # corruption survived to the verifier
+            bad = [a for a in rec.attempts if a.status == "corrupt"]
+            assert bad
+            after = rec.attempts[rec.attempts.index(bad[0]) + 1]
+            assert not after.resumed
+
+
+class TestSanitizeCheckpoint:
+    def test_valid_passthrough(self):
+        p = np.array([0, 0, 1, 2])
+        out = sanitize_checkpoint(p, 4)
+        assert np.array_equal(out, p)
+        assert out is not p  # defensive copy
+
+    def test_out_of_range_clamped_to_identity(self):
+        out = sanitize_checkpoint(np.array([0, 5, -3, 1]), 4)
+        assert np.array_equal(out, [0, 1, 2, 1])
+
+    def test_wrong_shape_or_dtype_rejected(self):
+        assert sanitize_checkpoint(np.zeros(3), 4) is None
+        assert sanitize_checkpoint(np.zeros(4, dtype=float), 4) is None
+        assert sanitize_checkpoint(None, 4) is None
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold(self):
+        h = BackendHealth(failure_threshold=2, cooldown_s=60.0)
+        h.record_failure("gpu", "boom")
+        assert h.available("gpu")
+        h.record_failure("gpu", "boom")
+        assert not h.available("gpu")
+        snap = h.snapshot()["gpu"]
+        assert snap["circuit_open"] and snap["failures"] == 2
+
+    def test_success_closes(self):
+        h = BackendHealth(failure_threshold=2, cooldown_s=60.0)
+        h.record_failure("gpu")
+        h.record_success("gpu")
+        h.record_failure("gpu")
+        assert h.available("gpu")  # consecutive count was reset
+
+    def test_half_open_probe(self):
+        import time
+
+        h = BackendHealth(failure_threshold=2, cooldown_s=60.0)
+        h.record_failure("gpu")
+        h.record_failure("gpu")
+        assert not h.available("gpu")
+        h.state("gpu").open_until = time.perf_counter() - 1.0  # lapse it
+        assert h.available("gpu")  # half-open: one probe granted
+        h.record_failure("gpu")
+        assert not h.available("gpu")  # probe failed: re-opened
+
+    def test_supervisor_skips_open_circuit(self, two_cliques, oracle):
+        h = BackendHealth(failure_threshold=1, cooldown_s=60.0)
+        h.record_failure("omp", "poisoned")
+        res = resilient_components(
+            two_cliques, backends=("omp", "numpy"), health=h, full_result=True
+        )
+        rec = res.recovery
+        assert rec.backend == "numpy"
+        assert rec.attempts[0].status == "skipped"
+        assert np.array_equal(res.labels, oracle)
+
+
+class TestReplayDeterminism:
+    def test_same_plan_same_recovery_sequence(self, two_cliques):
+        plan = _plan(
+            FaultSpec(kind="kernel_abort", backend="gpu", where="compute", at=15),
+            FaultSpec(kind="worker_crash", backend="omp", where="compute", at=1),
+        )
+        runs = []
+        for the_plan in (plan, FaultPlan.from_json(plan.to_json())):
+            res = resilient_components(
+                two_cliques, plan=the_plan, backends=("gpu", "omp", "serial"),
+                backoff_s=0.0, full_result=True,
+            )
+            runs.append(res.recovery.sequence())
+        assert runs[0] == runs[1]
+
+
+class TestObserveIntegration:
+    def test_spans_and_counters(self, two_cliques):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            resilient_components(
+                two_cliques,
+                plan=_plan(FaultSpec(kind="worker_crash", backend="omp",
+                                     where="compute", at=0)),
+                backends=("omp", "serial"),
+                backoff_s=0.0,
+            )
+        names = [s.name for s in tracer.spans]
+        assert "resilience:run" in names
+        assert names.count("resilience:attempt") == 2
+        assert "resilience:verify" in names
+        assert tracer.counters.get("resilience.faults") == 1
+        assert tracer.counters.get("resilience.retries") == 1
+
+
+class TestApiIntegration:
+    def test_resilient_flag_routes_through_supervisor(self, two_cliques, oracle):
+        res = connected_components(
+            two_cliques, backend="numpy", resilient=True, full_result=True
+        )
+        assert res.recovery is not None
+        assert np.array_equal(res.labels, oracle)
+
+    def test_resilient_chain_starts_at_backend(self, two_cliques):
+        res = connected_components(
+            two_cliques, backend="omp", resilient=True, full_result=True
+        )
+        assert res.recovery.backend == "omp"
+
+    def test_direct_runs_have_no_recovery(self, two_cliques):
+        res = connected_components(two_cliques, backend="numpy",
+                                   full_result=True)
+        assert res.recovery is None
+
+
+class TestFailFastErgonomics:
+    def test_unknown_backend_lists_registered(self, path_graph):
+        with pytest.raises(UnknownBackendError,
+                           match="unknown backend.*registered backends.*numpy"):
+            connected_components(path_graph, backend="quantum")
+
+    def test_count_components_validates_before_empty_shortcut(self):
+        from repro.graph.build import empty_graph
+
+        with pytest.raises(UnknownBackendError):
+            count_components(empty_graph(0), backend="quantum")
+        with pytest.raises(UnknownOptionError):
+            count_components(empty_graph(0), backend="numpy", bogus=1)
+
+    def test_supervisor_validates_chain_upfront(self, path_graph):
+        with pytest.raises(UnknownBackendError, match="degradation chain"):
+            resilient_components(path_graph, backends=("numpy", "quantum"))
+
+    def test_supervisor_rejects_option_unknown_to_all(self, path_graph):
+        with pytest.raises(UnknownOptionError, match="no backend in chain"):
+            resilient_components(path_graph, backends=("numpy", "serial"),
+                                 warp_broadcast=True)
+
+    def test_option_routed_only_to_accepting_backends(self, two_cliques, oracle):
+        # 'seed' is a gpu-only option; omp/numpy must not receive it.
+        res = resilient_components(
+            two_cliques, backends=("gpu", "numpy"), seed=3, full_result=True
+        )
+        assert np.array_equal(res.labels, oracle)
+
+    def test_scheduler_plus_faults_rejected(self, path_graph):
+        with pytest.raises(ValueError, match="cannot combine"):
+            resilient_components(
+                path_graph,
+                plan=_plan(FaultSpec(kind="hang", backend="gpu")),
+                backends=("gpu",),
+                scheduler=object(),
+            )
+
+    def test_empty_chain_rejected(self, path_graph):
+        with pytest.raises(ValueError, match="at least one backend"):
+            resilient_components(path_graph, backends=())
+
+
+class TestWatchdogRecovery:
+    def test_hang_recovers_within_deadline(self, two_cliques, oracle):
+        res = resilient_components(
+            two_cliques,
+            plan=_plan(FaultSpec(kind="hang", backend="omp", where="compute",
+                                 at=0)),
+            backends=("omp", "serial"),
+            deadline_s=0.3,
+            backoff_s=0.0,
+            full_result=True,
+        )
+        rec = res.recovery
+        assert np.array_equal(res.labels, oracle)
+        assert any(a.error_kind == "watchdog" for a in rec.attempts)
+
+    def test_lost_warp_starves_then_recovers(self, two_cliques, oracle):
+        res = resilient_components(
+            two_cliques,
+            plan=_plan(FaultSpec(kind="lost_warp", backend="gpu",
+                                 where="compute1", at=2)),
+            backends=("gpu", "serial"),
+            deadline_s=1.0,
+            backoff_s=0.0,
+            full_result=True,
+        )
+        rec = res.recovery
+        assert np.array_equal(res.labels, oracle)
+        assert any(ev.kind == "lost_warp" for ev in rec.faults)

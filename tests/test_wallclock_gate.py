@@ -53,6 +53,12 @@ class TestGateRun:
         for row in payload["graphs"]:
             assert row["before_ms"] > 0 and row["after_ms"] > 0
             assert row["speedup"] > 0
+            assert row["resilient_ms"] > 0
+            # The ratio is recorded from the rounded fields, so it is
+            # exactly reconstructible from the row itself.
+            assert row["supervisor_overhead"] == pytest.approx(
+                row["resilient_ms"] / row["after_ms"] - 1.0, abs=1e-4
+            )
             assert row["labels_verified"]
             assert isinstance(row["frontier_sizes"], list)
 
@@ -94,6 +100,22 @@ class TestCheckGate:
         payload = {"graphs": [self.row("a", 3.5), self.row("b", 0.8, False)]}
         problems = check_gate(payload)
         assert len(problems) == 1 and "b" in problems[0]
+
+    def test_flags_supervisor_overhead(self):
+        slow = dict(
+            self.row("a", 3.5), after_ms=100.0, resilient_ms=110.0
+        )
+        problems = check_gate({"graphs": [slow]})
+        assert len(problems) == 1 and "overhead budget" in problems[0]
+
+    def test_overhead_slack_covers_tiny_graphs(self):
+        # +10% relative, but only 0.2 ms absolute: inside the slack.
+        tiny = dict(self.row("a", 3.5), after_ms=2.0, resilient_ms=2.2)
+        assert check_gate({"graphs": [tiny]}) == []
+
+    def test_rows_without_resilient_field_still_checked(self):
+        # schema_version 1 payloads predate the resilient columns.
+        assert check_gate({"graphs": [self.row("a", 3.5)]}) == []
 
     def test_requires_high_diameter_target(self):
         # Big speedup, but on a low-diameter / too-small graph only.
