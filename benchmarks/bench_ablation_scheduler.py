@@ -12,7 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.ecl_cc_gpu import ecl_cc_gpu
-from repro.core.verify import reference_labels
+from repro.verify import reference_labels
 from repro.experiments.report import ExperimentReport
 from repro.experiments.runner import device_for, suite_graphs
 from repro.gpusim.device import TITAN_X

@@ -15,7 +15,7 @@ import numpy as np
 from repro.baselines.fastsv import fastsv_cc
 from repro.core.ecl_cc_gpu import ecl_cc_gpu
 from repro.core.ecl_cc_numpy import ecl_cc_numpy
-from repro.core.verify import reference_labels
+from repro.verify import reference_labels
 from repro.experiments.report import ExperimentReport
 from repro.experiments.runner import device_for, suite_graphs
 from repro.extensions import afforest_cc

@@ -1,0 +1,133 @@
+#!/usr/bin/env python
+"""Mixed read/write load-generator benchmark for ConnectivityService.
+
+Seeds a service with ~75% of a suite graph's edges and drives a seeded
+90/10 read/write operation stream through it (the held-out edges feed
+the insertions, so writes do real merging work), reporting sustained
+queries/sec.  The naive recompute-per-mutation baseline is measured over
+a capped prefix of the same stream for the speedup column, and the
+post-run ``labels_snapshot()`` is differentially verified against the
+scipy oracle.
+
+Typical uses::
+
+    # one-shot comparison on the default graphs
+    python benchmarks/bench_service_loadgen.py --scale small
+
+    # CI service-smoke: a seeded 30-second sustained burst
+    python benchmarks/bench_service_loadgen.py --quick --duration 30 \
+        --out service_loadgen.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.experiments.loadgen import (  # noqa: E402
+    build_ops,
+    compare_loadgen,
+    run_service_loadgen,
+)
+from repro.generators import load  # noqa: E402
+from repro.service import BatchPolicy  # noqa: E402
+from repro.verify import reference_labels  # noqa: E402
+
+import numpy as np  # noqa: E402
+
+DEFAULT_NAMES = ["2d-2e20.sym", "USA-road-d.NY", "rmat16.sym"]
+QUICK_NAMES = ["rmat16.sym"]
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_service_loadgen.json"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", default="small", help="suite scale")
+    parser.add_argument(
+        "--names", default="", help="comma-separated subset of suite graphs"
+    )
+    parser.add_argument("--ops", type=int, default=20_000)
+    parser.add_argument("--read-fraction", type=float, default=0.90)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--naive-max-ops", type=int, default=500)
+    parser.add_argument("--batch-size", type=int, default=1024)
+    parser.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="sustained-burst mode: repeat the op stream for this many "
+        "seconds per graph (skips the naive baseline)",
+    )
+    parser.add_argument("--quick", action="store_true", help="single small graph")
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    args = parser.parse_args(argv)
+
+    names = [n for n in args.names.split(",") if n] or (
+        QUICK_NAMES if args.quick else DEFAULT_NAMES
+    )
+    policy = BatchPolicy(max_batch_size=args.batch_size)
+    rows = []
+    for name in names:
+        graph = load(name, args.scale)
+        if args.duration is not None:
+            ops = build_ops(
+                graph,
+                num_ops=args.ops,
+                read_fraction=args.read_fraction,
+                seed=args.seed,
+            )
+            res, svc = run_service_loadgen(
+                ops, policy=policy, duration_s=args.duration
+            )
+            ref = reference_labels(svc.current_graph())
+            if not np.array_equal(svc.labels_snapshot(), ref):
+                print(f"FAIL: {name}: labels diverged from oracle", file=sys.stderr)
+                return 2
+            row = {
+                "graph": name,
+                "num_vertices": graph.num_vertices,
+                "mode": "burst",
+                "duration_s": round(res.elapsed_s, 2),
+                "service_qps": round(res.qps, 1),
+                "ops_executed": res.ops_executed,
+                "verified": True,
+                "service": res.to_dict(),
+            }
+            print(
+                f"{name}: {res.qps:,.0f} q/s sustained over "
+                f"{res.elapsed_s:.1f} s ({res.ops_executed:,} ops, verified)"
+            )
+        else:
+            row = compare_loadgen(
+                graph,
+                num_ops=args.ops,
+                read_fraction=args.read_fraction,
+                seed=args.seed,
+                policy=policy,
+                naive_max_ops=args.naive_max_ops,
+            )
+            print(
+                f"{name}: service {row['service_qps']:,.0f} q/s, "
+                f"naive {row['naive_qps']:,.1f} q/s "
+                f"({row['service_speedup']:,.0f}x, verified)"
+            )
+        rows.append(row)
+
+    payload = {
+        "benchmark": "service_loadgen",
+        "scale": args.scale,
+        "read_fraction": args.read_fraction,
+        "seed": args.seed,
+        "graphs": rows,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -2,9 +2,11 @@
 """Wall-clock benchmark gate for the frontier-shrinking numpy backend.
 
 Times the current ``ecl_cc_numpy`` against a frozen pre-change snapshot
-on the generator suite, verifies every backend's labels bit-for-bit
-against the serial reference, and writes ``BENCH_core_wallclock.json``
-(schema in ``docs/benchmarks.md``).  Exits nonzero on a label mismatch
+on the generator suite, measures ``ConnectivityService`` throughput
+against the naive recompute-per-mutation baseline under a seeded 90/10
+mixed load, verifies every backend's labels bit-for-bit against the
+serial reference, and writes ``BENCH_core_wallclock.json`` (schema in
+``docs/benchmarks.md``).  Exits nonzero on a label mismatch
 always, and on a missed speedup/regression threshold unless enforcement
 is disabled.
 
@@ -62,6 +64,14 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--min-speedup", type=float, default=3.0)
     parser.add_argument("--max-regression", type=float, default=0.05)
+    parser.add_argument("--min-service-speedup", type=float, default=10.0)
+    parser.add_argument(
+        "--service-ops",
+        type=int,
+        default=20_000,
+        help="mixed read/write ops per graph for the serving columns "
+        "(0 skips them)",
+    )
     args = parser.parse_args(argv)
 
     scale = "small" if args.quick and args.scale == "medium" else args.scale
@@ -74,7 +84,11 @@ def main(argv: list[str] | None = None) -> int:
 
     try:
         payload = run_wallclock_gate(
-            scale=scale, names=names, repeats=args.repeats, verify=True
+            scale=scale,
+            names=names,
+            repeats=args.repeats,
+            verify=True,
+            service_ops=args.service_ops,
         )
     except VerificationError as exc:
         print(f"FAIL: {exc}", file=sys.stderr)
@@ -89,7 +103,13 @@ def main(argv: list[str] | None = None) -> int:
             f"after {row['after_ms']:9.2f} ms  speedup {row['speedup']:5.2f}x  "
             f"resilient {row['resilient_ms']:9.2f} ms "
             f"({row['supervisor_overhead']:+.1%})"
-            f"{marker}"
+            + (
+                f"  service {row['service_qps']:9.0f} q/s "
+                f"({row['service_speedup']:6.0f}x naive)"
+                if "service_qps" in row
+                else ""
+            )
+            + marker
         )
     print(f"wrote {path}")
 
@@ -97,6 +117,7 @@ def main(argv: list[str] | None = None) -> int:
         payload,
         min_speedup=args.min_speedup,
         max_regression=args.max_regression,
+        min_service_speedup=args.min_service_speedup,
     )
     if problems:
         for p in problems:

@@ -12,7 +12,7 @@ Run::
 from __future__ import annotations
 
 from repro.core.ecl_cc_gpu import ecl_cc_gpu
-from repro.core.verify import verify_labels
+from repro.verify import verify_labels
 from repro.generators import load
 from repro.gpusim.device import TITAN_X, scaled_device
 

@@ -30,7 +30,7 @@ def main() -> None:
     print(f"PPI network: {ppi.num_vertices} proteins, "
           f"{ppi.num_edges} interactions")
 
-    labels = connected_components(ppi, backend="numpy")
+    labels = connected_components(ppi, backend="numpy", full_result=False)
     sizes = component_sizes(labels)
     print(f"complexes found: {len(sizes)}")
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro import connected_components, count_components
-from repro.core.verify import assert_valid_labels
+from repro.verify import assert_valid_labels
 from repro.graph import from_edges, graph_stats
 
 
@@ -25,13 +25,17 @@ def main() -> None:
     s = graph_stats(g)
     print(f"degrees: min={s.dmin} avg={s.davg:.2f} max={s.dmax}")
 
-    # The default backend is the vectorized NumPy implementation.
-    labels = connected_components(g)
+    # connected_components returns a CCResult: the label array plus the
+    # backend's statistics, timings, and (when tracing) the span trace.
+    result = connected_components(g)
+    labels = result.labels
     print(f"labels:     {labels.tolist()}")
     print(f"components: {count_components(g)}")
+    print(f"solved by {result.backend} in {result.total_time_ms:.3f} ms")
 
     # Every backend returns the identical canonical labeling: the minimum
-    # vertex ID in each component.
+    # vertex ID in each component.  (CCResult coerces to its label array
+    # under numpy, so array_equal accepts it directly.)
     for backend in ("serial", "numpy", "gpu", "omp"):
         out = connected_components(g, backend=backend)
         assert np.array_equal(out, labels), backend
@@ -42,7 +46,7 @@ def main() -> None:
     print("verification: OK")
 
     # The GPU backend also reports its modeled kernel measurements.
-    result = connected_components(g, backend="gpu", full_result=True)
+    result = connected_components(g, backend="gpu")
     for kernel in result.kernels:
         print(f"  kernel {kernel.name:10s}  {kernel.time_ms:8.5f} ms (modeled)")
 

@@ -34,14 +34,14 @@ def main() -> None:
     base = road_mesh(120, 120, keep_prob=0.3, seed=2, name="road-120x120")
     n = base.num_vertices
     print(f"road network: {n} junctions, {base.num_edges} segments")
-    labels = connected_components(base)
+    labels = connected_components(base, full_result=False)
     print(f"initially connected: {num_components(labels) == 1}\n")
 
     rng = np.random.default_rng(0)
     print(f"{'% roads lost':>12s} {'islands':>8s} {'reachable from largest':>24s}")
     for fraction in (0.02, 0.05, 0.10, 0.20, 0.35, 0.50):
         damaged = drop_edges(base, fraction, rng)
-        labels = connected_components(damaged)
+        labels = connected_components(damaged, full_result=False)
         islands = num_components(labels)
         _, giant = largest_component(labels)
         print(f"{100 * fraction:>11.0f}% {islands:>8d} {100 * giant / n:>23.1f}%")

@@ -43,7 +43,7 @@ def main() -> None:
               f"{'linked' if linked else 'separate'}")
 
     # The online snapshot must equal a from-scratch batch run.
-    batch_labels = connected_components(g)
+    batch_labels = connected_components(g).labels
     assert np.array_equal(inc.labels(), batch_labels)
     print(f"\nfinal: {inc.num_components} components from "
           f"{merged_total} spanning-forest links; "

@@ -3,30 +3,47 @@ Implementation for GPUs" (Jaiganesh & Burtscher, HPDC 2018).
 
 Public API highlights:
 
-* :func:`repro.connected_components` — label components with any backend.
-* :func:`repro.resilient_components` — the same, under a fault-tolerant
-  supervisor (watchdog, checkpointed retry, backend degradation).
+* :func:`repro.connected_components` — label components with any backend
+  (returns a :class:`CCResult`).
+* :class:`repro.ConnectivityService` — the long-lived serving layer:
+  batched incremental edge updates and high-throughput component
+  queries over an owned graph.
+* :func:`repro.resilient_components` — supervised execution (watchdog,
+  checkpointed retry, backend degradation).
+* :data:`repro.BACKENDS` — the backend registry; extend it with
+  :func:`repro.register_backend`.
 * :mod:`repro.graph` — CSR graphs, builders, file I/O, statistics.
 * :mod:`repro.generators` — synthetic graphs and the 18-input suite.
 * :mod:`repro.gpusim` — the simulated GPU the CUDA kernels run on.
 * :mod:`repro.observe` — structured tracing/metrics across all layers.
+* :mod:`repro.verify` — oracles, adversarial schedulers, fuzzing.
 * :mod:`repro.resilience` — fault injection (chaos testing) and the
   resilient supervisor.
-* :mod:`repro.experiments` — regenerate every table/figure of the paper.
+* :mod:`repro.experiments` — regenerate every table/figure of the paper,
+  plus the wall-clock and load-generator benchmarks.
 """
 
-from .core.api import connected_components, count_components, register_backend
+from .core.api import (
+    BACKENDS,
+    connected_components,
+    count_components,
+    register_backend,
+)
 from .core.result import CCResult
 from .graph.csr import CSRGraph
 from .resilience import FaultPlan, resilient_components
+from .service import BatchPolicy, ConnectivityService
 
-__version__ = "1.2.0"
+__version__ = "2.0.0"
 
 __all__ = [
     "connected_components",
     "count_components",
     "register_backend",
     "resilient_components",
+    "BACKENDS",
+    "BatchPolicy",
+    "ConnectivityService",
     "FaultPlan",
     "CCResult",
     "CSRGraph",

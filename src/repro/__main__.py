@@ -20,11 +20,11 @@ import numpy as np
 def _cmd_cc(args) -> int:
     from .core.api import connected_components
     from .core.labels import component_sizes, num_components
-    from .core.verify import verify_labels
     from .graph.io import read_auto
+    from .verify import verify_labels
 
     g = read_auto(args.graph)
-    labels = connected_components(g, backend=args.backend)
+    labels = connected_components(g, backend=args.backend, full_result=False)
     print(f"{g.name}: n={g.num_vertices} m={g.num_edges} "
           f"components={num_components(labels)}")
     if args.verify:
@@ -78,7 +78,7 @@ def _cmd_convert(args) -> int:
 
 def _cmd_profile(args) -> int:
     from .core.ecl_cc_gpu import ecl_cc_gpu
-    from .core.verify import verify_labels_structural
+    from .verify import verify_labels_structural
     from .gpusim.device import K40, TITAN_X, scaled_device
     from .gpusim.trace import render_profile
     from .graph.io import read_auto

@@ -19,14 +19,11 @@ from .labels import (
     num_components,
 )
 from .variants import FINI_VARIANTS, INIT_VARIANTS, finalize, init_vectorized
-from .verify import (
-    assert_valid_labels,
-    bfs_labels,
-    reference_labels,
-    verify_labels,
-    verify_labels_structural,
-)
 
+# Verification (reference_labels, verify_labels_structural, ...) lives in
+# repro.verify; the repro.core.verify module is a deprecated shim and is
+# deliberately NOT imported here, so only code that still imports it
+# directly pays the DeprecationWarning.
 from .result import CCResult
 
 __all__ = [
@@ -52,9 +49,4 @@ __all__ = [
     "INIT_VARIANTS",
     "finalize",
     "init_vectorized",
-    "assert_valid_labels",
-    "bfs_labels",
-    "reference_labels",
-    "verify_labels",
-    "verify_labels_structural",
 ]

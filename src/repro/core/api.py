@@ -28,9 +28,11 @@ declared schema exactly like the built-ins' (an unknown keyword raises
 :class:`~repro.errors.UnknownOptionError` listing the valid keys instead
 of surfacing as a deep ``TypeError``).
 
-Every backend returns a :class:`~repro.core.result.CCResult` under
-``full_result=True``; when a :class:`~repro.observe.Tracer` is active the
-result also carries the spans recorded during the run.
+Every backend returns a :class:`~repro.core.result.CCResult` (the
+default return shape of :func:`connected_components`; pass
+``full_result=False`` for the bare label array); when a
+:class:`~repro.observe.Tracer` is active the result also carries the
+spans recorded during the run.
 """
 
 from __future__ import annotations
@@ -183,7 +185,8 @@ def connected_components(
     graph: CSRGraph,
     *,
     backend: str = "numpy",
-    full_result: bool = False,
+    full_result: bool | None = None,
+    legacy_tuple: bool = False,
     resilient: bool = False,
     **options,
 ):
@@ -197,8 +200,16 @@ def connected_components(
         A name registered in :data:`BACKENDS` (built-ins: ``"serial"``,
         ``"numpy"``, ``"gpu"``, ``"omp"``, ``"fastsv"``, ``"afforest"``).
     full_result:
-        When true, return the full :class:`CCResult` (stats, timings,
-        trace, ...) instead of just the label array.
+        The :class:`CCResult` (labels, stats, timings, trace, ...) is the
+        default return.  Pass ``full_result=False`` to get just the label
+        array; ``full_result=True`` is accepted for compatibility and
+        identical to the default.
+    legacy_tuple:
+        Escape hatch for code still written against the pre-``CCResult``
+        ``(labels, stats)`` shape: the returned result permits tuple
+        unpacking for one final release (each unpack emits
+        :class:`DeprecationWarning`).  Without it, unpacking a
+        :class:`CCResult` raises :class:`TypeError`.
     resilient:
         Run under the :mod:`repro.resilience` supervisor: watchdogged
         attempts, checkpointed retry, and graceful degradation from
@@ -213,9 +224,9 @@ def connected_components(
 
     Returns
     -------
-    numpy.ndarray | CCResult
-        ``labels`` with ``labels[v]`` = min vertex ID of v's component
-        (or the :class:`CCResult` when ``full_result`` is set).
+    CCResult | numpy.ndarray
+        The :class:`CCResult`; ``result.labels[v]`` = min vertex ID of
+        v's component (just the label array under ``full_result=False``).
     """
     if resilient:
         from ..resilience import DEFAULT_CHAIN, resilient_components
@@ -226,7 +237,11 @@ def connected_components(
             get_backend(backend)  # fail fast on unknown names
             chain = (backend, *DEFAULT_CHAIN)
         return resilient_components(
-            graph, backends=chain, full_result=full_result, **options
+            graph,
+            backends=chain,
+            full_result=full_result,
+            legacy_tuple=legacy_tuple,
+            **options,
         )
     spec = get_backend(backend)
     spec.validate_options(options)
@@ -246,9 +261,10 @@ def connected_components(
     wall_ms = (time.perf_counter() - t0) * 1e3
     result = _normalize(raw, backend, wall_ms)
     result.timings.setdefault("wall_ms", wall_ms)
+    result.legacy_tuple = legacy_tuple
     if tracer.enabled:
         result.trace = tracer.spans[mark:]
-    return result if full_result else result.labels
+    return result.labels if full_result is False else result
 
 
 def count_components(graph: CSRGraph, *, backend: str = "numpy", **options) -> int:

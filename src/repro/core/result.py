@@ -7,11 +7,17 @@ Historically each backend had its own ``full_result=True`` shape —
 recorded during the run (when a :class:`~repro.observe.Tracer` was
 active), and the backend name.
 
-Compatibility: ``labels, stats = result`` tuple unpacking still works for
-one deprecation cycle (``__iter__`` emits :class:`DeprecationWarning`),
-and attribute access falls through to the native ``stats`` object, so
-``result.total_time_ms`` / ``result.modeled_time_s`` keep working for
-code written against ``GpuRunResult`` / ``CpuRunResult``.
+:class:`CCResult` is now the *default* return of
+:func:`repro.connected_components` (pass ``full_result=False`` for just
+the label array).  Tuple unpacking — ``labels, stats = result`` — has
+completed its deprecation cycle: it raises :class:`TypeError` unless the
+call opted in with ``legacy_tuple=True``, in which case it still works
+for one final release and emits :class:`DeprecationWarning`.  The object
+coerces to its label array under :func:`numpy.asarray` (so
+``np.array_equal(result, reference)`` and friends keep working), and
+attribute access falls through to the native ``stats`` object, so
+``result.modeled_time_s`` / ``result.kernels`` keep working for code
+written against ``GpuRunResult`` / ``CpuRunResult``.
 """
 
 from __future__ import annotations
@@ -37,6 +43,9 @@ class CCResult:
     # Recovery history (repro.resilience RecoveryInfo) when the run went
     # through the resilient supervisor; None for direct runs.
     recovery: Any = None
+    # Escape hatch: permit (deprecated) tuple unpacking for one release.
+    # Set only by connected_components(..., legacy_tuple=True).
+    legacy_tuple: bool = field(default=False, repr=False, compare=False)
 
     # -- uniform accessors ----------------------------------------------
     @property
@@ -49,11 +58,30 @@ class CCResult:
     def num_components(self) -> int:
         return int(np.unique(self.labels).size) if self.labels.size else 0
 
+    # -- numpy interop ---------------------------------------------------
+    def __array__(self, dtype=None, copy=None) -> np.ndarray:
+        """Coerce to the label array, so ``np.asarray(result)`` /
+        ``np.array_equal(result, reference)`` treat the result as its
+        labels."""
+        arr = self.labels
+        if dtype is not None and arr.dtype != np.dtype(dtype):
+            return arr.astype(dtype)
+        if copy:
+            return arr.copy()
+        return arr
+
     # -- deprecation shims ----------------------------------------------
     def __iter__(self) -> Iterator:
+        if not self.legacy_tuple:
+            raise TypeError(
+                "tuple unpacking of a CCResult is no longer supported; use "
+                "result.labels / result.stats, or pass legacy_tuple=True to "
+                "connected_components() for one final release"
+            )
         warnings.warn(
-            "tuple unpacking of connected_components(..., full_result=True) "
-            "is deprecated; use result.labels / result.stats instead",
+            "tuple unpacking of connected_components(..., legacy_tuple=True) "
+            "is deprecated and will be removed next release; use "
+            "result.labels / result.stats instead",
             DeprecationWarning,
             stacklevel=2,
         )

@@ -1,12 +1,15 @@
-"""Solution verification — moved to :mod:`repro.verify.oracle`.
+"""Deprecated alias of :mod:`repro.verify` — import from there instead.
 
-This module is a compatibility alias: the oracle layer was promoted into
-the :mod:`repro.verify` package (which adds adversarial schedulers,
-metamorphic invariants, and the fuzzing harness on top of it).  All
-historical imports of ``repro.core.verify`` keep working unchanged.
+The oracle layer moved to the :mod:`repro.verify` package (which adds
+adversarial schedulers, metamorphic invariants, and the fuzzing harness
+on top of it).  This module is a one-release compatibility shim: the
+names still resolve, but importing it emits :class:`DeprecationWarning`
+and the module will be removed next release.
 """
 
 from __future__ import annotations
+
+import warnings
 
 from ..verify.oracle import (
     assert_valid_labels,
@@ -23,3 +26,10 @@ __all__ = [
     "verify_labels_structural",
     "assert_valid_labels",
 ]
+
+warnings.warn(
+    "repro.core.verify is deprecated and will be removed next release; "
+    "import from repro.verify instead",
+    DeprecationWarning,
+    stacklevel=2,
+)

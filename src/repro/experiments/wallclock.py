@@ -20,6 +20,13 @@ to keep the native hot path honest: every run
    :class:`repro.errors.VerificationError` on any mismatch — a benchmark
    of wrong answers is worse than no benchmark.
 
+Since schema v3 the gate also covers the serving layer: each row runs
+the mixed read/write load generator (:mod:`repro.experiments.loadgen`)
+against :class:`repro.ConnectivityService` and against the naive
+recompute-per-mutation baseline, recording ``service_qps`` /
+``naive_qps`` / ``service_speedup`` — so a regression in the batched
+incremental path is caught by the same gate that guards the kernels.
+
 :func:`run_wallclock_gate` produces a JSON-ready payload (schema
 documented in ``docs/benchmarks.md``), :func:`check_gate` applies the
 acceptance thresholds, and ``benchmarks/wallclock_gate.py`` is the
@@ -52,7 +59,7 @@ __all__ = [
     "write_gate_json",
 ]
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 #: Suite members whose diameter grows with n (meshes and road networks):
 #: the inputs the frontier formulation is required to win big on.
@@ -157,6 +164,8 @@ def run_wallclock_gate(
     names: list[str] | None = None,
     repeats: int = 3,
     verify: bool = True,
+    service_ops: int = 20_000,
+    naive_max_ops: int = 300,
 ) -> dict:
     """Benchmark the suite and return the JSON-ready gate payload.
 
@@ -170,10 +179,20 @@ def run_wallclock_gate(
     bit-for-bit label comparison of every measured backend against the
     serial reference.  A mismatch raises :class:`VerificationError`
     naming the graph and backend; nothing is silently recorded.
+
+    Schema v3 adds the serving-layer columns: a seeded 90/10 mixed
+    read/write load of ``service_ops`` operations through
+    :class:`~repro.service.ConnectivityService` (``service_qps``) versus
+    the recompute-per-mutation baseline measured over a capped
+    ``naive_max_ops`` prefix (``naive_qps``), with the post-run
+    ``labels_snapshot()`` differentially verified against the oracle.
+    Pass ``service_ops=0`` to skip the serving columns (rows without
+    them remain valid for :func:`check_gate`).
     """
     # Local import: repro.resilience imports the core package this
     # module sits next to.
     from ..resilience import resilient_components
+    from .loadgen import compare_loadgen
     tracer = current_tracer()
     rows = []
     for name in names or suite_names():
@@ -203,7 +222,12 @@ def run_wallclock_gate(
                     ("numpy-dense", ecl_cc_numpy_dense(graph)[0]),
                     ("fastsv", fastsv_cc(graph)[0]),
                     ("legacy", legacy_numpy_cc(graph)),
-                    ("resilient", resilient_components(graph, backends=("numpy",))),
+                    (
+                        "resilient",
+                        resilient_components(
+                            graph, backends=("numpy",), full_result=False
+                        ),
+                    ),
                 ):
                     if not np.array_equal(got, reference):
                         raise VerificationError(
@@ -233,6 +257,21 @@ def run_wallclock_gate(
                     "labels_verified": bool(verify),
                 }
             )
+            if service_ops:
+                lg = compare_loadgen(
+                    graph,
+                    num_ops=service_ops,
+                    naive_max_ops=naive_max_ops,
+                    verify=verify,
+                )
+                rows[-1].update(
+                    {
+                        "service_qps": round(lg["service_qps"], 1),
+                        "naive_qps": round(lg["naive_qps"], 1),
+                        "service_speedup": round(lg["service_speedup"], 2),
+                        "service_verified": lg["verified"],
+                    }
+                )
     return {
         "schema_version": SCHEMA_VERSION,
         "benchmark": "core_wallclock",
@@ -256,6 +295,7 @@ def check_gate(
     min_vertices: int = 100_000,
     max_overhead: float = 0.05,
     overhead_slack_ms: float = 0.3,
+    min_service_speedup: float = 10.0,
 ) -> list[str]:
     """Apply the acceptance thresholds; returns a list of problems.
 
@@ -266,6 +306,12 @@ def check_gate(
     (relative) on every graph.  ``overhead_slack_ms`` is an absolute
     allowance on top of the relative bound: the smallest suite graphs
     finish in ~2 ms, where a 5% budget is inside timer jitter.
+
+    Rows carrying the schema-v3 serving columns must additionally show
+    the :class:`~repro.service.ConnectivityService` sustaining at least
+    ``min_service_speedup`` times the naive recompute-per-mutation QPS
+    under the 90/10 mixed load; rows without the columns (older
+    payloads, or runs with ``service_ops=0``) are exempt.
     """
     problems = []
     floor = 1.0 - max_regression
@@ -286,6 +332,12 @@ def check_gate(
                     f"(after {row['after_ms']:.2f} ms + {max_overhead:.0%} "
                     f"+ {overhead_slack_ms:.2f} ms slack)"
                 )
+        if "service_speedup" in row and row["service_speedup"] < min_service_speedup:
+            problems.append(
+                f"{row['name']}: service speedup {row['service_speedup']:.1f}x "
+                f"over the naive recompute baseline is below the "
+                f"{min_service_speedup:.0f}x serving target"
+            )
         if (
             row["high_diameter"]
             and row["num_vertices"] >= min_vertices

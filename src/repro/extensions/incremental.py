@@ -7,6 +7,17 @@ pipelines frequently *update* graphs; this module provides the online
 counterpart: a connectivity structure supporting edge insertions and
 component queries at union-find speed, built on the same path-halving
 machinery as ECL-CC.
+
+Two insertion granularities are offered.  :meth:`~IncrementalConnectivity.
+add_edge` is the scalar path (one find+hook per call);
+:meth:`~IncrementalConnectivity.add_edges` absorbs a whole batch with the
+vectorized hook-and-flatten rounds of the frontier backends — flatten the
+parent array by pointer doubling, hook every still-unmerged batch edge
+with ``np.minimum.at``, repeat until the batch is absorbed.  Batches
+below :data:`VECTOR_THRESHOLD` fall back to the scalar loop, which is
+cheaper than paying an O(n) flatten for a handful of edges.
+:class:`repro.service.ConnectivityService` builds its micro-batched
+mutation path on ``add_edges``.
 """
 
 from __future__ import annotations
@@ -16,16 +27,37 @@ import numpy as np
 from ..graph.csr import CSRGraph
 from ..unionfind.variants import FIND_VARIANTS
 
-__all__ = ["IncrementalConnectivity"]
+__all__ = ["IncrementalConnectivity", "VECTOR_THRESHOLD", "flatten_parents"]
+
+#: Batches smaller than this are applied with the scalar per-edge loop:
+#: the vectorized path pays an O(n) parent flatten up front, which only
+#: amortizes once the batch carries enough edges.
+VECTOR_THRESHOLD = 32
+
+
+def flatten_parents(parent: np.ndarray) -> np.ndarray:
+    """Fully flatten a decreasing-chain parent array by pointer doubling.
+
+    Returns a new array with ``out[v]`` = root of ``v`` (the component's
+    minimum member, given the point-larger-at-smaller hooking invariant
+    every structure in this library maintains).  Converges in
+    O(log max-depth) vectorized passes.
+    """
+    while True:
+        grandparent = parent[parent]
+        if np.array_equal(grandparent, parent):
+            return grandparent
+        parent = grandparent
 
 
 class IncrementalConnectivity:
     """Online connected components under edge insertions.
 
-    Supports ``add_edge``, ``connected``, ``component_of``,
-    ``num_components`` and snapshot ``labels()`` — all with the minimum-
-    member-ID labeling convention used across this library, so snapshots
-    compare directly against any batch backend's output.
+    Supports ``add_edge`` / batched ``add_edges``, ``connected``,
+    ``component_of``, ``num_components`` and snapshot ``labels()`` — all
+    with the minimum-member-ID labeling convention used across this
+    library, so snapshots compare directly against any batch backend's
+    output.
     """
 
     def __init__(self, num_vertices: int, *, compression: str = "halving") -> None:
@@ -41,11 +73,11 @@ class IncrementalConnectivity:
     # ------------------------------------------------------------------
     @classmethod
     def from_graph(cls, graph: CSRGraph, **kwargs) -> "IncrementalConnectivity":
-        """Seed the structure with an existing graph's edges."""
+        """Seed the structure with an existing graph's edges (vectorized:
+        one ``add_edges`` batch over the graph's deduped edge array)."""
         inc = cls(graph.num_vertices, **kwargs)
         u, v = graph.edge_array()
-        for a, b in zip(u.tolist(), v.tolist()):
-            inc.add_edge(a, b)
+        inc.add_edges(u, v)
         return inc
 
     # ------------------------------------------------------------------
@@ -70,6 +102,70 @@ class IncrementalConnectivity:
         self._num_components -= 1
         return True
 
+    def add_edges(self, u, v) -> int:
+        """Insert a batch of undirected edges; returns the number of
+        component merges the batch caused.
+
+        ``u`` and ``v`` are equal-length array-likes of endpoints.
+        Duplicate edges and self-loops are permitted no-ops, exactly as
+        in the scalar path.  Large batches run the vectorized
+        hook-and-flatten rounds; batches below :data:`VECTOR_THRESHOLD`
+        use the scalar loop.
+        """
+        u = np.asarray(u, dtype=np.int64)
+        v = np.asarray(v, dtype=np.int64)
+        if u.shape != v.shape or u.ndim != 1:
+            raise ValueError("u and v must be 1-D arrays of equal length")
+        if u.size == 0:
+            return 0
+        n = self.parent.size
+        lo = int(min(u.min(), v.min()))
+        hi = int(max(u.max(), v.max()))
+        if lo < 0 or hi >= n:
+            raise IndexError(
+                f"vertex {lo if lo < 0 else hi} out of range [0, {n})"
+            )
+        if u.size < VECTOR_THRESHOLD:
+            return sum(self.add_edge(int(a), int(b)) for a, b in zip(u, v))
+
+        self._edges_added += int(u.size)
+        before = self._num_components
+        parent = flatten_parents(self.parent)
+        while True:
+            ru = parent[u]
+            rv = parent[v]
+            unmerged = ru != rv
+            if not unmerged.any():
+                break
+            hi = np.maximum(ru[unmerged], rv[unmerged])
+            lo = np.minimum(ru[unmerged], rv[unmerged])
+            np.minimum.at(parent, hi, lo)
+            parent = flatten_parents(parent)
+        self.parent = parent
+        # parent is fully flat here, so roots are exactly the fixpoints.
+        self._num_components = int(
+            np.count_nonzero(parent == np.arange(n, dtype=np.int64))
+        )
+        return before - self._num_components
+
+    def reset_from_labels(self, labels: np.ndarray) -> None:
+        """Overwrite the structure from a canonical label array (e.g. a
+        fresh static recompute): ``parent := labels`` is a valid
+        depth-zero union-find state under the minimum-member convention,
+        and the component count is the number of label fixpoints."""
+        labels = np.asarray(labels, dtype=np.int64)
+        if labels.shape != self.parent.shape:
+            raise ValueError(
+                f"labels shape {labels.shape} does not match "
+                f"{self.parent.shape}"
+            )
+        self.parent = labels.copy()
+        self._num_components = int(
+            np.count_nonzero(
+                self.parent == np.arange(self.parent.size, dtype=np.int64)
+            )
+        )
+
     def connected(self, u: int, v: int) -> bool:
         """Whether ``u`` and ``v`` are currently in the same component."""
         self._check(u)
@@ -92,8 +188,6 @@ class IncrementalConnectivity:
 
     def labels(self) -> np.ndarray:
         """Snapshot label array, identical in convention to
-        :func:`repro.connected_components` output."""
-        out = np.empty(self.parent.size, dtype=np.int64)
-        for v in range(self.parent.size):
-            out[v] = self._find(self.parent, v)
-        return out
+        :func:`repro.connected_components` output (vectorized flatten;
+        the live parent array is left untouched)."""
+        return flatten_parents(self.parent)

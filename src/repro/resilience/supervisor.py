@@ -193,7 +193,8 @@ def resilient_components(
     backoff_factor: float = 2.0,
     verify: bool | str = "auto",
     health: BackendHealth | None = None,
-    full_result: bool = False,
+    full_result: bool | None = None,
+    legacy_tuple: bool = False,
     **options,
 ):
     """Compute connected components under supervision.
@@ -227,9 +228,12 @@ def resilient_components(
         accepts them.  An option no chain backend accepts raises
         :class:`UnknownOptionError` *before* any graph work.
 
-    Returns the label array, or the full :class:`~repro.core.result.CCResult`
-    (with ``result.recovery``) when ``full_result=True``.  Raises
-    :class:`ResilienceExhaustedError` when every backend fails.
+    Returns the full :class:`~repro.core.result.CCResult` (with
+    ``result.recovery``) by default, or just the label array when
+    ``full_result=False`` — mirroring
+    :func:`repro.connected_components`, including the ``legacy_tuple``
+    escape hatch.  Raises :class:`ResilienceExhaustedError` when every
+    backend fails.
     """
     chain = DEFAULT_CHAIN if backends is None else tuple(backends)
     if not chain:
@@ -358,7 +362,8 @@ def resilient_components(
                 recovery.backend = backend
                 health.record_success(backend)
                 result.recovery = recovery
-                return result if full_result else result.labels
+                result.legacy_tuple = legacy_tuple
+                return result.labels if full_result is False else result
             if bi + 1 < len(chain):
                 recovery.fallbacks += 1
                 tracer.count("resilience.fallbacks")

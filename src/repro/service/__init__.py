@@ -1,0 +1,26 @@
+"""Serving layer: a long-lived connectivity service over a mutable graph.
+
+See :mod:`repro.service.service` for the consistency model and the
+static-vs-incremental update policy, and ``docs/service.md`` for the
+user-facing guide.
+"""
+
+from .service import (
+    BatchPolicy,
+    BatchStats,
+    ComponentSnapshot,
+    ConnectivityService,
+    MutationTicket,
+    ServiceStats,
+)
+from .store import EdgeStore
+
+__all__ = [
+    "BatchPolicy",
+    "BatchStats",
+    "ComponentSnapshot",
+    "ConnectivityService",
+    "EdgeStore",
+    "MutationTicket",
+    "ServiceStats",
+]

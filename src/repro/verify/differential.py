@@ -101,7 +101,9 @@ def run_config(graph, cfg: DiffConfig, *, scheduler=None) -> np.ndarray:
     kwargs = cfg.as_kwargs()
     if scheduler is not None and "scheduler" in BACKENDS[cfg.backend].options:
         kwargs["scheduler"] = scheduler
-    return np.asarray(connected_components(graph, backend=cfg.backend, **kwargs))
+    return connected_components(
+        graph, backend=cfg.backend, full_result=False, **kwargs
+    )
 
 
 def serial_reference(graph) -> np.ndarray:

@@ -7,7 +7,7 @@ import pytest
 
 from repro import CCResult, connected_components, count_components, register_backend
 from repro.core.api import BACKENDS, BackendSpec, OptionSpec, unregister_backend
-from repro.core.verify import reference_labels
+from repro.verify import reference_labels
 from repro.errors import ReproError, UnknownBackendError, UnknownOptionError
 from repro.generators import load
 
@@ -65,10 +65,23 @@ class TestCCResultParity:
         assert res.num_components == int(np.unique(res.labels).size)
 
     @pytest.mark.parametrize("backend", ALL_BACKENDS)
-    def test_bare_labels_without_full_result(self, backend, triangle_plus_edge):
-        labels = connected_components(triangle_plus_edge, backend=backend)
+    def test_default_return_is_ccresult(self, backend, triangle_plus_edge):
+        res = connected_components(triangle_plus_edge, backend=backend)
+        assert isinstance(res, CCResult)
+        assert np.array_equal(res.labels, reference_labels(triangle_plus_edge))
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_bare_labels_with_full_result_false(self, backend, triangle_plus_edge):
+        labels = connected_components(
+            triangle_plus_edge, backend=backend, full_result=False
+        )
         assert isinstance(labels, np.ndarray)
         assert np.array_equal(labels, reference_labels(triangle_plus_edge))
+
+    def test_ccresult_coerces_to_labels_under_numpy(self, two_cliques):
+        res = connected_components(two_cliques)
+        assert np.array_equal(res, reference_labels(two_cliques))
+        assert np.asarray(res) is res.labels
 
     def test_gpu_timings_have_per_kernel_entries(self, two_cliques):
         res = connected_components(two_cliques, backend="gpu", full_result=True)
@@ -89,8 +102,15 @@ class TestCCResultParity:
         with pytest.raises(AttributeError, match="no attribute"):
             gpu.definitely_not_an_attribute
 
-    def test_tuple_unpacking_deprecated_but_works(self, path_graph):
-        res = connected_components(path_graph, backend="serial", full_result=True)
+    def test_tuple_unpacking_raises_without_opt_in(self, path_graph):
+        res = connected_components(path_graph, backend="serial")
+        with pytest.raises(TypeError, match="tuple unpacking"):
+            labels, stats = res
+
+    def test_tuple_unpacking_with_legacy_opt_in(self, path_graph):
+        res = connected_components(
+            path_graph, backend="serial", legacy_tuple=True
+        )
         with pytest.warns(DeprecationWarning, match="tuple unpacking"):
             labels, stats = res
         assert np.array_equal(labels, res.labels)

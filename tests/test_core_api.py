@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro import CSRGraph, connected_components, count_components
-from repro.core.verify import reference_labels
+from repro.verify import reference_labels
 from repro.generators import load
 
 
@@ -23,10 +23,10 @@ class TestBackends:
             connected_components(path_graph, backend="quantum")
 
     def test_full_result_serial(self, path_graph):
-        labels, stats = connected_components(
+        res = connected_components(
             path_graph, backend="serial", full_result=True, collect_stats=True
         )
-        assert stats is not None
+        assert res.stats is not None
 
     def test_full_result_gpu(self, path_graph):
         res = connected_components(path_graph, backend="gpu", full_result=True)
@@ -38,11 +38,9 @@ class TestBackends:
         assert res.modeled_time_s > 0
 
     def test_fastsv_full_result(self, path_graph):
-        labels, stats = connected_components(
-            path_graph, backend="fastsv", full_result=True
-        )
-        assert stats.iterations >= 1
-        assert np.array_equal(labels, reference_labels(path_graph))
+        res = connected_components(path_graph, backend="fastsv", full_result=True)
+        assert res.stats.iterations >= 1
+        assert np.array_equal(res.labels, reference_labels(path_graph))
 
     def test_afforest_full_result(self, path_graph):
         res = connected_components(path_graph, backend="afforest", full_result=True)

@@ -10,7 +10,7 @@ from repro.core.labels import (
     largest_component,
     num_components,
 )
-from repro.core.verify import (
+from repro.verify import (
     assert_valid_labels,
     bfs_labels,
     reference_labels,

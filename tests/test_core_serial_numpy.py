@@ -6,7 +6,7 @@ import pytest
 from repro.core.ecl_cc_numpy import ecl_cc_numpy
 from repro.core.ecl_cc_serial import ecl_cc_serial
 from repro.core.variants import INIT_VARIANTS, finalize, init_vectorized
-from repro.core.verify import reference_labels
+from repro.verify import reference_labels
 from repro.generators import load_suite
 from repro.graph.build import empty_graph, from_edges
 from repro.unionfind.variants import FIND_VARIANTS

@@ -21,7 +21,7 @@ from repro.baselines.cpu import (
     serial_union_find_cc,
 )
 from repro.core.labels import canonicalize
-from repro.core.verify import reference_labels
+from repro.verify import reference_labels
 from repro.cpusim import X5690
 from repro.generators import load, load_suite
 from repro.graph.build import empty_graph, from_edges

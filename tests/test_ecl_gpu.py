@@ -9,7 +9,7 @@ from repro.core.ecl_cc_gpu import (
     ecl_cc_gpu,
     g_find_halving,
 )
-from repro.core.verify import reference_labels
+from repro.verify import reference_labels
 from repro.generators import load, load_suite
 from repro.generators.roads import caterpillar, long_path
 from repro.gpusim.device import K40, TITAN_X

@@ -6,7 +6,7 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.baselines.fastsv import fastsv_cc
-from repro.core.verify import reference_labels
+from repro.verify import reference_labels
 from repro.extensions import afforest_cc
 from repro.generators import load, load_suite
 from repro.generators.roads import long_path

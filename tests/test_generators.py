@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.verify import reference_labels
+from repro.verify import reference_labels
 from repro.generators import (
     caterpillar,
     community_power_law,

@@ -13,7 +13,7 @@ from repro.baselines.gpu import (
 )
 from repro.core.ecl_cc_gpu import ecl_cc_gpu
 from repro.core.labels import canonicalize
-from repro.core.verify import reference_labels
+from repro.verify import reference_labels
 from repro.generators import load, load_suite
 from repro.generators.roads import long_path
 from repro.graph.build import empty_graph, from_edges

@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.verify import reference_labels
+from repro.verify import reference_labels
 from repro.extensions.incremental import IncrementalConnectivity
 from repro.graph.build import from_edges
 

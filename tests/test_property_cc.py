@@ -10,7 +10,7 @@ from repro.core.ecl_cc_gpu import ecl_cc_gpu
 from repro.core.ecl_cc_numpy import ecl_cc_numpy
 from repro.core.ecl_cc_serial import ecl_cc_serial
 from repro.core.labels import canonicalize, equivalent_labelings
-from repro.core.verify import bfs_labels, reference_labels
+from repro.verify import bfs_labels, reference_labels
 from repro.graph.build import from_edges
 from repro.graph.validate import validate_undirected
 

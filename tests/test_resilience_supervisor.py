@@ -5,7 +5,12 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro import connected_components, count_components, resilient_components
+from repro import (
+    CCResult,
+    connected_components,
+    count_components,
+    resilient_components,
+)
 from repro.errors import (
     KernelAbortError,
     ReproError,
@@ -24,7 +29,7 @@ from repro.resilience import (
 
 @pytest.fixture
 def oracle(two_cliques):
-    return connected_components(two_cliques, backend="serial")
+    return connected_components(two_cliques, backend="serial", full_result=False)
 
 
 def _plan(*faults):
@@ -42,8 +47,15 @@ class TestZeroFaultPath:
         assert rec.retries == rec.fallbacks == 0
         assert not rec.verified  # zero-fault auto mode skips verification
 
-    def test_labels_only_by_default(self, two_cliques, oracle):
-        labels = resilient_components(two_cliques, backends=("numpy",))
+    def test_ccresult_by_default(self, two_cliques, oracle):
+        res = resilient_components(two_cliques, backends=("numpy",))
+        assert isinstance(res, CCResult)
+        assert np.array_equal(res.labels, oracle)
+
+    def test_bare_labels_on_request(self, two_cliques, oracle):
+        labels = resilient_components(
+            two_cliques, backends=("numpy",), full_result=False
+        )
         assert isinstance(labels, np.ndarray)
         assert np.array_equal(labels, oracle)
 

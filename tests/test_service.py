@@ -1,0 +1,529 @@
+"""Tests for the serving layer: EdgeStore, ConnectivityService, loadgen.
+
+The differential backbone: after every applied batch,
+``labels_snapshot()`` must be bit-identical to the serial oracle run on
+the store's live edge set — the service's incremental path is held to
+the same canonical minimum-member labeling as every batch backend.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import BatchPolicy, CCResult, ConnectivityService, connected_components
+from repro.errors import ResilienceExhaustedError
+from repro.experiments.loadgen import (
+    build_ops,
+    compare_loadgen,
+    run_naive_loadgen,
+    run_service_loadgen,
+)
+from repro.generators import load, rmat
+from repro.graph.build import from_edges
+from repro.observe import Tracer, use_tracer
+from repro.service import EdgeStore
+from repro.verify import reference_labels
+
+
+def oracle_labels(svc: ConnectivityService) -> np.ndarray:
+    """Serial-oracle labels of the service's committed edge set."""
+    from repro.core.ecl_cc_serial import ecl_cc_serial
+
+    labels, _ = ecl_cc_serial(svc.current_graph())
+    return labels
+
+
+class TestEdgeStore:
+    def test_insert_reports_newly_alive(self):
+        store = EdgeStore(10)
+        nu, nv = store.insert([0, 1, 0], [1, 2, 1])  # duplicate in batch
+        assert store.num_edges == 2
+        # The duplicate within the batch is reported once.
+        assert nu.size == 2
+        nu, nv = store.insert([0], [1])  # duplicate of a live edge
+        assert nu.size == 0 and store.num_edges == 2
+
+    def test_self_loops_dropped(self):
+        store = EdgeStore(5)
+        nu, _ = store.insert([2], [2])
+        assert nu.size == 0 and store.num_edges == 0
+
+    def test_delete_and_revive(self):
+        store = EdgeStore(5)
+        store.insert([0, 1], [1, 2])
+        assert store.delete([1], [0]) == 1  # canonical order-insensitive
+        assert store.num_edges == 1
+        assert not store.contains(0, 1)
+        nu, _ = store.insert([0], [1])  # revive the tombstone
+        assert nu.size == 1 and store.contains(0, 1)
+
+    def test_delete_absent_is_noop(self):
+        store = EdgeStore(5)
+        assert store.delete([3], [4]) == 0
+
+    def test_to_graph_round_trip(self):
+        g = load("rmat16.sym", "tiny")
+        store = EdgeStore.from_graph(g)
+        back = store.to_graph()
+        assert np.array_equal(back.edge_array()[0], g.edge_array()[0])
+        assert np.array_equal(back.edge_array()[1], g.edge_array()[1])
+
+    def test_compact_reclaims_tombstones(self):
+        store = EdgeStore(10)
+        store.insert(np.arange(9), np.arange(1, 10))
+        store.delete(np.arange(4), np.arange(1, 5))
+        assert store.tombstone_fraction == pytest.approx(4 / 9)
+        assert store.compact() == 4
+        assert store.tombstone_fraction == 0.0
+        assert store.num_edges == 5
+        assert store.contains(5, 6) and not store.contains(0, 1)
+
+    def test_bounds_checked(self):
+        store = EdgeStore(4)
+        with pytest.raises(IndexError, match="out of range"):
+            store.insert([0], [4])
+
+
+class TestServiceBasics:
+    def test_seeded_from_graph(self, two_cliques):
+        svc = ConnectivityService(two_cliques, start=False)
+        assert svc.component_count() == 2
+        assert svc.same_component(0, 2)
+        assert not svc.same_component(0, 4)
+        assert np.array_equal(
+            svc.labels_snapshot(), reference_labels(two_cliques)
+        )
+
+    def test_empty_universe(self):
+        svc = ConnectivityService(num_vertices=5, start=False)
+        assert svc.component_count() == 5
+        t = svc.add_edge(0, 4)
+        svc.flush()
+        assert t.applied and svc.same_component(0, 4)
+
+    def test_requires_graph_or_size(self):
+        with pytest.raises(ValueError):
+            ConnectivityService()
+
+    def test_query_bounds_checked(self, two_cliques):
+        svc = ConnectivityService(two_cliques, start=False)
+        with pytest.raises(IndexError):
+            svc.component_of(two_cliques.num_vertices)
+
+    def test_component_of_matches_labels(self, two_cliques):
+        svc = ConnectivityService(two_cliques, start=False)
+        labels = svc.labels_snapshot()
+        for v in range(two_cliques.num_vertices):
+            assert svc.component_of(v) == labels[v]
+
+    def test_root_cache_counts_hits(self, two_cliques):
+        svc = ConnectivityService(two_cliques, start=False)
+        svc.component_of(1)
+        misses = svc.stats.cache_misses
+        svc.component_of(1)
+        assert svc.stats.cache_hits >= 1
+        assert svc.stats.cache_misses == misses
+        svc.add_edge(0, 4)
+        svc.flush()
+        # New snapshot, cold cache: the next lookup misses again.
+        svc.component_of(1)
+        assert svc.stats.cache_misses > misses
+
+
+class TestSnapshotIsolation:
+    def test_published_arrays_immutable(self, two_cliques):
+        svc = ConnectivityService(two_cliques, start=False)
+        snap = svc.labels_snapshot()
+        with pytest.raises(ValueError):
+            snap[0] = 99
+
+    def test_old_snapshot_survives_later_batches(self, two_cliques):
+        svc = ConnectivityService(two_cliques, start=False)
+        before = svc.labels_snapshot()
+        frozen = before.copy()
+        svc.add_edge(0, 4)  # merge the cliques
+        svc.flush()
+        assert np.array_equal(before, frozen)
+        assert svc.labels_snapshot()[4] == 0  # new snapshot sees the merge
+
+    def test_interleaved_mutate_query(self):
+        """Readers racing a mutating batch never see a half-applied
+        state: every observed labeling equals the oracle of *some*
+        committed prefix of the batch sequence."""
+        n = 64
+        svc = ConnectivityService(
+            num_vertices=n,
+            policy=BatchPolicy(max_batch_size=4, max_latency_s=0.001),
+        )
+        errors: list[str] = []
+        stop = threading.Event()
+
+        def reader():
+            while not stop.is_set():
+                snap = svc.snapshot()
+                labels = snap.labels()
+                # Count and labels from the SAME snapshot must agree —
+                # a torn read across a half-applied batch would break
+                # this.
+                if snap.num_components != np.unique(labels).size:
+                    errors.append("snapshot count disagrees with labels")
+                # A half-applied batch would leave a non-canonical
+                # labeling; every published snapshot must be canonical
+                # (labels[labels] == labels) with a matching count.
+                if not np.array_equal(labels[labels], labels):
+                    errors.append("non-canonical snapshot published")
+
+        threads = [threading.Thread(target=reader) for _ in range(3)]
+        for t in threads:
+            t.start()
+        tickets = [svc.add_edge(i, i + 1) for i in range(n - 1)]
+        tickets[-1].result(5.0)
+        stop.set()
+        for t in threads:
+            t.join()
+        svc.close()
+        assert not errors, errors[:3]
+        assert svc.component_count() == 1
+
+
+class TestBatchTriggers:
+    def test_size_trigger(self):
+        svc = ConnectivityService(
+            num_vertices=100,
+            policy=BatchPolicy(max_batch_size=5, max_latency_s=3600.0),
+        )
+        try:
+            tickets = [svc.add_edge(i, i + 1) for i in range(5)]
+            # With an hour-long latency budget, only the size trigger
+            # can have fired.
+            assert tickets[-1].result(2.0).size == 5
+            assert svc.version == 2
+        finally:
+            svc.close()
+
+    def test_latency_trigger(self):
+        svc = ConnectivityService(
+            num_vertices=100,
+            policy=BatchPolicy(max_batch_size=10_000, max_latency_s=0.02),
+        )
+        try:
+            t0 = time.monotonic()
+            ticket = svc.add_edge(3, 4)
+            stats = ticket.result(2.0)
+            elapsed = time.monotonic() - t0
+            # One edge is far below the size trigger: the flush must
+            # have come from the latency timer.
+            assert stats.size == 1
+            assert elapsed >= 0.015
+        finally:
+            svc.close()
+
+    def test_synchronous_mode_buffers_until_flush(self, two_cliques):
+        svc = ConnectivityService(two_cliques, start=False)
+        ticket = svc.add_edge(0, 4)
+        assert svc.queue_depth == 1
+        assert not svc.same_component(0, 4)  # not yet committed
+        svc.flush()
+        assert ticket.applied
+        assert svc.same_component(0, 4)
+
+    def test_synchronous_mode_size_trigger_applies_inline(self):
+        svc = ConnectivityService(
+            num_vertices=50,
+            policy=BatchPolicy(max_batch_size=3),
+            start=False,
+        )
+        svc.add_edge(0, 1)
+        svc.add_edge(1, 2)
+        assert svc.queue_depth == 2
+        svc.add_edge(2, 3)  # hits the size trigger
+        assert svc.queue_depth == 0
+        assert svc.same_component(0, 3)
+
+    def test_oversized_batch_not_split(self):
+        svc = ConnectivityService(
+            num_vertices=100, policy=BatchPolicy(max_batch_size=4), start=False
+        )
+        u = np.arange(10)
+        ticket = svc.add_edges(u, u + 1)
+        assert ticket.result(2.0).size == 10
+
+    def test_empty_mutation_resolves_immediately(self, two_cliques):
+        svc = ConnectivityService(two_cliques, start=False)
+        ticket = svc.add_edges([], [])
+        assert ticket.wait(0)
+
+    def test_close_drains_pending(self):
+        svc = ConnectivityService(
+            num_vertices=10,
+            policy=BatchPolicy(max_batch_size=10_000, max_latency_s=3600.0),
+        )
+        ticket = svc.add_edge(0, 1)
+        svc.close()
+        assert ticket.applied
+        assert svc.same_component(0, 1)
+
+
+class TestUpdatePolicy:
+    def test_small_batch_applies_incrementally(self, two_cliques):
+        svc = ConnectivityService(
+            two_cliques,
+            policy=BatchPolicy(recompute_merge_frac=0.9),
+            start=False,
+        )
+        t = svc.add_edge(0, 4)
+        svc.flush()
+        assert t.result().mode == "incremental"
+        assert svc.stats.incremental_batches == 1
+        assert svc.stats.static_recomputes == 0
+
+    def test_bulk_merge_falls_back_to_static(self):
+        # 100 singletons; one batch wiring them into a path merges 99%
+        # of the components — far past the crossover.
+        svc = ConnectivityService(
+            num_vertices=100,
+            policy=BatchPolicy(recompute_merge_frac=0.25),
+            start=False,
+        )
+        u = np.arange(99)
+        t = svc.add_edges(u, u + 1)
+        svc.flush()
+        assert t.result().mode == "static-fallback"
+        assert svc.stats.static_fallbacks == 1
+        assert svc.component_count() == 1
+
+    def test_merge_frac_one_disables_fallback(self):
+        svc = ConnectivityService(
+            num_vertices=100,
+            policy=BatchPolicy(recompute_merge_frac=1.0),
+            start=False,
+        )
+        u = np.arange(99)
+        t = svc.add_edges(u, u + 1)
+        svc.flush()
+        assert t.result().mode == "incremental"
+
+    def test_deletion_forces_static(self, two_cliques):
+        svc = ConnectivityService(two_cliques, start=False)
+        t = svc.remove_edge(0, 1)
+        svc.flush()
+        assert t.result().mode == "static"
+        # {0,1,2,3} is a clique: removing one edge keeps it connected.
+        assert svc.same_component(0, 1)
+        assert np.array_equal(svc.labels_snapshot(), oracle_labels(svc))
+
+    def test_split_detected_after_deletions(self):
+        g = from_edges([(0, 1), (1, 2)], num_vertices=3, name="path3")
+        svc = ConnectivityService(g, start=False)
+        svc.remove_edge(1, 2)
+        svc.flush()
+        assert not svc.same_component(0, 2)
+        assert svc.component_count() == 2
+
+    def test_duplicate_inserts_cause_no_merges(self, two_cliques):
+        svc = ConnectivityService(two_cliques, start=False)
+        t = svc.add_edge(0, 1)  # already present
+        svc.flush()
+        stats = t.result()
+        assert stats.inserts == 0 and stats.merges == 0
+
+    def test_mixed_insert_delete_batch(self, two_cliques):
+        svc = ConnectivityService(two_cliques, start=False)
+        svc.add_edge(0, 4)
+        svc.remove_edge(2, 3)
+        svc.flush()  # one batch: contains a delete -> static
+        assert svc.last_batch().mode == "static"
+        assert svc.same_component(0, 4)
+        assert np.array_equal(svc.labels_snapshot(), oracle_labels(svc))
+
+    def test_compaction_runs_at_threshold(self):
+        svc = ConnectivityService(
+            num_vertices=20,
+            policy=BatchPolicy(compact_tombstone_frac=0.25),
+            start=False,
+        )
+        u = np.arange(10)
+        svc.add_edges(u, u + 1)
+        svc.flush()
+        svc.remove_edges(u[:5], u[:5] + 1)
+        svc.flush()
+        assert svc.stats.compactions >= 1
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError):
+            BatchPolicy(max_batch_size=0)
+        with pytest.raises(ValueError):
+            BatchPolicy(recompute_merge_frac=1.5)
+
+    def test_recompute_failure_resolves_ticket_with_error(self, two_cliques):
+        svc = ConnectivityService(
+            two_cliques,
+            policy=BatchPolicy(recompute_merge_frac=0.0, resilient=False),
+            start=False,
+        )
+
+        def boom(*a, **k):
+            raise ResilienceExhaustedError("injected")
+
+        svc._recompute = boom
+        ticket = svc.add_edge(0, 4)
+        svc.flush()
+        assert not ticket.applied
+        with pytest.raises(ResilienceExhaustedError):
+            ticket.result(0)
+        assert svc.stats.failed_batches == 1
+        # The service keeps serving the last committed snapshot.
+        assert svc.component_count() == 2
+
+
+class TestDifferentialAgainstOracle:
+    """The satellite's core check: every post-batch snapshot is
+    bit-identical to the serial oracle on the committed edge set."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_randomized_batches_match_oracle(self, seed):
+        rng = np.random.default_rng(seed)
+        g = rmat(7, 2.0, seed=seed, name=f"svc-diff-{seed}")
+        svc = ConnectivityService(
+            g,
+            policy=BatchPolicy(
+                max_batch_size=16, recompute_merge_frac=0.3
+            ),
+            start=False,
+        )
+        n = g.num_vertices
+        for _ in range(12):
+            k = int(rng.integers(1, 12))
+            if rng.random() < 0.25:
+                eu, ev = svc.current_graph().edge_array()
+                if eu.size:
+                    pick = rng.integers(0, eu.size, size=min(k, eu.size))
+                    svc.remove_edges(eu[pick], ev[pick])
+            else:
+                svc.add_edges(
+                    rng.integers(0, n, size=k), rng.integers(0, n, size=k)
+                )
+            svc.flush()
+            assert np.array_equal(svc.labels_snapshot(), oracle_labels(svc))
+            assert svc.component_count() == np.unique(
+                svc.labels_snapshot()
+            ).size
+
+    def test_grows_to_connected_and_agrees(self):
+        g = load("2d-2e20.sym", "tiny")
+        svc = ConnectivityService(g, start=False)
+        # Wire all current component representatives together.
+        labels = svc.labels_snapshot()
+        roots = np.unique(labels)
+        if roots.size > 1:
+            svc.add_edges(roots[:-1], roots[1:])
+            svc.flush()
+        assert svc.component_count() == 1
+        assert np.array_equal(svc.labels_snapshot(), oracle_labels(svc))
+
+
+class TestObservability:
+    def test_spans_and_gauges_recorded(self, two_cliques):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            svc = ConnectivityService(two_cliques, start=False)
+            svc.add_edge(0, 4)
+            svc.flush()
+            svc.same_component(0, 4)
+        names = [s.name for s in tracer.spans]
+        assert "service:batch" in names
+        assert tracer.counters.get("service.batches") == 1
+        assert tracer.counters.get("service.mutations") == 1
+        gauge_names = {name for _, name, _ in tracer.gauges}
+        assert "service.queue_depth" in gauge_names
+        assert "service.components" in gauge_names
+
+    def test_tracer_captured_at_construction_crosses_threads(self, two_cliques):
+        # The flusher thread must report into the tracer that was
+        # ambient when the service was built (contextvars don't cross
+        # threads on their own).
+        tracer = Tracer()
+        with use_tracer(tracer):
+            svc = ConnectivityService(
+                two_cliques, policy=BatchPolicy(max_latency_s=0.001)
+            )
+        svc.add_edge(0, 4).result(2.0)
+        svc.close()
+        assert "service:batch" in [s.name for s in tracer.spans]
+
+
+class TestLoadgen:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return load("rmat16.sym", "tiny")
+
+    def test_build_ops_deterministic(self, graph):
+        a = build_ops(graph, num_ops=500, seed=7)
+        b = build_ops(graph, num_ops=500, seed=7)
+        assert np.array_equal(a.op, b.op)
+        assert np.array_equal(a.u, b.u)
+        assert a.seed_graph.num_edges == b.seed_graph.num_edges
+
+    def test_read_write_mix(self, graph):
+        ops = build_ops(graph, num_ops=1000, read_fraction=0.9, seed=0)
+        assert ops.num_writes == 100
+        assert ops.seed_graph.num_edges < graph.num_edges
+
+    def test_service_run_verifies_against_oracle(self, graph):
+        ops = build_ops(graph, num_ops=1000, seed=1)
+        res, svc = run_service_loadgen(ops)
+        assert res.ops_executed == 1000
+        assert res.qps > 0
+        assert np.array_equal(
+            svc.labels_snapshot(), reference_labels(svc.current_graph())
+        )
+
+    def test_naive_prefix_contains_writes(self, graph):
+        ops = build_ops(graph, num_ops=1000, seed=2)
+        res = run_naive_loadgen(ops, max_ops=50, min_writes=5)
+        assert res.writes >= 5
+
+    def test_compare_reports_speedup(self, graph):
+        row = compare_loadgen(graph, num_ops=2000, naive_max_ops=100, seed=3)
+        assert row["verified"]
+        assert row["service_qps"] > 0 and row["naive_qps"] > 0
+        assert row["service_speedup"] == pytest.approx(
+            row["service_qps"] / row["naive_qps"]
+        )
+
+
+class TestPublicSurface:
+    def test_all_exports_importable(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_core_verify_shim_warns(self):
+        import importlib
+        import sys
+
+        sys.modules.pop("repro.core.verify", None)
+        with pytest.warns(DeprecationWarning, match="repro.core.verify"):
+            importlib.import_module("repro.core.verify")
+
+    def test_importing_repro_core_does_not_warn(self):
+        import subprocess
+        import sys
+
+        proc = subprocess.run(
+            [sys.executable, "-W", "error::DeprecationWarning", "-c",
+             "import repro.core"],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stderr
+
+    def test_ccresult_default_round_trip(self, two_cliques):
+        res = connected_components(two_cliques)
+        assert isinstance(res, CCResult)
+        assert res.num_components == 2

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.verify import reference_labels
+from repro.verify import reference_labels
 from repro.errors import GraphFormatError
 from repro.generators import load
 from repro.graph import (

@@ -7,7 +7,7 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.core.ecl_cc_gpu import ecl_cc_gpu
-from repro.core.verify import reference_labels, verify_labels_structural
+from repro.verify import reference_labels, verify_labels_structural
 from repro.experiments import run_experiment
 from repro.generators import load
 from repro.gpusim import profile_launches, render_profile

@@ -28,7 +28,7 @@ def _graphs():
 
 
 def _runner(backend):
-    return lambda g: connected_components(g, backend=backend)
+    return lambda g: connected_components(g, backend=backend, full_result=False)
 
 
 @pytest.mark.parametrize("backend", FAST_BACKENDS)
@@ -94,7 +94,7 @@ def test_invariants_catch_a_wrong_solver():
     """Falsifiability: a solver keyed to vertex IDs trips `permutation`."""
 
     def biased(graph):
-        labels = connected_components(graph, backend="numpy")
+        labels = connected_components(graph, backend="numpy", full_result=False)
         out = labels.copy()
         # Wrong for any vertex >= 5: pretends high IDs are singletons.
         out[5:] = np.arange(5, graph.num_vertices)

@@ -61,6 +61,20 @@ class TestGateRun:
             )
             assert row["labels_verified"]
             assert isinstance(row["frontier_sizes"], list)
+            # Schema v3: serving-layer columns.
+            assert row["service_qps"] > 0
+            assert row["naive_qps"] > 0
+            assert row["service_speedup"] == pytest.approx(
+                row["service_qps"] / row["naive_qps"], rel=0.02
+            )
+            assert row["service_verified"]
+
+    def test_service_columns_skippable(self):
+        payload = run_wallclock_gate(
+            scale="tiny", names=["rmat16.sym"], repeats=1, verify=False,
+            service_ops=0,
+        )
+        assert "service_qps" not in payload["graphs"][0]
 
     def test_high_diameter_flag(self, payload):
         flags = {r["name"]: r["high_diameter"] for r in payload["graphs"]}
@@ -115,6 +129,19 @@ class TestCheckGate:
 
     def test_rows_without_resilient_field_still_checked(self):
         # schema_version 1 payloads predate the resilient columns.
+        assert check_gate({"graphs": [self.row("a", 3.5)]}) == []
+
+    def test_flags_service_speedup_below_target(self):
+        slow = dict(self.row("a", 3.5), service_speedup=4.0)
+        problems = check_gate({"graphs": [slow]})
+        assert len(problems) == 1 and "serving target" in problems[0]
+
+    def test_service_speedup_at_target_passes(self):
+        ok = dict(self.row("a", 3.5), service_speedup=12.5)
+        assert check_gate({"graphs": [ok]}) == []
+
+    def test_rows_without_service_fields_exempt(self):
+        # schema v2 payloads predate the serving columns.
         assert check_gate({"graphs": [self.row("a", 3.5)]}) == []
 
     def test_requires_high_diameter_target(self):
