@@ -17,6 +17,9 @@ Typical uses::
 
     # CI smoke: reduced suite, labels verified, thresholds not enforced
     python benchmarks/wallclock_gate.py --quick --out bench_smoke.json
+
+    # gate only the contraction family (skips the slow legacy/dense legs)
+    python benchmarks/wallclock_gate.py --quick --backends contract
 """
 
 from __future__ import annotations
@@ -29,6 +32,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.errors import VerificationError  # noqa: E402
 from repro.experiments.wallclock import (  # noqa: E402
+    GATE_LEGS,
     check_gate,
     run_wallclock_gate,
     write_gate_json,
@@ -49,6 +53,14 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    parser.add_argument(
+        "--backends",
+        default="",
+        help="comma-separated subset of optional measurement legs "
+        f"({', '.join(sorted(GATE_LEGS))}); default all.  The live and "
+        "frozen frontier backends are always timed; skipped legs' "
+        "columns are simply absent and check_gate treats them as exempt",
+    )
     parser.add_argument(
         "--quick",
         action="store_true",
@@ -78,6 +90,7 @@ def main(argv: list[str] | None = None) -> int:
     names = [n for n in args.names.split(",") if n] or (
         QUICK_NAMES if args.quick else None
     )
+    backends = [b for b in args.backends.split(",") if b] or None
     enforce = (
         not args.quick if args.enforce_speedup is None else args.enforce_speedup
     )
@@ -89,6 +102,7 @@ def main(argv: list[str] | None = None) -> int:
             repeats=args.repeats,
             verify=True,
             service_ops=args.service_ops,
+            backends=backends,
         )
     except VerificationError as exc:
         print(f"FAIL: {exc}", file=sys.stderr)
@@ -97,20 +111,35 @@ def main(argv: list[str] | None = None) -> int:
 
     width = max(len(r["name"]) for r in payload["graphs"])
     for row in payload["graphs"]:
-        marker = " [high-diameter]" if row["high_diameter"] else ""
-        print(
-            f"{row['name']:{width}s}  before {row['before_ms']:9.2f} ms  "
-            f"after {row['after_ms']:9.2f} ms  speedup {row['speedup']:5.2f}x  "
-            f"resilient {row['resilient_ms']:9.2f} ms "
-            f"({row['supervisor_overhead']:+.1%})"
-            + (
-                f"  service {row['service_qps']:9.0f} q/s "
-                f"({row['service_speedup']:6.0f}x naive)"
-                if "service_qps" in row
-                else ""
+        parts = [f"{row['name']:{width}s}"]
+        if "before_ms" in row:
+            parts.append(
+                f"before {row['before_ms']:9.2f} ms  "
+                f"speedup {row['speedup']:5.2f}x"
             )
-            + marker
+        parts.append(
+            f"frontier {row['after_ms']:9.2f} ms  "
+            f"frozen {row['frozen_frontier_ms']:9.2f} ms"
         )
+        if "contract_ms" in row:
+            parts.append(
+                f"contract {row['contract_ms']:9.2f} ms  "
+                f"best {row['best_backend']:8s} {row['best_speedup']:5.2f}x  "
+                f"compiled {row['compiled_speedup']:5.2f}x"
+            )
+        if "resilient_ms" in row:
+            parts.append(
+                f"resilient {row['resilient_ms']:9.2f} ms "
+                f"({row['supervisor_overhead']:+.1%})"
+            )
+        if "service_qps" in row:
+            parts.append(
+                f"service {row['service_qps']:9.0f} q/s "
+                f"({row['service_speedup']:6.0f}x naive)"
+            )
+        if row["high_diameter"]:
+            parts.append("[high-diameter]")
+        print("  ".join(parts))
     print(f"wrote {path}")
 
     problems = check_gate(

@@ -9,6 +9,7 @@ from .api import (
     register_backend,
     unregister_backend,
 )
+from .contract import ContractRunStats, contract_cc
 from .ecl_cc_numpy import NumpyRunStats, ecl_cc_numpy, ecl_cc_numpy_dense
 from .ecl_cc_serial import SerialRunStats, ecl_cc_serial
 from .labels import (
@@ -21,9 +22,7 @@ from .labels import (
 from .variants import FINI_VARIANTS, INIT_VARIANTS, finalize, init_vectorized
 
 # Verification (reference_labels, verify_labels_structural, ...) lives in
-# repro.verify; the repro.core.verify module is a deprecated shim and is
-# deliberately NOT imported here, so only code that still imports it
-# directly pays the DeprecationWarning.
+# repro.verify.
 from .result import CCResult
 
 __all__ = [
@@ -35,6 +34,8 @@ __all__ = [
     "CCResult",
     "register_backend",
     "unregister_backend",
+    "ContractRunStats",
+    "contract_cc",
     "NumpyRunStats",
     "ecl_cc_numpy",
     "ecl_cc_numpy_dense",

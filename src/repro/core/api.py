@@ -21,6 +21,10 @@ a :class:`BackendSpec` (runner + option schema).  The built-in entries:
     FastSV (Zhang et al. 2020) — the post-paper vectorized alternative.
 ``"afforest"``
     Afforest (Sutton et al. 2018) on the simulated GPU.
+``"contract"``
+    Recursive graph contraction (hook → compress → renumber → recurse);
+    the fastest native backend on road/grid/mesh classes, where the
+    frontier formulation needs many hook rounds.
 
 Third-party backends join the same dispatch with
 :func:`register_backend`; their options are validated against the
@@ -355,6 +359,20 @@ def _run_omp(graph: CSRGraph, **options) -> CCResult:
     return CCResult(labels=res.labels, backend="omp", stats=res, timings=timings)
 
 
+def _run_contract(graph: CSRGraph, **options) -> CCResult:
+    from .contract import contract_cc
+
+    t0 = time.perf_counter()
+    labels, stats = contract_cc(graph, **options)
+    wall_ms = (time.perf_counter() - t0) * 1e3
+    return CCResult(
+        labels=labels,
+        backend="contract",
+        stats=stats,
+        timings={"total_ms": wall_ms, "wall_ms": wall_ms},
+    )
+
+
 def _run_fastsv(graph: CSRGraph, **options) -> CCResult:
     from ..baselines.fastsv import fastsv_cc  # deferred
 
@@ -446,6 +464,18 @@ register_backend(
         "initial_parent": OptionSpec(
             "checkpointed parent array to resume from (skips the init region)"
         ),
+    },
+)
+register_backend(
+    "contract",
+    _run_contract,
+    description="recursive graph contraction (fastest native on road/grid classes)",
+    options={
+        "base_cutoff": OptionSpec(
+            "vertex count below which the remainder falls through to "
+            "ecl_cc_numpy (default 2048)"
+        ),
+        "max_depth": OptionSpec("defensive cap on contraction levels (default 32)"),
     },
 )
 register_backend(

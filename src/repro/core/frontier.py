@@ -30,11 +30,19 @@ the GPU*) eliminate.  This module is the shared work-proportional engine:
 All helpers preserve the library-wide min-label invariant: parent values
 only ever decrease, stay inside the owning component, and the minimum
 member of each component is never re-parented.
+
+When the optional compiled tier (:mod:`repro.core.kernels`) is active,
+the pointer-chasing flattens and the segment boundary mask dispatch to
+``@njit`` kernels; the resulting parent arrays resolve to the same
+roots, so labels are bit-identical either way (only ``doubling_passes``
+accounting differs — the compiled chase is a single pass).
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from . import kernels
 
 __all__ = [
     "unique_pairs",
@@ -89,9 +97,7 @@ def segment_min_hook(parent: np.ndarray, hi: np.ndarray, lo: np.ndarray) -> np.n
     """
     if hi.size == 0:
         return hi
-    starts = np.empty(hi.size, dtype=bool)
-    starts[0] = True
-    np.not_equal(hi[1:], hi[:-1], out=starts[1:])
+    starts = kernels.segment_min_starts(hi)
     targets = hi[starts]
     candidate = lo[starts]
     old = parent[targets]
@@ -112,6 +118,10 @@ def flatten_subset(parent: np.ndarray, idx: np.ndarray, stats=None) -> None:
     ``doubling_passes`` attribute, only passes that changed ``parent``
     are counted.
     """
+    if kernels.numba_active():
+        if kernels.flatten_indices(parent, idx) and stats is not None:
+            stats.doubling_passes += 1
+        return
     while idx.size:
         p = parent[idx]
         gp = parent[p]
@@ -139,6 +149,10 @@ def flatten_active(parent: np.ndarray, stats=None) -> np.ndarray:
     """
     n = parent.size
     if n == 0:
+        return parent
+    if kernels.numba_active():
+        if kernels.flatten_forest(parent) and stats is not None:
+            stats.doubling_passes += 1
         return parent
     while True:
         grandparent = parent[parent]

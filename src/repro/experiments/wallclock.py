@@ -27,6 +27,18 @@ recompute-per-mutation baseline, recording ``service_qps`` /
 ``naive_qps`` / ``service_speedup`` — so a regression in the batched
 incremental path is caught by the same gate that guards the kernels.
 
+Schema v4 adds the contraction-era columns, measured against
+:func:`frozen_frontier_cc` — a snapshot of the frontier backend exactly
+as it stood *before* the contraction/compiled-tier PR (pure-numpy
+dispatch, int64 throughout), frozen for the same reason
+:func:`legacy_numpy_cc` is: the "before" side must keep paying the
+pre-change costs forever.  Each row records ``frozen_frontier_ms``, the
+contraction backend's ``contract_ms`` / ``contract_speedup``, the
+family's best native time (``best_ms`` / ``best_backend`` /
+``best_speedup`` = frozen over best), and ``compiled_speedup`` (the
+contraction backend with the numba tier active over the same code under
+:func:`repro.core.kernels.force_numpy`; 1.0 when numba is absent).
+
 :func:`run_wallclock_gate` produces a JSON-ready payload (schema
 documented in ``docs/benchmarks.md``), :func:`check_gate` applies the
 acceptance thresholds, and ``benchmarks/wallclock_gate.py`` is the
@@ -43,6 +55,8 @@ from pathlib import Path
 import numpy as np
 
 from ..baselines.fastsv import fastsv_cc
+from ..core import kernels
+from ..core.contract import contract_cc
 from ..core.ecl_cc_numpy import ecl_cc_numpy, ecl_cc_numpy_dense
 from ..core.ecl_cc_serial import ecl_cc_serial
 from ..errors import VerificationError
@@ -53,13 +67,20 @@ from ..observe import current_tracer
 __all__ = [
     "SCHEMA_VERSION",
     "HIGH_DIAMETER",
+    "GATE_LEGS",
     "legacy_numpy_cc",
+    "frozen_frontier_cc",
     "run_wallclock_gate",
     "check_gate",
     "write_gate_json",
 ]
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
+
+#: Optional measurement legs of :func:`run_wallclock_gate`; the live
+#: frontier backend and the frozen frontier snapshot are always timed
+#: (every speedup column is a ratio against one of them).
+GATE_LEGS = frozenset({"legacy", "dense", "fastsv", "resilient", "contract"})
 
 #: Suite members whose diameter grows with n (meshes and road networks):
 #: the inputs the frontier formulation is required to win big on.
@@ -129,6 +150,115 @@ def legacy_numpy_cc(graph: CSRGraph, *, init: str = "Init3") -> np.ndarray:
         parent = flatten(parent)
 
 
+def frozen_frontier_cc(graph: CSRGraph) -> np.ndarray:
+    """The frontier backend exactly as it stood before the contraction PR.
+
+    Frozen on purpose, like :func:`legacy_numpy_cc` before it: this is
+    the schema-v4 "before" measurement, so it must keep the pre-change
+    behavior forever — pure-numpy dispatch (no compiled tier), ``int64``
+    arrays throughout, hybrid pointer doubling, composite-key dedup.
+    It *does* read the memoized ``edge_array()`` cache, which the live
+    backend already had at the freeze point.  Do not "fix" it.
+    """
+    n = graph.num_vertices
+    parent = np.arange(n, dtype=np.int64)
+    if n == 0:
+        return parent
+    # Init3 as of the freeze: sorted-adjacency first-neighbor gather,
+    # searchsorted first-smaller-arc fallback otherwise.
+    if graph.num_arcs:
+        if graph.has_sorted_adjacency():
+            nonempty = np.flatnonzero(graph.degrees() > 0)
+            first = graph.col_idx[graph.row_ptr[nonempty]]
+            hit = first < nonempty
+            parent[nonempty[hit]] = first[hit]
+        else:
+            src, dst = graph.arc_array()
+            hits = np.flatnonzero(dst < src)
+            if hits.size:
+                first = np.searchsorted(hits, graph.row_ptr[:-1])
+                valid = first < hits.size
+                rows = np.arange(n)[valid]
+                cand = hits[first[valid]]
+                in_row = cand < graph.row_ptr[rows + 1]
+                parent[rows[in_row]] = dst[cand[in_row]]
+
+    def uniq(hi, lo):
+        if hi.size == 0:
+            return hi, lo
+        shift = max(int(n), 1).bit_length()
+        if shift <= 31:
+            key = (hi << np.int64(shift)) | lo
+            key.sort()
+            keep = np.empty(key.size, dtype=bool)
+            keep[0] = True
+            np.not_equal(key[1:], key[:-1], out=keep[1:])
+            key = key[keep]
+            return key >> np.int64(shift), key & np.int64((1 << shift) - 1)
+        order = np.lexsort((lo, hi))
+        hi_s, lo_s = hi[order], lo[order]
+        keep = np.empty(hi_s.size, dtype=bool)
+        keep[0] = True
+        np.logical_or(hi_s[1:] != hi_s[:-1], lo_s[1:] != lo_s[:-1], out=keep[1:])
+        return hi_s[keep], lo_s[keep]
+
+    def flatten_all(par):
+        while True:
+            grandparent = par[par]
+            moving = grandparent != par
+            n_moving = np.count_nonzero(moving)
+            if n_moving == 0:
+                return
+            np.copyto(par, grandparent)
+            if n_moving * 8 < n:
+                break
+        active = np.flatnonzero(moving)
+        while active.size:
+            target = par[par[active]]
+            moved = target != par[active]
+            if not moved.any():
+                return
+            active = active[moved]
+            par[active] = target[moved]
+
+    def flatten_sub(par, idx):
+        while idx.size:
+            p = par[idx]
+            gp = par[p]
+            moved = gp != p
+            if not moved.any():
+                return
+            idx = idx[moved]
+            par[idx] = gp[moved]
+
+    flatten_all(parent)
+    u, v = graph.edge_array()
+    ru = parent[u]
+    rv = parent[v]
+    alive = ru != rv
+    hi, lo = uniq(
+        np.maximum(ru[alive], rv[alive]), np.minimum(ru[alive], rv[alive])
+    )
+    while hi.size:
+        starts = np.empty(hi.size, dtype=bool)
+        starts[0] = True
+        np.not_equal(hi[1:], hi[:-1], out=starts[1:])
+        targets = hi[starts]
+        candidate = lo[starts]
+        old = parent[targets]
+        np.minimum(old, candidate, out=candidate)
+        parent[targets] = candidate
+        flatten_sub(parent, np.concatenate((hi, lo)))
+        ru = parent[hi]
+        rv = parent[lo]
+        alive = ru != rv
+        hi, lo = uniq(
+            np.maximum(ru[alive], rv[alive]), np.minimum(ru[alive], rv[alive])
+        )
+    flatten_all(parent)
+    return parent
+
+
 def _time_best(fn, repeats: int) -> float:
     """Best-of-``repeats`` wall time of ``fn()``, in milliseconds."""
     best = float("inf")
@@ -148,15 +278,24 @@ def _time_best_pair(fn_a, fn_b, repeats: int) -> tuple[float, float]:
     to the same machine conditions; at least nine rounds so the best-of
     minimum is stable.
     """
-    best_a = best_b = float("inf")
+    best_a, best_b = _time_best_many((fn_a, fn_b), repeats)
+    return best_a, best_b
+
+
+def _time_best_many(fns, repeats: int) -> list[float]:
+    """Best-of wall times of several functions, rounds interleaved.
+
+    Generalizes :func:`_time_best_pair` to the v4 column family: every
+    contender in a round sees the same machine conditions, so a load
+    spike cannot land entirely on one side of a recorded ratio.
+    """
+    best = [float("inf")] * len(fns)
     for _ in range(max(repeats, 9)):
-        t0 = time.perf_counter()
-        fn_a()
-        best_a = min(best_a, time.perf_counter() - t0)
-        t0 = time.perf_counter()
-        fn_b()
-        best_b = min(best_b, time.perf_counter() - t0)
-    return best_a * 1e3, best_b * 1e3
+        for i, fn in enumerate(fns):
+            t0 = time.perf_counter()
+            fn()
+            best[i] = min(best[i], time.perf_counter() - t0)
+    return [b * 1e3 for b in best]
 
 
 def run_wallclock_gate(
@@ -166,33 +305,60 @@ def run_wallclock_gate(
     verify: bool = True,
     service_ops: int = 20_000,
     naive_max_ops: int = 300,
+    backends: list[str] | None = None,
 ) -> dict:
     """Benchmark the suite and return the JSON-ready gate payload.
 
-    Per graph: wall time of the pre-change snapshot (``before_ms``), the
-    frontier backend (``after_ms``), the shared-cache dense ablation
-    (``dense_ms``), FastSV (``fastsv_ms``), and the frontier backend
-    wrapped in the resilient supervisor with no faults armed
-    (``resilient_ms``, with the ratio ``supervisor_overhead`` =
-    ``resilient_ms / after_ms - 1``); the frontier backend's round
-    counts and frontier curve; and — when ``verify`` is set — a
-    bit-for-bit label comparison of every measured backend against the
-    serial reference.  A mismatch raises :class:`VerificationError`
-    naming the graph and backend; nothing is silently recorded.
+    Per graph: wall time of the pre-frontier snapshot (``before_ms``),
+    the live frontier backend (``after_ms``), the pre-contraction
+    frontier snapshot (``frozen_frontier_ms``), the contraction backend
+    (``contract_ms``), the shared-cache dense ablation (``dense_ms``),
+    FastSV (``fastsv_ms``), and the frontier backend wrapped in the
+    resilient supervisor with no faults armed (``resilient_ms``, with
+    the ratio ``supervisor_overhead`` = ``resilient_ms / after_ms -
+    1``); the frontier backend's round counts and frontier curve; and —
+    when ``verify`` is set — a bit-for-bit label comparison of every
+    measured backend against the serial reference.  A mismatch raises
+    :class:`VerificationError` naming the graph and backend; nothing is
+    silently recorded.
 
-    Schema v3 adds the serving-layer columns: a seeded 90/10 mixed
-    read/write load of ``service_ops`` operations through
+    The schema-v4 head-to-head columns are ratios against the frozen
+    frontier snapshot: ``contract_speedup`` (frozen over contraction),
+    ``best_ms`` / ``best_backend`` / ``best_speedup`` (frozen over the
+    faster of contraction and the live frontier — the family the gate
+    actually ships), and ``compiled_speedup`` (contraction with the
+    numba tier over the same code under ``force_numpy``; 1.0 when numba
+    is absent, and recorded per run in ``environment["numba"]``).
+
+    ``backends`` filters the optional measurement legs (members of
+    :data:`GATE_LEGS`: ``legacy``, ``dense``, ``fastsv``,
+    ``resilient``, ``contract``) so CI smoke runs can gate a subset
+    without regenerating the full baseline; ``None`` runs everything.
+    The live frontier backend and the frozen frontier snapshot are
+    always timed.  Rows produced by a filtered run simply lack the
+    skipped legs' columns, which :func:`check_gate` treats as exempt.
+
+    Schema v3's serving-layer columns are unchanged: a seeded 90/10
+    mixed read/write load of ``service_ops`` operations through
     :class:`~repro.service.ConnectivityService` (``service_qps``) versus
     the recompute-per-mutation baseline measured over a capped
     ``naive_max_ops`` prefix (``naive_qps``), with the post-run
     ``labels_snapshot()`` differentially verified against the oracle.
-    Pass ``service_ops=0`` to skip the serving columns (rows without
-    them remain valid for :func:`check_gate`).
+    Pass ``service_ops=0`` to skip the serving columns.
     """
     # Local import: repro.resilience imports the core package this
     # module sits next to.
     from ..resilience import resilient_components
     from .loadgen import compare_loadgen
+
+    legs = GATE_LEGS if backends is None else frozenset(backends)
+    unknown = legs - GATE_LEGS
+    if unknown:
+        raise ValueError(
+            f"unknown gate leg{'s' if len(unknown) > 1 else ''} "
+            f"{', '.join(sorted(unknown))}; valid legs: "
+            f"{', '.join(sorted(GATE_LEGS))}"
+        )
     tracer = current_tracer()
     rows = []
     for name in names or suite_names():
@@ -206,57 +372,129 @@ def run_wallclock_gate(
             # its arrays inside every call, as it always did.
             graph.edge_array()
             graph.degrees()
+            if "contract" in legs and graph.num_vertices < 2**31:
+                graph.edge_array_i32()
             labels, stats = ecl_cc_numpy(graph)
-            after_ms, resilient_ms = _time_best_pair(
-                lambda: ecl_cc_numpy(graph),
-                lambda: resilient_components(graph, backends=("numpy",)),
-                repeats,
-            )
-            before_ms = _time_best(lambda: legacy_numpy_cc(graph), repeats)
-            dense_ms = _time_best(lambda: ecl_cc_numpy_dense(graph), repeats)
-            fastsv_ms = _time_best(lambda: fastsv_cc(graph), repeats)
-            if verify:
-                reference, _ = ecl_cc_serial(graph)
-                for backend, got in (
-                    ("numpy", labels),
-                    ("numpy-dense", ecl_cc_numpy_dense(graph)[0]),
-                    ("fastsv", fastsv_cc(graph)[0]),
-                    ("legacy", legacy_numpy_cc(graph)),
+            # The family head-to-head is measured interleaved: every
+            # contender sees the same machine conditions, so the ratio
+            # columns are not at the mercy of a load spike.
+            contenders = [
+                ("after", lambda: ecl_cc_numpy(graph)),
+                ("frozen", lambda: frozen_frontier_cc(graph)),
+            ]
+            if "contract" in legs:
+                contenders.append(("contract", lambda: contract_cc(graph)))
+            if "resilient" in legs:
+                contenders.append(
                     (
                         "resilient",
-                        resilient_components(
-                            graph, backends=("numpy",), full_result=False
-                        ),
-                    ),
-                ):
+                        lambda: resilient_components(graph, backends=("numpy",)),
+                    )
+                )
+            timed = dict(
+                zip(
+                    [key for key, _ in contenders],
+                    _time_best_many([fn for _, fn in contenders], repeats),
+                )
+            )
+            after_ms = timed["after"]
+            frozen_ms = timed["frozen"]
+            if "legacy" in legs:
+                before_ms = _time_best(lambda: legacy_numpy_cc(graph), repeats)
+            if "dense" in legs:
+                dense_ms = _time_best(lambda: ecl_cc_numpy_dense(graph), repeats)
+            if "fastsv" in legs:
+                fastsv_ms = _time_best(lambda: fastsv_cc(graph), repeats)
+            if "contract" in legs and kernels.NUMBA_AVAILABLE:
+                with kernels.force_numpy():
+                    contract_numpy_ms = _time_best(
+                        lambda: contract_cc(graph), repeats
+                    )
+            if verify:
+                reference, _ = ecl_cc_serial(graph)
+                checks = [
+                    ("numpy", labels),
+                    ("frozen-frontier", frozen_frontier_cc(graph)),
+                ]
+                if "dense" in legs:
+                    checks.append(("numpy-dense", ecl_cc_numpy_dense(graph)[0]))
+                if "fastsv" in legs:
+                    checks.append(("fastsv", fastsv_cc(graph)[0]))
+                if "legacy" in legs:
+                    checks.append(("legacy", legacy_numpy_cc(graph)))
+                if "contract" in legs:
+                    checks.append(("contract", contract_cc(graph)[0]))
+                    if kernels.NUMBA_AVAILABLE:
+                        # The compiled and fallback tiers must agree
+                        # bit-for-bit, not just both match serial.
+                        with kernels.force_numpy():
+                            checks.append(
+                                ("contract-no-numba", contract_cc(graph)[0])
+                            )
+                if "resilient" in legs:
+                    checks.append(
+                        (
+                            "resilient",
+                            resilient_components(
+                                graph, backends=("numpy",), full_result=False
+                            ),
+                        )
+                    )
+                for backend, got in checks:
                     if not np.array_equal(got, reference):
                         raise VerificationError(
                             f"{backend} labels diverge from ecl_cc_serial "
                             f"on {name!r} at scale {scale!r}"
                         )
-            rows.append(
-                {
-                    "name": name,
-                    "num_vertices": int(graph.num_vertices),
-                    "num_edges": int(graph.num_arcs // 2),
-                    "high_diameter": name in HIGH_DIAMETER,
-                    "before_ms": round(before_ms, 3),
-                    "after_ms": round(after_ms, 3),
-                    "dense_ms": round(dense_ms, 3),
-                    "fastsv_ms": round(fastsv_ms, 3),
-                    "resilient_ms": round(resilient_ms, 3),
-                    # From the *rounded* fields, so the recorded ratio is
-                    # exactly reconstructible from the row.
-                    "supervisor_overhead": round(
-                        round(resilient_ms, 3) / round(after_ms, 3) - 1.0, 4
-                    ),
-                    "speedup": round(before_ms / after_ms, 3),
-                    "hook_rounds": stats.hook_rounds,
-                    "doubling_passes": stats.doubling_passes,
-                    "frontier_sizes": list(stats.frontier_sizes),
-                    "labels_verified": bool(verify),
-                }
-            )
+            row = {
+                "name": name,
+                "num_vertices": int(graph.num_vertices),
+                "num_edges": int(graph.num_arcs // 2),
+                "high_diameter": name in HIGH_DIAMETER,
+                "after_ms": round(after_ms, 3),
+                "frozen_frontier_ms": round(frozen_ms, 3),
+                "hook_rounds": stats.hook_rounds,
+                "doubling_passes": stats.doubling_passes,
+                "frontier_sizes": list(stats.frontier_sizes),
+                "labels_verified": bool(verify),
+            }
+            if "legacy" in legs:
+                row["before_ms"] = round(before_ms, 3)
+                row["speedup"] = round(before_ms / after_ms, 3)
+            if "dense" in legs:
+                row["dense_ms"] = round(dense_ms, 3)
+            if "fastsv" in legs:
+                row["fastsv_ms"] = round(fastsv_ms, 3)
+            if "resilient" in legs:
+                row["resilient_ms"] = round(timed["resilient"], 3)
+                # From the *rounded* fields, so the recorded ratio is
+                # exactly reconstructible from the row.
+                row["supervisor_overhead"] = round(
+                    round(timed["resilient"], 3) / round(after_ms, 3) - 1.0, 4
+                )
+            if "contract" in legs:
+                # Ratios are taken over the *rounded* fields, like
+                # supervisor_overhead, so each row's speedups are
+                # exactly reconstructible from the row itself.
+                contract_ms = round(timed["contract"], 3)
+                best_ms = min(contract_ms, row["after_ms"])
+                row["contract_ms"] = contract_ms
+                row["contract_speedup"] = round(
+                    row["frozen_frontier_ms"] / contract_ms, 3
+                )
+                row["best_ms"] = best_ms
+                row["best_backend"] = (
+                    "contract" if contract_ms <= row["after_ms"] else "numpy"
+                )
+                row["best_speedup"] = round(
+                    row["frozen_frontier_ms"] / best_ms, 3
+                )
+                row["compiled_speedup"] = (
+                    round(round(contract_numpy_ms, 3) / contract_ms, 3)
+                    if kernels.NUMBA_AVAILABLE
+                    else 1.0
+                )
+            rows.append(row)
             if service_ops:
                 lg = compare_loadgen(
                     graph,
@@ -278,9 +516,13 @@ def run_wallclock_gate(
         "scale": scale,
         "repeats": repeats,
         "baseline": "pre-frontier ecl_cc_numpy snapshot (legacy_numpy_cc)",
+        "frontier_baseline": (
+            "pre-contraction frontier snapshot (frozen_frontier_cc)"
+        ),
         "environment": {
             "python": platform.python_version(),
             "numpy": np.__version__,
+            "numba": kernels.NUMBA_AVAILABLE,
             "machine": platform.machine(),
             "system": platform.system(),
         },
@@ -296,6 +538,8 @@ def check_gate(
     max_overhead: float = 0.05,
     overhead_slack_ms: float = 0.3,
     min_service_speedup: float = 10.0,
+    min_contract_speedup: float = 2.0,
+    min_contract_graphs: int = 2,
 ) -> list[str]:
     """Apply the acceptance thresholds; returns a list of problems.
 
@@ -312,16 +556,37 @@ def check_gate(
     ``min_service_speedup`` times the naive recompute-per-mutation QPS
     under the 90/10 mixed load; rows without the columns (older
     payloads, or runs with ``service_ops=0``) are exempt.
+
+    Rows carrying the schema-v4 head-to-head columns must keep every
+    graph's ``best_speedup`` (frozen frontier over the faster of the
+    contraction and frontier backends) at or above the no-regression
+    floor — the backend *family* never loses to the pre-contraction
+    code — and at least ``min_contract_graphs`` of them must reach
+    ``min_contract_speedup``.  Rows without the columns (older
+    payloads, or ``--backends`` runs that skipped the contract leg) are
+    exempt, as is the count target when no row carries them.
     """
     problems = []
     floor = 1.0 - max_regression
     hit_target = False
+    contract_rows = 0
+    hit_contract = 0
     for row in payload["graphs"]:
-        if row["speedup"] < floor:
+        if "speedup" in row and row["speedup"] < floor:
             problems.append(
                 f"{row['name']}: speedup {row['speedup']:.2f}x is below the "
                 f"no-regression floor {floor:.2f}x"
             )
+        if "best_speedup" in row:
+            contract_rows += 1
+            if row["best_speedup"] >= min_contract_speedup:
+                hit_contract += 1
+            if row["best_speedup"] < floor:
+                problems.append(
+                    f"{row['name']}: best native backend is "
+                    f"{row['best_speedup']:.2f}x the frozen frontier "
+                    f"baseline, below the no-regression floor {floor:.2f}x"
+                )
         if "resilient_ms" in row:
             budget_ms = row["after_ms"] * (1.0 + max_overhead) + overhead_slack_ms
             if row["resilient_ms"] > budget_ms:
@@ -341,13 +606,19 @@ def check_gate(
         if (
             row["high_diameter"]
             and row["num_vertices"] >= min_vertices
-            and row["speedup"] >= min_speedup
+            and row.get("speedup", 0.0) >= min_speedup
         ):
             hit_target = True
-    if not hit_target:
+    if not hit_target and any("speedup" in r for r in payload["graphs"]):
         problems.append(
             f"no high-diameter graph with >= {min_vertices} vertices reached "
             f"the {min_speedup:.1f}x speedup target"
+        )
+    if contract_rows and hit_contract < min_contract_graphs:
+        problems.append(
+            f"only {hit_contract} graph(s) reached the "
+            f"{min_contract_speedup:.1f}x best-vs-frozen-frontier target "
+            f"(need {min_contract_graphs})"
         )
     return problems
 

@@ -158,6 +158,31 @@ class CSRGraph:
             self._derived["edge_uv"] = pair
         return pair
 
+    def edge_array_i32(self) -> tuple[np.ndarray, np.ndarray]:
+        """:meth:`edge_array` narrowed to ``int32`` (memoized).
+
+        The contraction backend's working arrays are all index-bounded by
+        ``n``, so graphs under ``2**31`` vertices can halve their memory
+        traffic by gathering through ``int32`` copies.  Raises
+        :class:`ValueError` on graphs too large to narrow — callers are
+        expected to check ``num_vertices`` first and stay on the int64
+        pair.
+        """
+        pair = self._derived.get("edge_uv_i32")
+        if pair is None:
+            if self.num_vertices >= 2**31:
+                raise ValueError(
+                    "edge_array_i32 requires num_vertices < 2**31"
+                )
+            u, v = self.edge_array()
+            u32 = u.astype(np.int32)
+            v32 = v.astype(np.int32)
+            u32.setflags(write=False)
+            v32.setflags(write=False)
+            pair = (u32, v32)
+            self._derived["edge_uv_i32"] = pair
+        return pair
+
     def has_sorted_adjacency(self) -> bool:
         """Whether every adjacency list is ascending (memoized).
 

@@ -84,7 +84,12 @@ class BatchPolicy:
     #: crossover); ``1.0`` disables the fallback, ``0.0`` forces static.
     recompute_merge_frac: float = 0.25
     #: Backend for full recomputes (the head of the resilience chain).
-    recompute_backend: str = "numpy"
+    #: ``"auto"`` races the native backends (frontier vs contraction)
+    #: once on the actual live graph, verifies they agree bit-for-bit,
+    #: and caches the winner until the edge count drifts by more than
+    #: 2x — so recomputes use the fastest verified backend for the
+    #: graph class being served rather than a fixed choice.
+    recompute_backend: str = "auto"
     #: Route recomputes through the resilient supervisor, degrading
     #: ``recompute_backend -> serial`` on failure.
     resilient: bool = True
@@ -629,32 +634,81 @@ class ConnectivityService:
             queue_depth_after=0,
         )
 
+    #: Backends the ``"auto"`` recompute policy races against each other.
+    _AUTO_CONTENDERS = ("numpy", "contract")
+
     def _recompute(self) -> None:
         """Full static recompute of the live edge set via the fast
-        frontier backends, under the resilience supervisor."""
+        native backends, under the resilience supervisor."""
         graph = self._store.to_graph()
         with self._tracer.span(
             "service:recompute", category="service",
             backend=self.policy.recompute_backend,
         ):
-            if self.policy.resilient:
-                from ..resilience import resilient_components
-
-                chain = (self.policy.recompute_backend, "serial")
-                if self.policy.recompute_backend == "serial":
-                    chain = ("serial",)
-                labels = resilient_components(
-                    graph, backends=chain, full_result=False
-                )
+            if self.policy.recompute_backend == "auto":
+                labels = self._auto_recompute(graph)
             else:
-                from ..core.api import connected_components
-
-                labels = connected_components(
-                    graph,
-                    backend=self.policy.recompute_backend,
-                    full_result=False,
+                labels = self._run_static(
+                    graph, self.policy.recompute_backend
                 )
         self._inc.reset_from_labels(labels)
+
+    def _run_static(self, graph: CSRGraph, backend: str) -> np.ndarray:
+        """One static recompute on ``backend`` (resilient if configured)."""
+        if self.policy.resilient:
+            from ..resilience import resilient_components
+
+            chain = (backend, "numpy", "serial")
+            # Deduplicate while keeping the degradation order.
+            chain = tuple(dict.fromkeys(chain))
+            return resilient_components(graph, backends=chain, full_result=False)
+        from ..core.api import connected_components
+
+        return connected_components(graph, backend=backend, full_result=False)
+
+    def _auto_recompute(self, graph: CSRGraph) -> np.ndarray:
+        """The ``"auto"`` policy: fastest *verified* backend per graph.
+
+        The first recompute races the contenders on the actual live
+        graph and checks their labels agree bit-for-bit (disagreement
+        keeps the frontier answer and caches nothing — a wrong fast
+        backend must never win).  The winner is cached keyed to the edge
+        count at race time and reused until the live edge count drifts
+        by more than 2x in either direction, at which point the graph
+        has changed class enough to re-race.
+        """
+        choice = getattr(self, "_auto_choice", None)
+        edges = self._store.num_edges
+        if choice is not None:
+            backend, at_edges = choice
+            if max(edges, at_edges) <= 2 * max(min(edges, at_edges), 1):
+                return self._run_static(graph, backend)
+            self._auto_choice = None
+        from ..core.api import connected_components
+
+        times: dict[str, float] = {}
+        labels: dict[str, np.ndarray] = {}
+        for backend in self._AUTO_CONTENDERS:
+            t0 = time.perf_counter()
+            labels[backend] = connected_components(
+                graph, backend=backend, full_result=False
+            )
+            times[backend] = time.perf_counter() - t0
+        reference = self._AUTO_CONTENDERS[0]
+        agreed = [
+            b
+            for b in self._AUTO_CONTENDERS
+            if np.array_equal(labels[b], labels[reference])
+        ]
+        if len(agreed) < len(self._AUTO_CONTENDERS):
+            return labels[reference]
+        winner = min(times, key=times.__getitem__)
+        self._auto_choice = (winner, edges)
+        if self._tracer.enabled:
+            self._tracer.gauge(
+                "service.auto_recompute_ms", times[winner] * 1e3
+            )
+        return labels[winner]
 
     def _publish(self) -> ComponentSnapshot:
         self._version += 1

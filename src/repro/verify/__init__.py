@@ -3,8 +3,7 @@
 Layered bottom-up:
 
 * :mod:`~repro.verify.oracle` — reference labelings (scipy + BFS) and
-  the O(n+m) structural verifier (formerly ``repro.core.verify``, which
-  remains as a thin alias).
+  the O(n+m) structural verifier.
 * :mod:`~repro.verify.schedulers` — pluggable warp/chunk schedulers
   (round-robin, random, PCT, targeted preemption, lost-update
   injection), each recording a replayable :class:`ScheduleTrace`.
@@ -21,8 +20,7 @@ Layered bottom-up:
   catch (fuzzer falsifiability).
 """
 
-# oracle must import before the submodules that pull in repro.core (the
-# repro.core.verify alias resolves back into this package).
+# oracle must import before the submodules that pull in repro.core.
 from .oracle import (
     assert_valid_labels,
     bfs_labels,

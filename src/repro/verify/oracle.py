@@ -9,8 +9,6 @@ that shares none of its logic.
 
 This module is the oracle layer of :mod:`repro.verify`; the adversarial
 schedulers, metamorphic invariants, and the fuzz driver build on it.
-(Historically it lived at ``repro.core.verify``, which remains as an
-alias.)
 """
 
 from __future__ import annotations

@@ -11,11 +11,11 @@ from repro.verify import reference_labels
 from repro.errors import ReproError, UnknownBackendError, UnknownOptionError
 from repro.generators import load
 
-ALL_BACKENDS = ("serial", "numpy", "gpu", "omp", "fastsv", "afforest")
+ALL_BACKENDS = ("serial", "numpy", "gpu", "omp", "fastsv", "afforest", "contract")
 
 
 class TestRegistryCompleteness:
-    def test_all_six_builtins_registered(self):
+    def test_all_builtins_registered(self):
         assert set(ALL_BACKENDS) <= set(BACKENDS)
 
     def test_entries_are_specs(self):

@@ -1,0 +1,198 @@
+"""Tests for the recursive graph-contraction backend (repro.core.contract).
+
+Every labeling is checked bit-for-bit against the serial reference —
+the library-wide contract — plus the contraction-specific properties:
+the per-level vertex/edge trajectory must shrink, the base-case cutoff
+must fall through to the frontier backend, and the observe spans must
+carry the recursion's shape.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import connected_components
+from repro.core.contract import (
+    DEFAULT_BASE_CUTOFF,
+    ContractRunStats,
+    contract_cc,
+)
+from repro.core.ecl_cc_serial import ecl_cc_serial
+from repro.generators import load
+from repro.graph.build import empty_graph, from_edges
+from repro.observe import Tracer, use_tracer
+from repro.verify import reference_labels
+from repro.verify.differential import ablation_configs, differential_check
+
+
+def _assert_matches_serial(graph):
+    labels, stats = contract_cc(graph)
+    reference, _ = ecl_cc_serial(graph)
+    assert labels.dtype == np.int64
+    assert np.array_equal(labels, reference)
+    return labels, stats
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "2d-2e20.sym",
+            "USA-road-d.NY",
+            "delaunay_n24",
+            "rmat16.sym",
+            "kron_g500-logn21",
+            "internet",
+        ],
+    )
+    def test_suite_graphs_match_serial(self, name):
+        # base_cutoff=0 forces real contraction levels even at tiny scale.
+        graph = load(name, "tiny")
+        labels, _ = contract_cc(graph, base_cutoff=0)
+        assert np.array_equal(labels, reference_labels(graph))
+
+    def test_small_suite_with_default_options(self):
+        graph = load("2d-2e20.sym", "small")
+        _assert_matches_serial(graph)
+
+    def test_fixture_graphs(
+        self, triangle_plus_edge, path_graph, star_graph, two_cliques
+    ):
+        for graph in (triangle_plus_edge, path_graph, star_graph, two_cliques):
+            labels, _ = contract_cc(graph, base_cutoff=0)
+            assert np.array_equal(labels, reference_labels(graph))
+
+    def test_empty_graph(self):
+        labels, stats = contract_cc(empty_graph(0))
+        assert labels.size == 0
+        assert stats.levels == 0
+
+    def test_edgeless_graph(self):
+        labels, stats = contract_cc(empty_graph(7))
+        assert labels.tolist() == list(range(7))
+        assert stats.levels == 0 and stats.base_vertices == 0
+
+    def test_single_edge(self):
+        graph = from_edges([(0, 1)], num_vertices=3)
+        labels, _ = contract_cc(graph, base_cutoff=0)
+        assert labels.tolist() == [0, 0, 2]
+
+    def test_long_chain_contracts(self):
+        # A path with permuted vertex ids is the adversarial case: hook
+        # merges only local minima's neighborhoods, so the recursion
+        # must contract through multiple levels.
+        n = 512
+        rng = np.random.default_rng(3)
+        perm = rng.permutation(n)
+        graph = from_edges(
+            [(int(perm[i]), int(perm[i + 1])) for i in range(n - 1)]
+        )
+        labels, stats = contract_cc(graph, base_cutoff=0)
+        assert np.array_equal(labels, np.zeros(n, dtype=np.int64))
+        assert stats.levels >= 2
+
+    def test_random_graphs_match_serial(self):
+        rng = np.random.default_rng(11)
+        for _ in range(10):
+            n = int(rng.integers(2, 400))
+            m = int(rng.integers(0, 4 * n))
+            edges = rng.integers(0, n, size=(m, 2))
+            graph = from_edges(edges, num_vertices=n)
+            labels, _ = contract_cc(graph, base_cutoff=0)
+            assert np.array_equal(labels, reference_labels(graph))
+
+
+class TestOptions:
+    def test_invalid_options_raise(self, path_graph):
+        with pytest.raises(ValueError, match="base_cutoff"):
+            contract_cc(path_graph, base_cutoff=-1)
+        with pytest.raises(ValueError, match="max_depth"):
+            contract_cc(path_graph, max_depth=0)
+
+    def test_base_cutoff_falls_through_to_frontier(self, two_cliques):
+        # Cutoff above n: no level ever runs, the frontier backend
+        # answers directly on the original graph.
+        labels, stats = contract_cc(two_cliques, base_cutoff=10_000)
+        assert stats.levels == 0
+        assert stats.base_vertices == two_cliques.num_vertices
+        assert np.array_equal(labels, reference_labels(two_cliques))
+
+    def test_max_depth_caps_levels(self):
+        n = 256
+        rng = np.random.default_rng(5)
+        perm = rng.permutation(n)
+        graph = from_edges(
+            [(int(perm[i]), int(perm[i + 1])) for i in range(n - 1)]
+        )
+        # The permuted path needs >1 level (see test_long_chain_contracts);
+        # capping at 1 must push the remainder into the base case.
+        labels, stats = contract_cc(graph, base_cutoff=0, max_depth=1)
+        assert stats.levels == 1
+        assert stats.base_vertices > 0  # remainder went to the base case
+        assert np.array_equal(labels, np.zeros(n, dtype=np.int64))
+
+    def test_default_cutoff_exported(self):
+        assert DEFAULT_BASE_CUTOFF > 0
+
+
+class TestStats:
+    def test_level_trajectory_shrinks(self):
+        n = 1024
+        graph = from_edges([(i, i + 1) for i in range(n - 1)])
+        _, stats = contract_cc(graph, base_cutoff=0)
+        assert isinstance(stats, ContractRunStats)
+        assert stats.levels == len(stats.level_vertices)
+        assert stats.levels == len(stats.level_edges)
+        # Contraction must shrink the vertex set strictly every level.
+        sizes = [n] + stats.level_vertices
+        assert all(b < a for a, b in zip(sizes, sizes[1:]))
+        assert stats.level_edges[-1] == 0  # recursion bottomed out
+        assert stats.base_vertices == 0
+
+    def test_base_case_recorded(self):
+        graph = load("rmat16.sym", "tiny")
+        _, stats = contract_cc(graph, base_cutoff=64, max_depth=1)
+        if stats.base_vertices:
+            assert stats.base_edges > 0
+
+
+class TestObserve:
+    def test_span_and_gauges(self):
+        graph = load("2d-2e20.sym", "tiny")
+        tracer = Tracer()
+        with use_tracer(tracer):
+            contract_cc(graph, base_cutoff=0)
+        spans = tracer.find_spans(name="contract:levels")
+        assert len(spans) == 1
+        attrs = spans[0].attrs
+        assert attrs["levels"] >= 1
+        assert len(attrs["level_vertices"]) == attrs["levels"]
+        assert len(attrs["level_edges"]) == attrs["levels"]
+        gauge_names = {name for _, name, _ in tracer.gauges}
+        assert "contract.level_vertices" in gauge_names
+        assert "contract.level_edges" in gauge_names
+
+
+class TestBackendIntegration:
+    def test_registered_and_dispatchable(self, two_cliques):
+        res = connected_components(two_cliques, backend="contract")
+        assert res.backend == "contract"
+        assert np.array_equal(res.labels, reference_labels(two_cliques))
+        assert isinstance(res.stats, ContractRunStats)
+
+    def test_option_schema_enforced(self, two_cliques):
+        from repro.errors import UnknownOptionError
+
+        with pytest.raises(UnknownOptionError, match="contract"):
+            connected_components(two_cliques, backend="contract", init="Init3")
+        res = connected_components(
+            two_cliques, backend="contract", base_cutoff=0, max_depth=8
+        )
+        assert np.array_equal(res.labels, reference_labels(two_cliques))
+
+    def test_differential_oracle_single_config(self):
+        configs = ablation_configs(["contract"])
+        assert len(configs) == 1  # no init/jump/fini axes declared
+        graph = load("internet", "tiny")
+        assert differential_check(graph, configs[0]) is None

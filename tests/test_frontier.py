@@ -141,3 +141,55 @@ class TestFlatten:
     def test_empty(self):
         parent = np.empty(0, dtype=np.int64)
         assert flatten_active(parent).size == 0
+
+
+class TestDegenerateInputs:
+    """Edge cases that the numba ports must survive unchanged.
+
+    Each helper is exercised both through normal dispatch and with the
+    compiled tier explicitly suppressed, so whichever tier this test
+    session runs under, the degenerate input hits both code paths.
+    """
+
+    def test_unique_pairs_empty_frontier(self):
+        from repro.core import kernels
+
+        for n in (0, 1, 2**35):  # packed-key and lexsort regimes
+            e = np.empty(0, dtype=np.int64)
+            with kernels.force_numpy():
+                hi, lo = unique_pairs(e, e, n)
+            assert hi.size == 0 and lo.size == 0
+            hi, lo = unique_pairs(e, e, n)
+            assert hi.size == 0 and lo.size == 0
+
+    def test_flatten_subset_empty_idx(self):
+        from repro.core import kernels
+
+        parent = np.array([0, 0, 1], dtype=np.int64)
+        idx = np.empty(0, dtype=np.int64)
+
+        class Stats:
+            doubling_passes = 0
+
+        stats = Stats()
+        with kernels.force_numpy():
+            flatten_subset(parent, idx, stats)
+        flatten_subset(parent, idx, stats)
+        assert parent.tolist() == [0, 0, 1]  # untouched
+        assert stats.doubling_passes == 0
+
+    def test_flatten_active_already_flat(self):
+        from repro.core import kernels
+
+        parent = np.array([0, 0, 0, 3, 3], dtype=np.int64)
+
+        class Stats:
+            doubling_passes = 0
+
+        stats = Stats()
+        with kernels.force_numpy():
+            out = flatten_active(parent.copy(), stats)
+            assert out.tolist() == parent.tolist()
+        out = flatten_active(parent.copy(), stats)
+        assert out.tolist() == parent.tolist()
+        assert stats.doubling_passes == 0

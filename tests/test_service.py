@@ -296,6 +296,62 @@ class TestUpdatePolicy:
         assert svc.stats.static_fallbacks == 1
         assert svc.component_count() == 1
 
+    def test_auto_recompute_races_and_caches_winner(self, two_cliques):
+        svc = ConnectivityService(
+            two_cliques,
+            policy=BatchPolicy(recompute_merge_frac=0.0),
+            start=False,
+        )
+        assert svc.policy.recompute_backend == "auto"  # the default
+        svc.add_edge(0, 4)
+        svc.flush()
+        backend, at_edges = svc._auto_choice
+        assert backend in svc._AUTO_CONTENDERS
+        assert at_edges == svc.num_edges
+        # A same-class recompute reuses the cached winner (no re-race).
+        svc.add_edge(1, 5)
+        svc.flush()
+        assert svc._auto_choice[0] == backend
+        assert svc._auto_choice[1] == at_edges  # race edge count unchanged
+        from repro.verify import reference_labels
+
+        assert np.array_equal(
+            svc.labels_snapshot(), reference_labels(svc.current_graph())
+        )
+
+    def test_auto_recompute_reraces_after_2x_drift(self):
+        svc = ConnectivityService(
+            num_vertices=200,
+            policy=BatchPolicy(recompute_merge_frac=1.0),
+            start=False,
+        )
+        # Deletions force static recomputes through the auto policy.
+        svc.add_edge(0, 1)
+        svc.flush()
+        svc.remove_edge(0, 1)
+        svc.flush()
+        first = svc._auto_choice
+        # Grow the edge set far past 2x the race-time count, then force
+        # another static recompute: the winner must be re-raced.
+        u = np.arange(150)
+        svc.add_edges(u, u + 1)
+        svc.flush()
+        svc.remove_edge(0, 1)
+        svc.flush()
+        assert svc._auto_choice[1] != first[1]
+
+    def test_explicit_backend_still_honored(self, two_cliques):
+        svc = ConnectivityService(
+            two_cliques,
+            policy=BatchPolicy(
+                recompute_merge_frac=0.0, recompute_backend="numpy"
+            ),
+            start=False,
+        )
+        svc.add_edge(0, 4)
+        svc.flush()
+        assert not hasattr(svc, "_auto_choice") or svc._auto_choice is None
+
     def test_merge_frac_one_disables_fallback(self):
         svc = ConnectivityService(
             num_vertices=100,
@@ -503,12 +559,14 @@ class TestPublicSurface:
         for name in repro.__all__:
             assert getattr(repro, name) is not None
 
-    def test_core_verify_shim_warns(self):
+    def test_core_verify_shim_removed(self):
+        # The one-release deprecation window for the repro.core.verify
+        # shim elapsed; the module must be gone, not silently aliased.
         import importlib
         import sys
 
         sys.modules.pop("repro.core.verify", None)
-        with pytest.warns(DeprecationWarning, match="repro.core.verify"):
+        with pytest.raises(ModuleNotFoundError):
             importlib.import_module("repro.core.verify")
 
     def test_importing_repro_core_does_not_warn(self):

@@ -11,6 +11,7 @@ from repro.errors import VerificationError
 from repro.experiments import wallclock
 from repro.experiments.wallclock import (
     check_gate,
+    frozen_frontier_cc,
     legacy_numpy_cc,
     run_wallclock_gate,
     write_gate_json,
@@ -36,6 +37,31 @@ class TestLegacySnapshot:
         assert legacy_numpy_cc(empty_graph(4)).tolist() == [0, 1, 2, 3]
 
 
+class TestFrozenFrontierSnapshot:
+    def test_matches_serial(self):
+        for name in GATE_NAMES + ["USA-road-d.NY", "internet"]:
+            g = load(name, "tiny")
+            expected, _ = ecl_cc_serial(g)
+            assert np.array_equal(frozen_frontier_cc(g), expected)
+
+    def test_empty_graph(self):
+        from repro.graph.build import empty_graph
+
+        assert frozen_frontier_cc(empty_graph(0)).size == 0
+        assert frozen_frontier_cc(empty_graph(4)).tolist() == [0, 1, 2, 3]
+
+    def test_random_graphs(self):
+        from repro.graph.build import from_edges
+
+        rng = np.random.default_rng(2)
+        for _ in range(5):
+            n = int(rng.integers(2, 300))
+            edges = rng.integers(0, n, size=(int(rng.integers(0, 3 * n)), 2))
+            g = from_edges(edges, num_vertices=n)
+            expected, _ = ecl_cc_serial(g)
+            assert np.array_equal(frozen_frontier_cc(g), expected)
+
+
 class TestGateRun:
     @pytest.fixture(scope="class")
     def payload(self):
@@ -46,7 +72,7 @@ class TestGateRun:
     def test_schema(self, payload):
         assert payload["schema_version"] == wallclock.SCHEMA_VERSION
         assert payload["scale"] == "tiny"
-        assert {"python", "numpy", "machine", "system"} <= set(
+        assert {"python", "numpy", "numba", "machine", "system"} <= set(
             payload["environment"]
         )
         assert [r["name"] for r in payload["graphs"]] == GATE_NAMES
@@ -54,6 +80,18 @@ class TestGateRun:
             assert row["before_ms"] > 0 and row["after_ms"] > 0
             assert row["speedup"] > 0
             assert row["resilient_ms"] > 0
+            # Schema v4: contraction head-to-head columns.
+            assert row["frozen_frontier_ms"] > 0
+            assert row["contract_ms"] > 0
+            assert row["best_backend"] in ("contract", "numpy")
+            assert row["best_ms"] == min(row["contract_ms"], row["after_ms"])
+            assert row["best_speedup"] == pytest.approx(
+                row["frozen_frontier_ms"] / row["best_ms"], rel=0.02
+            )
+            assert row["contract_speedup"] == pytest.approx(
+                row["frozen_frontier_ms"] / row["contract_ms"], rel=0.02
+            )
+            assert row["compiled_speedup"] > 0
             # The ratio is recorded from the rounded fields, so it is
             # exactly reconstructible from the row itself.
             assert row["supervisor_overhead"] == pytest.approx(
@@ -75,6 +113,31 @@ class TestGateRun:
             service_ops=0,
         )
         assert "service_qps" not in payload["graphs"][0]
+
+    def test_backends_filter_drops_columns(self):
+        payload = run_wallclock_gate(
+            scale="tiny", names=["rmat16.sym"], repeats=1, verify=True,
+            service_ops=0, backends=["contract"],
+        )
+        row = payload["graphs"][0]
+        # The always-on reference columns survive the filter ...
+        assert row["after_ms"] > 0 and row["frozen_frontier_ms"] > 0
+        assert row["contract_ms"] > 0 and "best_speedup" in row
+        # ... and the skipped legs' columns are simply absent.
+        for absent in ("before_ms", "speedup", "dense_ms", "fastsv_ms",
+                       "resilient_ms", "supervisor_overhead"):
+            assert absent not in row
+        # A filtered payload must still be checkable.
+        problems = check_gate(payload)
+        assert all("no-regression floor" not in p or "best" in p
+                   for p in problems)
+
+    def test_unknown_backend_leg_raises(self):
+        with pytest.raises(ValueError, match="unknown gate leg"):
+            run_wallclock_gate(
+                scale="tiny", names=["rmat16.sym"], repeats=1,
+                backends=["contract", "quantum"],
+            )
 
     def test_high_diameter_flag(self, payload):
         flags = {r["name"]: r["high_diameter"] for r in payload["graphs"]}
@@ -155,6 +218,36 @@ class TestCheckGate:
         }
         problems = check_gate(payload)
         assert len(problems) == 1 and "3.0x" in problems[0]
+
+    def test_legacy_target_exempt_without_speedup_columns(self):
+        # A --backends run that skipped the legacy leg has no "speedup"
+        # column anywhere; the 3x legacy target cannot apply.
+        rows = [
+            {"name": "a", "high_diameter": True, "num_vertices": 200_000,
+             "best_speedup": 2.5},
+            {"name": "b", "high_diameter": False, "num_vertices": 200_000,
+             "best_speedup": 2.1},
+        ]
+        assert check_gate({"graphs": rows}) == []
+
+    def test_contract_family_floor(self):
+        bad = dict(self.row("a", 3.5), best_speedup=0.8)
+        problems = check_gate({"graphs": [bad]})
+        assert any("best native backend" in p for p in problems)
+
+    def test_contract_target_count(self):
+        rows = [
+            dict(self.row("a", 3.5), best_speedup=2.4),
+            dict(self.row("b", 3.5, False), best_speedup=1.1),
+        ]
+        problems = check_gate({"graphs": rows})
+        assert len(problems) == 1 and "best-vs-frozen-frontier" in problems[0]
+        rows[1]["best_speedup"] = 2.0
+        assert check_gate({"graphs": rows}) == []
+
+    def test_rows_without_contract_fields_exempt(self):
+        # schema v3 payloads predate the contraction columns.
+        assert check_gate({"graphs": [self.row("a", 3.5)]}) == []
 
 
 class TestFrontierTraceVisibility:
