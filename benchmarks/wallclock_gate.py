@@ -20,6 +20,9 @@ Typical uses::
 
     # gate only the contraction family (skips the slow legacy/dense legs)
     python benchmarks/wallclock_gate.py --quick --backends contract
+
+    # sharded strong-scaling sweep only, at K=1,2 (e.g. a 2-core CI box)
+    python benchmarks/wallclock_gate.py --quick --backends sharded --workers 1,2
 """
 
 from __future__ import annotations
@@ -62,6 +65,12 @@ def main(argv: list[str] | None = None) -> int:
         "columns are simply absent and check_gate treats them as exempt",
     )
     parser.add_argument(
+        "--workers",
+        default="",
+        help="comma-separated worker counts for the sharded strong-scaling "
+        "leg (default 1,2,4); positive integers, validated like --backends",
+    )
+    parser.add_argument(
         "--quick",
         action="store_true",
         help="reduced suite at small scale with thresholds not enforced "
@@ -91,6 +100,17 @@ def main(argv: list[str] | None = None) -> int:
         QUICK_NAMES if args.quick else None
     )
     backends = [b for b in args.backends.split(",") if b] or None
+    workers = None
+    if args.workers:
+        try:
+            workers = [int(w) for w in args.workers.split(",") if w]
+        except ValueError:
+            print(
+                f"FAIL: --workers {args.workers!r} is not a comma-separated "
+                f"list of integers",
+                file=sys.stderr,
+            )
+            return 2
     enforce = (
         not args.quick if args.enforce_speedup is None else args.enforce_speedup
     )
@@ -103,6 +123,7 @@ def main(argv: list[str] | None = None) -> int:
             verify=True,
             service_ops=args.service_ops,
             backends=backends,
+            workers=workers,
         )
     except VerificationError as exc:
         print(f"FAIL: {exc}", file=sys.stderr)
@@ -131,6 +152,13 @@ def main(argv: list[str] | None = None) -> int:
             parts.append(
                 f"resilient {row['resilient_ms']:9.2f} ms "
                 f"({row['supervisor_overhead']:+.1%})"
+            )
+        if "scaling" in row:
+            curve = " ".join(
+                f"K{k}={ms:.2f}" for k, ms in row["scaling"].items()
+            )
+            parts.append(
+                f"sharded [{curve}] ms  scaling {row['scaling_speedup']:4.2f}x"
             )
         if "service_qps" in row:
             parts.append(

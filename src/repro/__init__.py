@@ -19,6 +19,8 @@ Public API highlights:
 * :mod:`repro.verify` — oracles, adversarial schedulers, fuzzing.
 * :mod:`repro.resilience` — fault injection (chaos testing) and the
   resilient supervisor.
+* :mod:`repro.shard` — sharded multi-process execution over shared
+  memory (the ``"sharded"`` backend).
 * :mod:`repro.experiments` — regenerate every table/figure of the paper,
   plus the wall-clock and load-generator benchmarks.
 """
@@ -33,19 +35,22 @@ from .core.result import CCResult
 from .graph.csr import CSRGraph
 from .resilience import FaultPlan, resilient_components
 from .service import BatchPolicy, ConnectivityService
+from .shard import ShardedExecutor, sharded_cc
 
-__version__ = "2.0.0"
+__version__ = "2.1.0"
 
 __all__ = [
     "connected_components",
     "count_components",
     "register_backend",
     "resilient_components",
+    "sharded_cc",
     "BACKENDS",
     "BatchPolicy",
     "ConnectivityService",
     "FaultPlan",
     "CCResult",
     "CSRGraph",
+    "ShardedExecutor",
     "__version__",
 ]

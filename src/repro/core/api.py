@@ -25,6 +25,11 @@ a :class:`BackendSpec` (runner + option schema).  The built-in entries:
     Recursive graph contraction (hook → compress → renumber → recurse);
     the fastest native backend on road/grid/mesh classes, where the
     frontier formulation needs many hook rounds.
+``"sharded"``
+    Partition-then-merge over real ``multiprocessing`` workers reading
+    the CSR arrays zero-copy from shared memory; the only backend that
+    uses more than one OS process.  Small graphs run the identical
+    dataflow inline (process transport would dominate).
 
 Third-party backends join the same dispatch with
 :func:`register_backend`; their options are validated against the
@@ -373,6 +378,12 @@ def _run_contract(graph: CSRGraph, **options) -> CCResult:
     )
 
 
+def _run_sharded(graph: CSRGraph, **options) -> CCResult:
+    from ..shard import sharded_cc  # deferred: pulls in multiprocessing
+
+    return sharded_cc(graph, **options)
+
+
 def _run_fastsv(graph: CSRGraph, **options) -> CCResult:
     from ..baselines.fastsv import fastsv_cc  # deferred
 
@@ -476,6 +487,39 @@ register_backend(
             "ecl_cc_numpy (default 2048)"
         ),
         "max_depth": OptionSpec("defensive cap on contraction levels (default 32)"),
+    },
+)
+register_backend(
+    "sharded",
+    _run_sharded,
+    description="partition-then-merge over shared-memory multiprocessing workers",
+    options={
+        "workers": OptionSpec("shard/worker count K (default: min(4, cpus))"),
+        "partitioner": OptionSpec(
+            "'range' (equal vertices), 'degree' (equal arcs), or an "
+            "explicit repro.shard.ShardPlan",
+            ("range", "degree"),
+        ),
+        "shard_backend": OptionSpec(
+            "backend run on each shard's induced subgraph",
+            ("numpy", "contract", "serial", "fastsv", "numpy-dense"),
+        ),
+        "min_parallel": OptionSpec(
+            "arc count below which shards run inline (default 200_000)"
+        ),
+        "force_processes": OptionSpec(
+            "always use the process pool, even below min_parallel"
+        ),
+        "fault_plan": OptionSpec(
+            "repro.resilience FaultPlan; worker_crash specs with "
+            "backend='sharded' and at=<shard> crash that shard's worker"
+        ),
+        "max_retries": OptionSpec(
+            "crashed-shard resubmissions before inline recompute (default 1)"
+        ),
+        "start_method": OptionSpec(
+            "multiprocessing start method override", ("fork", "spawn", "forkserver")
+        ),
     },
 )
 register_backend(

@@ -39,6 +39,19 @@ family's best native time (``best_ms`` / ``best_backend`` /
 contraction backend with the numba tier active over the same code under
 :func:`repro.core.kernels.force_numpy`; 1.0 when numba is absent).
 
+Schema v5 adds the strong-scaling columns for the sharded multi-process
+backend (:mod:`repro.shard`): per graph, a ``scaling`` map of wall time
+at worker counts K (default 1, 2, 4), each K measured on a *warm*
+:class:`~repro.shard.ShardedExecutor` — pool forked and CSR arrays
+exported to shared memory once, so the recorded time is the amortized
+per-solve cost a serving loop actually pays — plus ``sharded_ms`` (the
+largest-K time), ``sharded_speedup`` (live frontier over sharded), and
+``scaling_speedup`` (K=1 over the largest K).  The environment block
+records ``cpu_count`` / ``cpus_available``: strong scaling is a claim
+about hardware, so :func:`check_gate` only enforces the scaling target
+on machines with the cores to show it (and the sharded no-regression
+floor only with at least two).
+
 :func:`run_wallclock_gate` produces a JSON-ready payload (schema
 documented in ``docs/benchmarks.md``), :func:`check_gate` applies the
 acceptance thresholds, and ``benchmarks/wallclock_gate.py`` is the
@@ -48,6 +61,7 @@ command-line entry point that writes ``BENCH_core_wallclock.json``.
 from __future__ import annotations
 
 import json
+import os
 import platform
 import time
 from pathlib import Path
@@ -68,6 +82,7 @@ __all__ = [
     "SCHEMA_VERSION",
     "HIGH_DIAMETER",
     "GATE_LEGS",
+    "DEFAULT_SCALING_WORKERS",
     "legacy_numpy_cc",
     "frozen_frontier_cc",
     "run_wallclock_gate",
@@ -75,12 +90,24 @@ __all__ = [
     "write_gate_json",
 ]
 
-SCHEMA_VERSION = 4
+SCHEMA_VERSION = 5
 
 #: Optional measurement legs of :func:`run_wallclock_gate`; the live
 #: frontier backend and the frozen frontier snapshot are always timed
 #: (every speedup column is a ratio against one of them).
-GATE_LEGS = frozenset({"legacy", "dense", "fastsv", "resilient", "contract"})
+GATE_LEGS = frozenset(
+    {"legacy", "dense", "fastsv", "resilient", "contract", "sharded"}
+)
+
+#: Worker counts the sharded strong-scaling leg sweeps by default.
+DEFAULT_SCALING_WORKERS = (1, 2, 4)
+
+
+def _cpus_available() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
 
 #: Suite members whose diameter grows with n (meshes and road networks):
 #: the inputs the frontier formulation is required to win big on.
@@ -306,6 +333,7 @@ def run_wallclock_gate(
     service_ops: int = 20_000,
     naive_max_ops: int = 300,
     backends: list[str] | None = None,
+    workers: list[int] | None = None,
 ) -> dict:
     """Benchmark the suite and return the JSON-ready gate payload.
 
@@ -345,6 +373,14 @@ def run_wallclock_gate(
     ``naive_max_ops`` prefix (``naive_qps``), with the post-run
     ``labels_snapshot()`` differentially verified against the oracle.
     Pass ``service_ops=0`` to skip the serving columns.
+
+    The schema-v5 ``sharded`` leg sweeps ``workers`` worker counts
+    (default :data:`DEFAULT_SCALING_WORKERS`, validated to positive
+    unique integers) over a persistent process-mode
+    :class:`~repro.shard.ShardedExecutor` per K — transport and fork
+    cost paid once per executor, each solve timed best-of — recording a
+    ``scaling`` map plus ``sharded_ms`` / ``sharded_speedup`` /
+    ``scaling_speedup``, with every K's labels verified against serial.
     """
     # Local import: repro.resilience imports the core package this
     # module sits next to.
@@ -359,6 +395,19 @@ def run_wallclock_gate(
             f"{', '.join(sorted(unknown))}; valid legs: "
             f"{', '.join(sorted(GATE_LEGS))}"
         )
+    if workers is None:
+        worker_counts = list(DEFAULT_SCALING_WORKERS)
+    else:
+        bad = [w for w in workers if not isinstance(w, int) or w < 1]
+        if bad:
+            raise ValueError(
+                f"invalid worker count{'s' if len(bad) > 1 else ''} "
+                f"{', '.join(repr(w) for w in bad)}; worker counts must be "
+                f"positive integers"
+            )
+        worker_counts = sorted(set(workers))
+        if not worker_counts:
+            raise ValueError("workers must name at least one worker count")
     tracer = current_tracer()
     rows = []
     for name in names or suite_names():
@@ -494,6 +543,36 @@ def run_wallclock_gate(
                     if kernels.NUMBA_AVAILABLE
                     else 1.0
                 )
+            if "sharded" in legs:
+                from ..shard import ShardedExecutor
+
+                scaling: dict[str, float] = {}
+                for k in worker_counts:
+                    # A persistent executor per K: fork and shared-memory
+                    # export are paid once, so the timed quantity is the
+                    # amortized per-solve cost — K=1 pays the identical
+                    # transport, keeping the scaling ratio honest.
+                    with ShardedExecutor(
+                        graph, workers=k, force_processes=True
+                    ) as ex:
+                        if verify and not np.array_equal(
+                            ex.run().labels, reference
+                        ):
+                            raise VerificationError(
+                                f"sharded(K={k}) labels diverge from "
+                                f"ecl_cc_serial on {name!r} at scale {scale!r}"
+                            )
+                        scaling[str(k)] = round(
+                            _time_best(lambda: ex.run(), repeats), 3
+                        )
+                k_lo, k_hi = str(worker_counts[0]), str(worker_counts[-1])
+                row["sharded_workers"] = list(worker_counts)
+                row["scaling"] = scaling
+                row["sharded_ms"] = scaling[k_hi]
+                row["sharded_speedup"] = round(
+                    row["after_ms"] / scaling[k_hi], 3
+                )
+                row["scaling_speedup"] = round(scaling[k_lo] / scaling[k_hi], 3)
             rows.append(row)
             if service_ops:
                 lg = compare_loadgen(
@@ -525,6 +604,11 @@ def run_wallclock_gate(
             "numba": kernels.NUMBA_AVAILABLE,
             "machine": platform.machine(),
             "system": platform.system(),
+            # Strong scaling is a hardware claim: record what this box
+            # actually has so check_gate can condition the targets.
+            "cpu_count": os.cpu_count() or 1,
+            "cpus_available": _cpus_available(),
+            "sharded_workers": worker_counts if "sharded" in legs else [],
         },
         "graphs": rows,
     }
@@ -540,6 +624,9 @@ def check_gate(
     min_service_speedup: float = 10.0,
     min_contract_speedup: float = 2.0,
     min_contract_graphs: int = 2,
+    min_sharded_speedup: float = 0.5,
+    min_scaling_speedup: float = 1.7,
+    min_scaling_graphs: int = 2,
 ) -> list[str]:
     """Apply the acceptance thresholds; returns a list of problems.
 
@@ -565,12 +652,28 @@ def check_gate(
     ``min_contract_speedup``.  Rows without the columns (older
     payloads, or ``--backends`` runs that skipped the contract leg) are
     exempt, as is the count target when no row carries them.
+
+    The schema-v5 sharded thresholds are conditioned on the recorded
+    ``environment["cpu_count"]``, because strong scaling is a statement
+    about hardware, not code: with at least 2 CPUs every row's
+    ``sharded_speedup`` (live frontier over the largest-K sharded time)
+    must stay at or above ``min_sharded_speedup`` — the no-regression
+    floor; process transport may cost something, but the sharded path
+    must never collapse — and with at least 4 CPUs at least
+    ``min_scaling_graphs`` rows must reach ``min_scaling_speedup`` in
+    ``scaling_speedup`` (K=1 over the largest K, the ≥1.7x strong-
+    scaling target).  On smaller machines the columns are still
+    recorded — a single-core run of this very gate produces them — but
+    the targets are unenforceable there and skipped.
     """
     problems = []
     floor = 1.0 - max_regression
     hit_target = False
     contract_rows = 0
     hit_contract = 0
+    cpu_count = int(payload.get("environment", {}).get("cpu_count", 1))
+    sharded_rows = 0
+    hit_scaling = 0
     for row in payload["graphs"]:
         if "speedup" in row and row["speedup"] < floor:
             problems.append(
@@ -597,6 +700,18 @@ def check_gate(
                     f"(after {row['after_ms']:.2f} ms + {max_overhead:.0%} "
                     f"+ {overhead_slack_ms:.2f} ms slack)"
                 )
+        if "sharded_speedup" in row:
+            sharded_rows += 1
+            if row.get("scaling_speedup", 0.0) >= min_scaling_speedup:
+                hit_scaling += 1
+            if cpu_count >= 2 and row["sharded_speedup"] < min_sharded_speedup:
+                problems.append(
+                    f"{row['name']}: sharded backend at K="
+                    f"{row['sharded_workers'][-1]} is "
+                    f"{row['sharded_speedup']:.2f}x the live frontier "
+                    f"backend, below the {min_sharded_speedup:.2f}x sharded "
+                    f"no-regression floor (cpu_count={cpu_count})"
+                )
         if "service_speedup" in row and row["service_speedup"] < min_service_speedup:
             problems.append(
                 f"{row['name']}: service speedup {row['service_speedup']:.1f}x "
@@ -619,6 +734,13 @@ def check_gate(
             f"only {hit_contract} graph(s) reached the "
             f"{min_contract_speedup:.1f}x best-vs-frozen-frontier target "
             f"(need {min_contract_graphs})"
+        )
+    if sharded_rows and cpu_count >= 4 and hit_scaling < min_scaling_graphs:
+        problems.append(
+            f"only {hit_scaling} graph(s) reached the "
+            f"{min_scaling_speedup:.1f}x sharded strong-scaling target "
+            f"(K=1 over largest K; need {min_scaling_graphs} with "
+            f"cpu_count={cpu_count})"
         )
     return problems
 

@@ -49,6 +49,7 @@ size/mode/merge attributes, plus ``service.*`` counters and queue-depth
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from collections import deque
@@ -637,6 +638,35 @@ class ConnectivityService:
     #: Backends the ``"auto"`` recompute policy races against each other.
     _AUTO_CONTENDERS = ("numpy", "contract")
 
+    #: Arc count past which ``"auto"`` also races the sharded backend
+    #: (matches the sharded backend's own inline/process crossover).
+    _AUTO_SHARDED_MIN_ARCS = 200_000
+
+    def _auto_contenders(self, graph: CSRGraph) -> tuple[str, ...]:
+        """Contenders for one auto race: the native pair, plus
+        ``"sharded"`` when the live graph is big enough for process
+        transport to pay off and the machine actually has the cores."""
+        contenders = self._AUTO_CONTENDERS
+        if graph.num_arcs >= self._AUTO_SHARDED_MIN_ARCS and (
+            os.cpu_count() or 1
+        ) >= 2:
+            contenders = contenders + ("sharded",)
+        return contenders
+
+    def auto_policy(self) -> dict:
+        """Observable state of the ``"auto"`` recompute policy:
+        the cached winner (``None`` before the first race or after a
+        drift invalidation), the edge count it was raced at, and how
+        many races / re-races have run."""
+        choice = getattr(self, "_auto_choice", None)
+        races = getattr(self, "_auto_races", 0)
+        return {
+            "winner": choice[0] if choice else None,
+            "at_edges": choice[1] if choice else None,
+            "races": races,
+            "reraces": max(0, races - 1),
+        }
+
     def _recompute(self) -> None:
         """Full static recompute of the live edge set via the fast
         native backends, under the resilience supervisor."""
@@ -682,33 +712,54 @@ class ConnectivityService:
         if choice is not None:
             backend, at_edges = choice
             if max(edges, at_edges) <= 2 * max(min(edges, at_edges), 1):
+                self._emit_auto_gauges()
                 return self._run_static(graph, backend)
             self._auto_choice = None
         from ..core.api import connected_components
 
+        contenders = self._auto_contenders(graph)
+        self._auto_races = getattr(self, "_auto_races", 0) + 1
         times: dict[str, float] = {}
         labels: dict[str, np.ndarray] = {}
-        for backend in self._AUTO_CONTENDERS:
+        for backend in contenders:
             t0 = time.perf_counter()
             labels[backend] = connected_components(
                 graph, backend=backend, full_result=False
             )
             times[backend] = time.perf_counter() - t0
-        reference = self._AUTO_CONTENDERS[0]
+        reference = contenders[0]
         agreed = [
-            b
-            for b in self._AUTO_CONTENDERS
-            if np.array_equal(labels[b], labels[reference])
+            b for b in contenders if np.array_equal(labels[b], labels[reference])
         ]
-        if len(agreed) < len(self._AUTO_CONTENDERS):
+        if len(agreed) < len(contenders):
+            self._emit_auto_gauges()
             return labels[reference]
         winner = min(times, key=times.__getitem__)
         self._auto_choice = (winner, edges)
         if self._tracer.enabled:
+            self._tracer.count("service.auto_races")
+            self._tracer.count(f"service.auto_wins.{winner}")
             self._tracer.gauge(
                 "service.auto_recompute_ms", times[winner] * 1e3
             )
+        self._emit_auto_gauges()
         return labels[winner]
+
+    def _emit_auto_gauges(self) -> None:
+        """Surface the auto policy's cached state as observe gauges:
+        which backend currently holds the win (one-hot over the base
+        contenders plus sharded) and how many re-races have happened."""
+        tracer = self._tracer
+        if not tracer.enabled:
+            return
+        policy = self.auto_policy()
+        winner = policy["winner"]
+        for backend in self._AUTO_CONTENDERS + ("sharded",):
+            tracer.gauge(
+                f"service.auto_winner.{backend}",
+                1.0 if backend == winner else 0.0,
+            )
+        tracer.gauge("service.auto_reraces", policy["reraces"])
 
     def _publish(self) -> ComponentSnapshot:
         self._version += 1

@@ -11,7 +11,9 @@ from repro.verify import reference_labels
 from repro.errors import ReproError, UnknownBackendError, UnknownOptionError
 from repro.generators import load
 
-ALL_BACKENDS = ("serial", "numpy", "gpu", "omp", "fastsv", "afforest", "contract")
+ALL_BACKENDS = (
+    "serial", "numpy", "gpu", "omp", "fastsv", "afforest", "contract", "sharded"
+)
 
 
 class TestRegistryCompleteness:

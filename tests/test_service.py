@@ -340,6 +340,45 @@ class TestUpdatePolicy:
         svc.flush()
         assert svc._auto_choice[1] != first[1]
 
+    def test_auto_policy_snapshot_and_gauges(self, two_cliques):
+        # The service pins the tracer at construction time, so the whole
+        # lifecycle runs under one capture.
+        tracer = Tracer()
+        with use_tracer(tracer):
+            svc = ConnectivityService(
+                two_cliques,
+                policy=BatchPolicy(recompute_merge_frac=0.0),
+                start=False,
+            )
+            assert svc.auto_policy()["winner"] is None  # no race yet
+            assert svc.auto_policy()["races"] == 0
+            svc.add_edge(0, 4)
+            svc.flush()
+            policy = svc.auto_policy()
+            assert policy["winner"] in svc._auto_contenders(svc.current_graph())
+            assert policy["at_edges"] == svc.num_edges
+            assert policy["races"] == 1 and policy["reraces"] == 0
+            # The race is observable: one counter tick, a one-hot winner
+            # gauge, and the re-race depth.
+            assert tracer.counters.get("service.auto_races") == 1
+            assert (
+                tracer.counters.get(f"service.auto_wins.{policy['winner']}") == 1
+            )
+            gauges = {name: value for _, name, value in tracer.gauges}
+            assert gauges[f"service.auto_winner.{policy['winner']}"] == 1.0
+            assert gauges["service.auto_reraces"] == 0.0
+            winner_gauge = f"service.auto_winner.{policy['winner']}"
+            emitted = sum(1 for _, n, _ in tracer.gauges if n == winner_gauge)
+            # A cached-winner recompute (deletions always go static)
+            # re-emits the gauges without racing again.
+            svc.remove_edge(0, 4)
+            svc.flush()
+            assert tracer.counters["service.auto_races"] == 1
+            assert (
+                sum(1 for _, n, _ in tracer.gauges if n == winner_gauge)
+                == emitted + 1
+            )
+
     def test_explicit_backend_still_honored(self, two_cliques):
         svc = ConnectivityService(
             two_cliques,

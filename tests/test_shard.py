@@ -1,0 +1,432 @@
+"""Tests for the sharded multi-process backend (``repro.shard``).
+
+Covers the partitioners, the shared-memory CSR transport (round-trip,
+pickling, leak guard), bit-identity of the partition-then-merge pipeline
+against the serial oracle (inline and real process pools), metamorphic
+invariants (shard-count and vertex-permutation invariance), adversarial
+partitions (all edges crossing, empty shards, isolated-vertex shards),
+and worker-crash recovery through the fault injector — including the
+no-leaked-``/dev/shm``-segments regression check.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro import connected_components
+from repro.errors import GraphValidationError
+from repro.generators import load
+from repro.graph.build import empty_graph, from_edges
+from repro.graph.csr import CSRGraph, SharedGraphHandle, leaked_shared_segments
+from repro.resilience import FaultPlan, FaultSpec
+from repro.shard import (
+    PARTITIONERS,
+    ShardPlan,
+    ShardedExecutor,
+    make_plan,
+    merge_boundary,
+    partition_degree,
+    partition_range,
+    sharded_cc,
+    solve_shard_local,
+)
+from repro.verify import reference_labels
+from repro.verify.metamorphic import permute_vertices
+
+GRAPHS = ["2d-2e20.sym", "rmat16.sym", "USA-road-d.NY", "internet"]
+
+
+def random_graph(rng, n_max=300):
+    n = int(rng.integers(2, n_max))
+    edges = rng.integers(0, n, size=(int(rng.integers(0, 3 * n)), 2))
+    return from_edges(edges, num_vertices=n)
+
+
+# ----------------------------------------------------------------------
+# Partitioners
+# ----------------------------------------------------------------------
+class TestPartitioners:
+    def test_range_even_split(self):
+        plan = partition_range(10, 4)
+        assert plan.kind == "range"
+        assert plan.starts.tolist() == [0, 3, 5, 8, 10]
+        assert plan.num_shards == 4 and plan.num_vertices == 10
+        assert plan.ranges() == [(0, 3), (3, 5), (5, 8), (8, 10)]
+
+    def test_range_more_shards_than_vertices(self):
+        plan = partition_range(2, 5)
+        assert plan.starts[0] == 0 and plan.starts[-1] == 2
+        assert sum(e - s for s, e in plan.ranges()) == 2  # covers, some empty
+
+    def test_degree_balances_arcs(self):
+        # A hub star plus a long path: equal-vertex splitting puts the
+        # whole star (most arcs) in one shard; the degree partitioner
+        # must cut by arc mass instead.
+        edges = [(0, i) for i in range(1, 50)]  # hub 0, degree 49
+        edges += [(i, i + 1) for i in range(50, 60)]
+        g = from_edges(np.array(edges))
+        plan = partition_degree(g, 2)
+        assert plan.kind == "degree"
+        arcs = [int(g.row_ptr[e] - g.row_ptr[s]) for s, e in plan.ranges()]
+        assert max(arcs) < g.num_arcs  # the hub shard does not take all
+        # Balanced within one row's degree of the ideal.
+        assert abs(arcs[0] - arcs[1]) <= int(g.degrees().max())
+
+    def test_degree_on_edgeless_graph_falls_back_to_range(self):
+        g = empty_graph(8)
+        plan = partition_degree(g, 3)
+        assert plan.kind == "degree"
+        assert plan.starts[-1] == 8
+
+    def test_shard_of_vectorized(self):
+        plan = partition_range(10, 4)
+        got = plan.shard_of(np.arange(10))
+        assert got.tolist() == [0, 0, 0, 1, 1, 2, 2, 2, 3, 3]
+
+    def test_plan_validation(self):
+        with pytest.raises(GraphValidationError, match="must be 0"):
+            ShardPlan(np.array([1, 5]))
+        with pytest.raises(GraphValidationError, match="non-decreasing"):
+            ShardPlan(np.array([0, 5, 3]))
+        with pytest.raises(GraphValidationError, match="at least 2"):
+            ShardPlan(np.array([0]))
+
+    def test_make_plan_dispatch_and_custom_plan(self, two_cliques):
+        assert make_plan(two_cliques, 2, "range").kind == "range"
+        assert make_plan(two_cliques, 2, "degree").kind == "degree"
+        custom = ShardPlan(np.array([0, 4, two_cliques.num_vertices]))
+        assert make_plan(two_cliques, 99, custom) is custom
+        with pytest.raises(ValueError, match="unknown partitioner"):
+            make_plan(two_cliques, 2, "metis")
+        wrong = ShardPlan(np.array([0, 3]))
+        with pytest.raises(GraphValidationError, match="covers"):
+            make_plan(two_cliques, 2, wrong)
+
+    def test_registry(self):
+        assert set(PARTITIONERS) == {"range", "degree"}
+
+
+# ----------------------------------------------------------------------
+# Shared-memory transport
+# ----------------------------------------------------------------------
+class TestSharedMemory:
+    def test_round_trip_zero_copy(self):
+        g = load("rmat16.sym", "tiny")
+        with g.to_shared() as handle:
+            assert isinstance(handle, SharedGraphHandle)
+            assert handle.nbytes == (g.num_vertices + 1 + g.num_arcs) * 8
+            back = CSRGraph.from_shared(handle)
+            assert np.array_equal(back.row_ptr, g.row_ptr)
+            assert np.array_equal(back.col_idx, g.col_idx)
+            # Views over the segment, not copies.
+            assert back.row_ptr.base is not None
+
+    def test_handle_pickles_without_shm_object(self):
+        g = load("rmat16.sym", "tiny")
+        with g.to_shared() as handle:
+            clone = pickle.loads(pickle.dumps(handle))
+            assert clone.shm_name == handle.shm_name
+            assert clone._shm is None  # re-attaches by name, not by object
+            back = CSRGraph.from_shared(clone)
+            assert np.array_equal(back.col_idx, g.col_idx)
+            clone.close()
+
+    def test_empty_graph_round_trip(self):
+        g = empty_graph(4)
+        with g.to_shared() as handle:
+            back = CSRGraph.from_shared(handle)
+            assert back.num_vertices == 4 and back.num_arcs == 0
+
+    def test_unlink_idempotent_and_leak_registry(self):
+        g = load("rmat16.sym", "tiny")
+        handle = g.to_shared()
+        assert handle.shm_name in leaked_shared_segments()
+        handle.unlink()
+        assert handle.shm_name not in leaked_shared_segments()
+        handle.unlink()  # second unlink is a no-op, not an error
+
+
+# ----------------------------------------------------------------------
+# Local shard solve + boundary merge building blocks
+# ----------------------------------------------------------------------
+class TestLocalSolve:
+    def test_whole_graph_as_one_shard(self):
+        g = load("2d-2e20.sym", "tiny")
+        labels, bu, bv = solve_shard_local(g, 0, g.num_vertices)
+        assert np.array_equal(labels, reference_labels(g))
+        assert bu.size == 0 and bv.size == 0
+
+    def test_boundary_arcs_emitted_once(self):
+        # Path 0-1-2-3 split at 2: the crossing edge (1,2) must appear
+        # exactly once across the two shards (owned by min endpoint).
+        g = from_edges(np.array([(0, 1), (1, 2), (2, 3)]))
+        _, bu0, bv0 = solve_shard_local(g, 0, 2)
+        _, bu1, bv1 = solve_shard_local(g, 2, 4)
+        pairs = list(zip(bu0.tolist(), bv0.tolist())) + list(
+            zip(bu1.tolist(), bv1.tolist())
+        )
+        assert pairs == [(1, 2)]
+
+    def test_empty_shard(self):
+        g = load("rmat16.sym", "tiny")
+        labels, bu, bv = solve_shard_local(g, 5, 5)
+        assert labels.size == 0 and bu.size == 0 and bv.size == 0
+
+    def test_merge_boundary_resolves_global_minimum(self):
+        # Two shard-local components joined by one crossing edge.
+        labels = np.array([0, 0, 2, 2], dtype=np.int64)
+        merged = merge_boundary(labels, np.array([1]), np.array([2]))
+        assert merged.tolist() == [0, 0, 0, 0]
+
+    def test_merge_boundary_chain_across_many_shards(self):
+        # K singleton "shards" chained 0-1-2-...-9: merge must converge
+        # to the global minimum even though each hook only sees roots.
+        n = 10
+        labels = np.arange(n, dtype=np.int64)
+        bu = np.arange(n - 1)
+        bv = np.arange(1, n)
+        assert merge_boundary(labels, bu, bv).tolist() == [0] * n
+
+
+# ----------------------------------------------------------------------
+# Bit-identity: differential + metamorphic
+# ----------------------------------------------------------------------
+class TestBitIdentity:
+    @pytest.mark.parametrize("name", GRAPHS)
+    @pytest.mark.parametrize("partitioner", ["range", "degree"])
+    def test_matches_serial_on_suite(self, name, partitioner):
+        g = load(name, "tiny")
+        expected = reference_labels(g)
+        for k in (1, 2, 4, 7):
+            res = connected_components(
+                g, backend="sharded", workers=k, partitioner=partitioner
+            )
+            assert np.array_equal(res.labels, expected), (name, partitioner, k)
+
+    def test_shard_count_invariance_random(self):
+        # Metamorphic: the labeling is invariant under K — all K produce
+        # the identical (canonical min-member) array.
+        rng = np.random.default_rng(7)
+        for _ in range(10):
+            g = random_graph(rng)
+            runs = [
+                connected_components(
+                    g, backend="sharded", workers=k, full_result=False
+                )
+                for k in (1, 2, 4, 7)
+            ]
+            for other in runs[1:]:
+                assert np.array_equal(runs[0], other)
+            assert np.array_equal(runs[0], reference_labels(g))
+
+    def test_vertex_permutation_invariance(self):
+        # Metamorphic: relabeling vertices by a permutation and solving
+        # sharded yields a partition equivalent to the original's — u, v
+        # share a component iff perm[u], perm[v] do.  Since every
+        # labeling here is canonical min-member, it is enough to check
+        # the permuted graph's sharded labels against the oracle and
+        # that component sizes are preserved.
+        rng = np.random.default_rng(11)
+        for _ in range(5):
+            g = random_graph(rng)
+            perm = rng.permutation(g.num_vertices)
+            pg = permute_vertices(g, perm)
+            base = connected_components(
+                g, backend="sharded", workers=3, full_result=False
+            )
+            permuted = connected_components(
+                pg, backend="sharded", workers=3, full_result=False
+            )
+            assert np.array_equal(permuted, reference_labels(pg))
+            assert np.array_equal(
+                np.sort(np.unique(base, return_counts=True)[1]),
+                np.sort(np.unique(permuted, return_counts=True)[1]),
+            )
+
+    @pytest.mark.parametrize("backend", ["numpy", "contract", "serial", "fastsv"])
+    def test_all_shard_backends_agree(self, backend):
+        g = load("rmat16.sym", "tiny")
+        res = connected_components(
+            g, backend="sharded", workers=3, shard_backend=backend
+        )
+        assert np.array_equal(res.labels, reference_labels(g))
+
+    def test_empty_and_single_vertex(self):
+        assert sharded_cc(empty_graph(0), workers=2).labels.size == 0
+        assert sharded_cc(empty_graph(1), workers=2).labels.tolist() == [0]
+
+
+# ----------------------------------------------------------------------
+# Adversarial partitions
+# ----------------------------------------------------------------------
+class TestAdversarialPartitions:
+    def test_all_edges_crossing(self):
+        # Complete bipartite graph between even and odd halves, split so
+        # every single edge crosses the shard boundary: local solves see
+        # only singletons and the merge does all the work.
+        lo = np.arange(0, 8)
+        hi = np.arange(8, 16)
+        edges = np.array([(a, b) for a in lo for b in hi])
+        g = from_edges(edges)
+        plan = ShardPlan(np.array([0, 8, 16]))
+        res = connected_components(g, backend="sharded", partitioner=plan)
+        assert res.stats.boundary_edges == 64
+        assert np.array_equal(res.labels, reference_labels(g))
+
+    def test_empty_shards(self):
+        # More shards than vertices: the trailing shards are empty.
+        g = from_edges(np.array([(0, 1), (1, 2)]))
+        res = connected_components(g, backend="sharded", workers=7)
+        assert res.stats.num_shards == 7
+        assert np.array_equal(res.labels, reference_labels(g))
+        # And an explicitly degenerate plan with interior empty shards.
+        plan = ShardPlan(np.array([0, 1, 1, 1, 3, 3, 3]))
+        res = connected_components(g, backend="sharded", partitioner=plan)
+        assert np.array_equal(res.labels, reference_labels(g))
+
+    def test_isolated_vertex_shards(self):
+        # Isolated vertices sharded alone must stay their own
+        # components and not be absorbed by the merge.
+        edges = np.array([(0, 1), (4, 5)])
+        g = from_edges(edges, num_vertices=8)  # 2, 3, 6, 7 isolated
+        plan = ShardPlan(np.array([0, 2, 3, 4, 6, 7, 8]))
+        res = connected_components(g, backend="sharded", partitioner=plan)
+        assert np.array_equal(res.labels, reference_labels(g))
+        assert res.labels[2] == 2 and res.labels[7] == 7
+
+
+# ----------------------------------------------------------------------
+# Real process pools
+# ----------------------------------------------------------------------
+class TestProcessPool:
+    def test_bit_identity_with_processes(self):
+        g = load("2d-2e20.sym", "tiny")
+        res = connected_components(
+            g, backend="sharded", workers=3, force_processes=True
+        )
+        assert res.stats.mode == "processes"
+        assert np.array_equal(res.labels, reference_labels(g))
+        assert leaked_shared_segments() == []
+
+    def test_executor_reuse_is_stable(self):
+        g = load("rmat16.sym", "tiny")
+        expected = reference_labels(g)
+        with ShardedExecutor(g, workers=2, force_processes=True) as ex:
+            for _ in range(3):
+                assert np.array_equal(ex.run().labels, expected)
+        assert leaked_shared_segments() == []
+
+    def test_inline_below_min_parallel(self):
+        g = load("rmat16.sym", "tiny")
+        res = connected_components(g, backend="sharded", workers=4)
+        assert res.stats.mode == "inline"  # tiny graphs never fork
+
+    def test_spans_and_gauges(self):
+        from repro.observe import Tracer
+
+        g = load("rmat16.sym", "tiny")
+        with Tracer() as t:
+            connected_components(
+                g, backend="sharded", workers=2, force_processes=True
+            )
+        names = [s.name for s in t.spans]
+        assert "shard:partition" in names
+        assert names.count("shard:worker") == 2
+        assert "shard:merge" in names
+        # Child-process spans are folded under the worker spans.
+        workers = [s for s in t.spans if s.name == "shard:worker"]
+        folded = [s for s in t.spans if s.parent in {w.index for w in workers}]
+        assert any(s.name.startswith("cc:") for s in folded)
+        gauge_names = {g_[1] for g_ in t.gauges}
+        assert {"shard.vertices.0", "shard.arcs.1", "shard.boundary.0",
+                "shard.boundary_edges"} <= gauge_names
+
+    def test_invalid_options(self, two_cliques):
+        with pytest.raises(ValueError, match="shard_backend"):
+            sharded_cc(two_cliques, shard_backend="gpu")
+        with pytest.raises(ValueError, match="workers"):
+            sharded_cc(two_cliques, workers=0)
+
+
+# ----------------------------------------------------------------------
+# Worker crashes: resilience semantics + shm cleanup regression
+# ----------------------------------------------------------------------
+class TestWorkerCrashRecovery:
+    def plan(self, attempt, shard=0):
+        return FaultPlan(
+            faults=[
+                FaultSpec(
+                    kind="worker_crash",
+                    backend="sharded",
+                    attempt=attempt,
+                    at=shard,
+                )
+            ]
+        )
+
+    def test_transient_crash_retries(self):
+        g = load("rmat16.sym", "tiny")
+        res = connected_components(
+            g,
+            backend="sharded",
+            workers=3,
+            force_processes=True,
+            fault_plan=self.plan(attempt=0, shard=1),
+        )
+        assert np.array_equal(res.labels, reference_labels(g))
+        assert res.recovery is not None
+        assert res.recovery.retries == 1 and res.recovery.fallbacks == 0
+        kinds = [a.error_kind for a in res.recovery.attempts if a.status == "fault"]
+        assert kinds == ["worker_crash"]
+
+    def test_persistent_crash_falls_back_inline(self):
+        g = load("rmat16.sym", "tiny")
+        res = connected_components(
+            g,
+            backend="sharded",
+            workers=2,
+            force_processes=True,
+            fault_plan=self.plan(attempt=-1),  # crashes every attempt
+        )
+        assert np.array_equal(res.labels, reference_labels(g))
+        assert res.recovery.retries == 1 and res.recovery.fallbacks == 1
+        final = res.recovery.attempts[-1]
+        assert final.status == "ok" and final.resumed  # inline recompute
+
+    def test_clean_run_has_no_recovery(self):
+        g = load("rmat16.sym", "tiny")
+        res = connected_components(
+            g, backend="sharded", workers=2, force_processes=True
+        )
+        assert res.recovery is None
+
+    def test_no_leaked_segments_after_crashes(self):
+        # Regression: a crashed worker must not leave /dev/shm segments
+        # behind — the executor owns them and frees on close.
+        g = load("rmat16.sym", "tiny")
+        for _ in range(3):
+            connected_components(
+                g,
+                backend="sharded",
+                workers=2,
+                force_processes=True,
+                fault_plan=self.plan(attempt=-1),
+            )
+        assert leaked_shared_segments() == []
+
+    def test_crash_counter_visible_in_trace(self):
+        from repro.observe import Tracer
+
+        g = load("rmat16.sym", "tiny")
+        with Tracer() as t:
+            connected_components(
+                g,
+                backend="sharded",
+                workers=2,
+                force_processes=True,
+                fault_plan=self.plan(attempt=0),
+            )
+        assert t.counters.get("shard.worker_faults") == 1

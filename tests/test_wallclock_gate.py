@@ -72,9 +72,13 @@ class TestGateRun:
     def test_schema(self, payload):
         assert payload["schema_version"] == wallclock.SCHEMA_VERSION
         assert payload["scale"] == "tiny"
-        assert {"python", "numpy", "numba", "machine", "system"} <= set(
-            payload["environment"]
-        )
+        assert {
+            "python", "numpy", "numba", "machine", "system",
+            # Schema v5: the scaling targets are hardware-conditioned.
+            "cpu_count", "cpus_available", "sharded_workers",
+        } <= set(payload["environment"])
+        assert payload["environment"]["cpu_count"] >= 1
+        assert payload["environment"]["sharded_workers"] == [1, 2, 4]
         assert [r["name"] for r in payload["graphs"]] == GATE_NAMES
         for row in payload["graphs"]:
             assert row["before_ms"] > 0 and row["after_ms"] > 0
@@ -99,6 +103,17 @@ class TestGateRun:
             )
             assert row["labels_verified"]
             assert isinstance(row["frontier_sizes"], list)
+            # Schema v5: sharded strong-scaling columns.
+            assert row["sharded_workers"] == [1, 2, 4]
+            assert set(row["scaling"]) == {"1", "2", "4"}
+            assert all(ms > 0 for ms in row["scaling"].values())
+            assert row["sharded_ms"] == row["scaling"]["4"]
+            assert row["sharded_speedup"] == pytest.approx(
+                row["after_ms"] / row["sharded_ms"], abs=5e-4
+            )
+            assert row["scaling_speedup"] == pytest.approx(
+                row["scaling"]["1"] / row["scaling"]["4"], rel=0.02
+            )
             # Schema v3: serving-layer columns.
             assert row["service_qps"] > 0
             assert row["naive_qps"] > 0
@@ -138,6 +153,26 @@ class TestGateRun:
                 scale="tiny", names=["rmat16.sym"], repeats=1,
                 backends=["contract", "quantum"],
             )
+
+    def test_invalid_worker_counts_raise(self):
+        for bad in ([0], [-2], [2.5], ["4"], []):
+            with pytest.raises(ValueError, match="worker"):
+                run_wallclock_gate(
+                    scale="tiny", names=["rmat16.sym"], repeats=1,
+                    backends=["sharded"], workers=bad,
+                )
+
+    def test_custom_worker_counts(self):
+        payload = run_wallclock_gate(
+            scale="tiny", names=["rmat16.sym"], repeats=1, verify=True,
+            service_ops=0, backends=["sharded"], workers=[2, 1, 2],
+        )
+        row = payload["graphs"][0]
+        # Deduplicated and sorted, recorded in row and environment.
+        assert row["sharded_workers"] == [1, 2]
+        assert set(row["scaling"]) == {"1", "2"}
+        assert payload["environment"]["sharded_workers"] == [1, 2]
+        assert row["sharded_ms"] == row["scaling"]["2"]
 
     def test_high_diameter_flag(self, payload):
         flags = {r["name"]: r["high_diameter"] for r in payload["graphs"]}
@@ -248,6 +283,58 @@ class TestCheckGate:
     def test_rows_without_contract_fields_exempt(self):
         # schema v3 payloads predate the contraction columns.
         assert check_gate({"graphs": [self.row("a", 3.5)]}) == []
+
+    @staticmethod
+    def sharded_row(name, sharded=1.0, scaling=2.0, **kw):
+        return dict(
+            TestCheckGate.row(name, 3.5, **kw),
+            sharded_workers=[1, 2, 4],
+            sharded_speedup=sharded,
+            scaling_speedup=scaling,
+        )
+
+    def test_sharded_floor_enforced_with_two_cpus(self):
+        payload = {
+            "environment": {"cpu_count": 2},
+            "graphs": [self.sharded_row("a", sharded=0.3)],
+        }
+        problems = check_gate(payload)
+        assert any("sharded no-regression floor" in p for p in problems)
+
+    def test_sharded_floor_skipped_on_one_cpu(self):
+        payload = {
+            "environment": {"cpu_count": 1},
+            "graphs": [self.sharded_row("a", sharded=0.3, scaling=0.5)],
+        }
+        assert check_gate(payload) == []
+
+    def test_scaling_target_enforced_with_four_cpus(self):
+        payload = {
+            "environment": {"cpu_count": 8},
+            "graphs": [
+                self.sharded_row("a", scaling=1.9),
+                self.sharded_row("b", scaling=1.2, high_diameter=False),
+            ],
+        }
+        problems = check_gate(payload)
+        assert len(problems) == 1 and "strong-scaling target" in problems[0]
+        payload["graphs"][1]["scaling_speedup"] = 1.8
+        assert check_gate(payload) == []
+
+    def test_scaling_target_skipped_below_four_cpus(self):
+        payload = {
+            "environment": {"cpu_count": 2},
+            "graphs": [self.sharded_row("a", scaling=0.8)],
+        }
+        assert check_gate(payload) == []
+
+    def test_rows_without_sharded_fields_exempt(self):
+        # schema v4 payloads predate the sharded columns.
+        payload = {
+            "environment": {"cpu_count": 16},
+            "graphs": [self.row("a", 3.5)],
+        }
+        assert check_gate(payload) == []
 
 
 class TestFrontierTraceVisibility:
