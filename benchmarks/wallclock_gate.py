@@ -23,11 +23,16 @@ Typical uses::
 
     # sharded strong-scaling sweep only, at K=1,2 (e.g. a 2-core CI box)
     python benchmarks/wallclock_gate.py --quick --backends sharded --workers 1,2
+
+    # out-of-core leg under a hard 2 GiB address-space cap, spills kept
+    python benchmarks/wallclock_gate.py --quick --backends oocore \\
+        --rlimit-as 2G --oocore-spill-dir oocore-spill
 """
 
 from __future__ import annotations
 
 import argparse
+import re
 import sys
 from pathlib import Path
 
@@ -46,6 +51,16 @@ from repro.experiments.wallclock import (  # noqa: E402
 #: without paying for all 18 inputs.
 QUICK_NAMES = ["2d-2e20.sym", "USA-road-d.NY", "rmat16.sym"]
 DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_core_wallclock.json"
+
+
+def parse_size(text: str) -> int:
+    """``512M`` / ``2G`` / ``1048576`` -> bytes; raises ValueError."""
+    m = re.fullmatch(r"(\d+)\s*([kKmMgG]?)", text.strip())
+    if not m:
+        raise ValueError(f"{text!r} is not a size (expected e.g. 512M or 2G)")
+    return int(m.group(1)) * {
+        "": 1, "k": 1 << 10, "m": 1 << 20, "g": 1 << 30
+    }[m.group(2).lower()]
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -69,6 +84,24 @@ def main(argv: list[str] | None = None) -> int:
         default="",
         help="comma-separated worker counts for the sharded strong-scaling "
         "leg (default 1,2,4); positive integers, validated like --backends",
+    )
+    parser.add_argument(
+        "--rlimit-as",
+        default="",
+        metavar="SIZE",
+        help="cap the process address space via resource.RLIMIT_AS before "
+        "running (e.g. 512M, 2G) — the kernel, not just the resident "
+        "meter, then enforces the out-of-core leg's bounded-memory claim; "
+        "POSIX only",
+    )
+    parser.add_argument(
+        "--oocore-spill-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="spill the out-of-core leg into per-graph subdirectories of "
+        "DIR instead of temp dirs; the size-ceiling demo's spill (manifest "
+        "included) is then kept on disk for artifact upload",
     )
     parser.add_argument(
         "--quick",
@@ -114,6 +147,21 @@ def main(argv: list[str] | None = None) -> int:
     enforce = (
         not args.quick if args.enforce_speedup is None else args.enforce_speedup
     )
+    if args.rlimit_as:
+        try:
+            import resource
+        except ImportError:  # pragma: no cover - non-POSIX
+            print(
+                "FAIL: --rlimit-as needs the resource module (POSIX only)",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            cap = parse_size(args.rlimit_as)
+        except ValueError as exc:
+            print(f"FAIL: --rlimit-as: {exc}", file=sys.stderr)
+            return 2
+        resource.setrlimit(resource.RLIMIT_AS, (cap, cap))
 
     try:
         payload = run_wallclock_gate(
@@ -124,6 +172,7 @@ def main(argv: list[str] | None = None) -> int:
             service_ops=args.service_ops,
             backends=backends,
             workers=workers,
+            oocore_spill_dir=args.oocore_spill_dir,
         )
     except VerificationError as exc:
         print(f"FAIL: {exc}", file=sys.stderr)
@@ -160,6 +209,13 @@ def main(argv: list[str] | None = None) -> int:
             parts.append(
                 f"sharded [{curve}] ms  scaling {row['scaling_speedup']:4.2f}x"
             )
+        if "oocore_ms" in row:
+            parts.append(
+                f"oocore {row['oocore_ms']:9.2f} ms  "
+                f"peak {row['oocore_peak_bytes'] / 1e6:7.2f}"
+                f"/{row['oocore_budget_bytes'] / 1e6:.2f} MB  "
+                f"shards {row['oocore_shards']}"
+            )
         if "service_qps" in row:
             parts.append(
                 f"service {row['service_qps']:9.0f} q/s "
@@ -168,6 +224,16 @@ def main(argv: list[str] | None = None) -> int:
         if row["high_diameter"]:
             parts.append("[high-diameter]")
         print("  ".join(parts))
+    if "oocore_demo" in payload:
+        d = payload["oocore_demo"]
+        print(
+            f"oocore demo: {d['graph']}  csr {d['oocore_csr_bytes'] / 1e6:.2f} "
+            f"MB streamed under a {d['oocore_budget_bytes'] / 1e6:.2f} MB "
+            f"budget (peak {d['oocore_peak_bytes'] / 1e6:.2f} MB, ceiling "
+            f"{d['oocore_ceiling']:.1f}x, {d['oocore_shards']} shards, "
+            f"{d['oocore_merge_passes']} merge passes, "
+            f"{d['oocore_ms']:.1f} ms)"
+        )
     print(f"wrote {path}")
 
     problems = check_gate(

@@ -21,6 +21,8 @@ Public API highlights:
   resilient supervisor.
 * :mod:`repro.shard` — sharded multi-process execution over shared
   memory (the ``"sharded"`` backend).
+* :mod:`repro.outofcore` — spill-to-disk streaming under an explicit
+  memory budget (the ``"oocore"`` backend).
 * :mod:`repro.experiments` — regenerate every table/figure of the paper,
   plus the wall-clock and load-generator benchmarks.
 """
@@ -33,15 +35,18 @@ from .core.api import (
 )
 from .core.result import CCResult
 from .graph.csr import CSRGraph
+from .graph.spill import SpilledGraph
+from .outofcore import oocore_cc
 from .resilience import FaultPlan, resilient_components
 from .service import BatchPolicy, ConnectivityService
 from .shard import ShardedExecutor, sharded_cc
 
-__version__ = "2.1.0"
+__version__ = "2.2.0"
 
 __all__ = [
     "connected_components",
     "count_components",
+    "oocore_cc",
     "register_backend",
     "resilient_components",
     "sharded_cc",
@@ -51,6 +56,7 @@ __all__ = [
     "FaultPlan",
     "CCResult",
     "CSRGraph",
+    "SpilledGraph",
     "ShardedExecutor",
     "__version__",
 ]

@@ -207,7 +207,8 @@ def connected_components(
         The input graph (use :mod:`repro.graph` builders to construct).
     backend:
         A name registered in :data:`BACKENDS` (built-ins: ``"serial"``,
-        ``"numpy"``, ``"gpu"``, ``"omp"``, ``"fastsv"``, ``"afforest"``).
+        ``"numpy"``, ``"gpu"``, ``"omp"``, ``"fastsv"``, ``"afforest"``,
+        ``"sharded"``, ``"oocore"``).
     full_result:
         The :class:`CCResult` (labels, stats, timings, trace, ...) is the
         default return.  Pass ``full_result=False`` to get just the label
@@ -384,6 +385,23 @@ def _run_sharded(graph: CSRGraph, **options) -> CCResult:
     return sharded_cc(graph, **options)
 
 
+def _run_oocore(graph: CSRGraph, **options) -> CCResult:
+    from ..outofcore import oocore_cc  # deferred: pulls in spill machinery
+
+    t0 = time.perf_counter()
+    labels, stats, recovery = oocore_cc(graph, **options)
+    wall_ms = (time.perf_counter() - t0) * 1e3
+    result = CCResult(
+        labels=labels,
+        backend="oocore",
+        stats=stats,
+        timings={"total_ms": wall_ms, "wall_ms": wall_ms},
+    )
+    if recovery.retries or recovery.faults:
+        result.recovery = recovery
+    return result
+
+
 def _run_fastsv(graph: CSRGraph, **options) -> CCResult:
     from ..baselines.fastsv import fastsv_cc  # deferred
 
@@ -519,6 +537,47 @@ register_backend(
         ),
         "start_method": OptionSpec(
             "multiprocessing start method override", ("fork", "spawn", "forkserver")
+        ),
+    },
+)
+register_backend(
+    "oocore",
+    _run_oocore,
+    description="out-of-core streaming over on-disk CSR shards (bounded memory)",
+    options={
+        "memory_budget": OptionSpec(
+            "resident-byte ceiling enforced by the ResidentMeter "
+            "(None = track the peak without enforcing)"
+        ),
+        "spill_dir": OptionSpec(
+            "shard directory (default: a fresh temp dir, removed after "
+            "the run)"
+        ),
+        "shards": OptionSpec(
+            "shard count for the spill (default: derived from the budget)"
+        ),
+        "keep_spill": OptionSpec(
+            "keep the spill directory (shards + manifest) after the run"
+        ),
+        "partitioner": OptionSpec(
+            "'range' (equal vertices) or 'degree' (equal arcs)",
+            ("range", "degree"),
+        ),
+        "shard_backend": OptionSpec(
+            "backend run on each streamed shard's induced subgraph",
+            ("numpy", "contract", "serial", "fastsv", "numpy-dense"),
+        ),
+        "fault_plan": OptionSpec(
+            "repro.resilience FaultPlan; backend='oocore' specs arm "
+            "spill_corrupt/spill_truncate/worker_crash/merge_crash"
+        ),
+        "resume": OptionSpec(
+            "continue from a surviving spill directory's RESUME.json + "
+            "parent checkpoint (both checksum-validated)"
+        ),
+        "auto_resume": OptionSpec(
+            "in-process crash retries, resuming from on-disk state "
+            "(default 0)"
         ),
     },
 )

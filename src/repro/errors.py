@@ -130,6 +130,46 @@ class ResilienceExhaustedError(ReproError):
     """Every backend in the degradation chain failed all its attempts."""
 
 
+class SpillError(ReproError):
+    """Base class for failures of the out-of-core spill format."""
+
+
+class SpillFormatError(SpillError):
+    """A spill directory or manifest is malformed, from a different
+    format version, from a machine of the other endianness, or missing
+    files it claims to have."""
+
+
+class SpillTruncatedError(SpillFormatError):
+    """A spilled shard file is shorter than its manifest entry — a
+    partial write from an interrupted spill."""
+
+
+class SpillChecksumError(SpillError):
+    """A spilled file's content does not match its recorded checksum.
+
+    Raised *before* any data from the damaged file reaches a solver, so
+    a corrupt spill can never produce silently wrong labels."""
+
+
+class MemoryBudgetError(ReproError):
+    """An out-of-core run cannot fit inside its ``memory_budget``.
+
+    Carries ``required`` (the charge that burst the budget, in bytes)
+    and ``budget`` so callers can report how far off they were."""
+
+    def __init__(self, message: str, *, required: int = 0, budget: int = 0) -> None:
+        super().__init__(message)
+        self.required = required
+        self.budget = budget
+
+
+class MergeCrashError(FaultError):
+    """An injected crash inside the out-of-core boundary-merge loop."""
+
+    kind = "merge_crash"
+
+
 class VerificationError(ReproError):
     """A connected-components labeling failed verification."""
 

@@ -52,6 +52,20 @@ about hardware, so :func:`check_gate` only enforces the scaling target
 on machines with the cores to show it (and the sharded no-regression
 floor only with at least two).
 
+Schema v6 adds the out-of-core leg (:mod:`repro.outofcore`): per graph,
+``oocore_ms`` plus the budget-accounting evidence columns
+(``oocore_budget_bytes`` / ``oocore_peak_bytes`` / ``oocore_csr_bytes``
+/ ``oocore_ceiling`` / ``oocore_shards`` / ``oocore_merge_passes``),
+measured under an explicit ``memory_budget`` of a quarter of the CSR
+footprint (or twice the feasibility floor, whichever is larger — at the
+floor itself the auto-sharder degenerates into pathologically fine
+partitions), with labels verified against serial.  The payload also carries a top-level
+``oocore_demo`` section — a fixed random graph whose CSR footprint is
+at least ten times its budget, solved out-of-core with the charged peak
+under budget — the size-ceiling claim of the external-memory path,
+which :func:`check_gate` enforces (peak within budget on every row,
+demo ceiling of at least 10x, demo labels verified).
+
 :func:`run_wallclock_gate` produces a JSON-ready payload (schema
 documented in ``docs/benchmarks.md``), :func:`check_gate` applies the
 acceptance thresholds, and ``benchmarks/wallclock_gate.py`` is the
@@ -83,6 +97,8 @@ __all__ = [
     "HIGH_DIAMETER",
     "GATE_LEGS",
     "DEFAULT_SCALING_WORKERS",
+    "OOCORE_DEMO_SPEC",
+    "OOCORE_DEMO_DIVISOR",
     "legacy_numpy_cc",
     "frozen_frontier_cc",
     "run_wallclock_gate",
@@ -90,14 +106,20 @@ __all__ = [
     "write_gate_json",
 ]
 
-SCHEMA_VERSION = 5
+SCHEMA_VERSION = 6
 
 #: Optional measurement legs of :func:`run_wallclock_gate`; the live
 #: frontier backend and the frozen frontier snapshot are always timed
 #: (every speedup column is a ratio against one of them).
 GATE_LEGS = frozenset(
-    {"legacy", "dense", "fastsv", "resilient", "contract", "sharded"}
+    {"legacy", "dense", "fastsv", "resilient", "contract", "sharded", "oocore"}
 )
+
+#: The v6 size-ceiling demo graph: every vertex draws this many random
+#: targets, giving one giant component with a CSR footprint comfortably
+#: over ten times the demo budget of ``csr_bytes // OOCORE_DEMO_DIVISOR``.
+OOCORE_DEMO_SPEC = {"num_vertices": 3000, "out_degree": 40, "seed": 7}
+OOCORE_DEMO_DIVISOR = 12
 
 #: Worker counts the sharded strong-scaling leg sweeps by default.
 DEFAULT_SCALING_WORKERS = (1, 2, 4)
@@ -334,6 +356,7 @@ def run_wallclock_gate(
     naive_max_ops: int = 300,
     backends: list[str] | None = None,
     workers: list[int] | None = None,
+    oocore_spill_dir: str | Path | None = None,
 ) -> dict:
     """Benchmark the suite and return the JSON-ready gate payload.
 
@@ -381,6 +404,23 @@ def run_wallclock_gate(
     cost paid once per executor, each solve timed best-of — recording a
     ``scaling`` map plus ``sharded_ms`` / ``sharded_speedup`` /
     ``scaling_speedup``, with every K's labels verified against serial.
+
+    The schema-v6 ``oocore`` leg solves each graph out-of-core under an
+    explicit ``memory_budget`` — a quarter of the CSR footprint, or
+    twice the feasibility floor when the graph is too small for that
+    to stream —
+    recording ``oocore_ms`` and the budget-accounting evidence
+    (``oocore_budget_bytes``, ``oocore_peak_bytes``,
+    ``oocore_csr_bytes``, ``oocore_ceiling``, ``oocore_shards``,
+    ``oocore_merge_passes``), and adds a top-level ``oocore_demo``
+    section solving a fixed random graph (:data:`OOCORE_DEMO_SPEC`)
+    under a budget of ``csr_bytes // OOCORE_DEMO_DIVISOR`` — the
+    size-ceiling demonstration: a CSR at least ten times the budget,
+    streamed with the charged peak under budget and labels verified.
+    ``oocore_spill_dir`` redirects the leg's spills from temp
+    directories to per-graph subdirectories of the named path; the
+    demo's spill is then kept on disk (manifest included) so CI can
+    upload it as an artifact.
     """
     # Local import: repro.resilience imports the core package this
     # module sits next to.
@@ -573,6 +613,49 @@ def run_wallclock_gate(
                     row["after_ms"] / scaling[k_hi], 3
                 )
                 row["scaling_speedup"] = round(scaling[k_lo] / scaling[k_hi], 3)
+            if "oocore" in legs:
+                # Local import for the same reason as resilience above.
+                from ..outofcore import min_feasible_budget, oocore_cc
+
+                csr_bytes = (graph.num_vertices + 1 + graph.num_arcs) * 8
+                # Quarter of the CSR footprint, but never tighter than
+                # twice the feasibility floor: at the floor the headroom
+                # above the resident parent array is a single minimal
+                # shard, so the auto-sharder is forced into pathologically
+                # fine partitions (and a checkpoint per tiny shard).
+                # Doubling the floor keeps shard counts sane while the
+                # budget stays below the CSR footprint, which is the
+                # streaming claim the columns exist to witness.
+                budget = max(2 * min_feasible_budget(graph), csr_bytes // 4)
+                row_spill = (
+                    Path(oocore_spill_dir) / name
+                    if oocore_spill_dir is not None
+                    else None
+                )
+                ooc_state: dict = {}
+
+                def _oocore_leg():
+                    labels, st, _ = oocore_cc(
+                        graph, memory_budget=budget, spill_dir=row_spill
+                    )
+                    ooc_state["labels"], ooc_state["stats"] = labels, st
+
+                oocore_ms = _time_best(_oocore_leg, repeats)
+                ooc_stats = ooc_state["stats"]
+                if verify and not np.array_equal(
+                    ooc_state["labels"], reference
+                ):
+                    raise VerificationError(
+                        f"oocore labels diverge from ecl_cc_serial on "
+                        f"{name!r} at scale {scale!r}"
+                    )
+                row["oocore_ms"] = round(oocore_ms, 3)
+                row["oocore_budget_bytes"] = int(budget)
+                row["oocore_peak_bytes"] = int(ooc_stats.peak_resident_bytes)
+                row["oocore_csr_bytes"] = int(ooc_stats.csr_bytes)
+                row["oocore_ceiling"] = round(ooc_stats.ceiling, 2)
+                row["oocore_shards"] = int(ooc_stats.num_shards)
+                row["oocore_merge_passes"] = int(ooc_stats.merge_passes)
             rows.append(row)
             if service_ops:
                 lg = compare_loadgen(
@@ -589,7 +672,60 @@ def run_wallclock_gate(
                         "service_verified": lg["verified"],
                     }
                 )
-    return {
+    demo = None
+    if "oocore" in legs:
+        from ..generators.random_regular import random_out_degree
+        from ..outofcore import oocore_cc
+
+        demo_graph = random_out_degree(
+            OOCORE_DEMO_SPEC["num_vertices"],
+            OOCORE_DEMO_SPEC["out_degree"],
+            seed=OOCORE_DEMO_SPEC["seed"],
+            name="oocore-demo",
+        )
+        demo_csr = (demo_graph.num_vertices + 1 + demo_graph.num_arcs) * 8
+        demo_budget = demo_csr // OOCORE_DEMO_DIVISOR
+        demo_spill = (
+            Path(oocore_spill_dir) / "oocore_demo"
+            if oocore_spill_dir is not None
+            else None
+        )
+        with tracer.span(
+            "wallclock:oocore-demo",
+            category="experiments.wallclock",
+            graph=demo_graph.name,
+        ):
+            t0 = time.perf_counter()
+            demo_labels, demo_stats, _ = oocore_cc(
+                demo_graph,
+                memory_budget=demo_budget,
+                spill_dir=demo_spill,
+                # With a named spill dir the demo's spill (manifest
+                # included) stays on disk as uploadable evidence.
+                keep_spill=demo_spill is not None,
+            )
+            demo_ms = (time.perf_counter() - t0) * 1e3
+        if verify and not np.array_equal(
+            demo_labels, ecl_cc_serial(demo_graph)[0]
+        ):
+            raise VerificationError(
+                "oocore labels diverge from ecl_cc_serial on the "
+                "size-ceiling demo graph"
+            )
+        demo = {
+            "graph": demo_graph.name,
+            "num_vertices": int(demo_graph.num_vertices),
+            "num_edges": int(demo_graph.num_arcs // 2),
+            "oocore_ms": round(demo_ms, 3),
+            "oocore_budget_bytes": int(demo_budget),
+            "oocore_peak_bytes": int(demo_stats.peak_resident_bytes),
+            "oocore_csr_bytes": int(demo_stats.csr_bytes),
+            "oocore_ceiling": round(demo_stats.ceiling, 2),
+            "oocore_shards": int(demo_stats.num_shards),
+            "oocore_merge_passes": int(demo_stats.merge_passes),
+            "labels_verified": bool(verify),
+        }
+    payload = {
         "schema_version": SCHEMA_VERSION,
         "benchmark": "core_wallclock",
         "scale": scale,
@@ -612,6 +748,9 @@ def run_wallclock_gate(
         },
         "graphs": rows,
     }
+    if demo is not None:
+        payload["oocore_demo"] = demo
+    return payload
 
 
 def check_gate(
@@ -627,6 +766,7 @@ def check_gate(
     min_sharded_speedup: float = 0.5,
     min_scaling_speedup: float = 1.7,
     min_scaling_graphs: int = 2,
+    min_oocore_ceiling: float = 10.0,
 ) -> list[str]:
     """Apply the acceptance thresholds; returns a list of problems.
 
@@ -665,6 +805,16 @@ def check_gate(
     scaling target).  On smaller machines the columns are still
     recorded — a single-core run of this very gate produces them — but
     the targets are unenforceable there and skipped.
+
+    The schema-v6 out-of-core checks are not hardware-conditioned — a
+    memory *budget* is a claim about the code, not the machine: every
+    row carrying the oocore columns must show ``oocore_peak_bytes``
+    within ``oocore_budget_bytes``, and a payload carrying the
+    ``oocore_demo`` section must show the demo's peak under its budget,
+    its ``oocore_ceiling`` (CSR footprint over charged peak) at or
+    above ``min_oocore_ceiling``, and its labels verified.  Rows and
+    payloads without the columns (older schemas, or ``--backends`` runs
+    that skipped the oocore leg) are exempt.
     """
     problems = []
     floor = 1.0 - max_regression
@@ -712,6 +862,15 @@ def check_gate(
                     f"backend, below the {min_sharded_speedup:.2f}x sharded "
                     f"no-regression floor (cpu_count={cpu_count})"
                 )
+        if (
+            "oocore_peak_bytes" in row
+            and row["oocore_peak_bytes"] > row["oocore_budget_bytes"]
+        ):
+            problems.append(
+                f"{row['name']}: out-of-core peak resident "
+                f"{row['oocore_peak_bytes']} B exceeds the memory budget "
+                f"{row['oocore_budget_bytes']} B"
+            )
         if "service_speedup" in row and row["service_speedup"] < min_service_speedup:
             problems.append(
                 f"{row['name']}: service speedup {row['service_speedup']:.1f}x "
@@ -742,6 +901,24 @@ def check_gate(
             f"(K=1 over largest K; need {min_scaling_graphs} with "
             f"cpu_count={cpu_count})"
         )
+    demo = payload.get("oocore_demo")
+    if demo is not None:
+        if demo["oocore_peak_bytes"] > demo["oocore_budget_bytes"]:
+            problems.append(
+                f"oocore demo: peak resident {demo['oocore_peak_bytes']} B "
+                f"exceeds the memory budget {demo['oocore_budget_bytes']} B"
+            )
+        if demo["oocore_ceiling"] < min_oocore_ceiling:
+            problems.append(
+                f"oocore demo: size ceiling {demo['oocore_ceiling']:.1f}x "
+                f"(CSR bytes over charged peak) is below the "
+                f"{min_oocore_ceiling:.0f}x out-of-core target"
+            )
+        if not demo.get("labels_verified"):
+            problems.append(
+                "oocore demo: labels were not verified against the serial "
+                "oracle; the run is not gate evidence"
+            )
     return problems
 
 

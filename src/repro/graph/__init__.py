@@ -22,6 +22,7 @@ from .io import (
     write_galois_gr,
     write_matrix_market,
 )
+from .spill import SpilledGraph, SpillManifest, spill_csr
 from .subgraph import (
     contract,
     extract_component,
@@ -61,6 +62,9 @@ __all__ = [
     "write_dimacs",
     "write_edge_list",
     "write_matrix_market",
+    "SpilledGraph",
+    "SpillManifest",
+    "spill_csr",
     "GraphStats",
     "approx_diameter",
     "graph_stats",

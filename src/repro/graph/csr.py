@@ -410,6 +410,28 @@ class CSRGraph:
         return graph
 
     # ------------------------------------------------------------------
+    # Disk spill (out-of-core substrate; see repro.graph.spill)
+    # ------------------------------------------------------------------
+    def spill(self, directory, plan=4):
+        """Spill this graph to ``directory`` as checksummed CSR shards.
+
+        ``plan`` is a :class:`~repro.shard.ShardPlan`, or an ``int``
+        shard count resolved with the degree-balanced partitioner (so
+        power-law hubs cannot concentrate one shard's file).  Returns
+        the opened :class:`~repro.graph.spill.SpilledGraph`; the format
+        (versioned manifest, per-file SHA-256, raw ``int64`` arrays
+        readable by ``np.memmap``) is documented in
+        :mod:`repro.graph.spill` and ``docs/out-of-core.md``.
+        """
+        from ..shard.partition import ShardPlan, partition_degree
+        from .spill import SpilledGraph, spill_csr
+
+        if not isinstance(plan, ShardPlan):
+            plan = partition_degree(self, int(plan))
+        spill_csr(self, directory, plan)
+        return SpilledGraph.open(directory)
+
+    # ------------------------------------------------------------------
     # Misc
     # ------------------------------------------------------------------
     def with_name(self, name: str) -> "CSRGraph":

@@ -1,0 +1,472 @@
+"""On-disk CSR shard spill format (the out-of-core substrate).
+
+A *spill* is a directory holding one CSR graph partitioned into K
+contiguous vertex-range shards, each shard stored as two raw ``int64``
+files — the global ``row_ptr`` slice (``row_ptr[start : end + 1]``, so
+offsets stay global and a shard rebases with one subtraction) and the
+corresponding ``col_idx`` slice — plus a JSON ``MANIFEST.json`` that
+records the format version, byte order, the shard plan, and a SHA-256
+checksum and byte length for every file.  The format is deliberately
+dumb: raw arrays are ``np.memmap``-able read-only without parsing, and
+every integrity property is checkable *before* any data reaches a
+solver.
+
+Integrity is layered:
+
+* **open time** (:meth:`SpilledGraph.open`) — manifest schema/version/
+  endianness validation, file existence, and byte-length checks, so a
+  truncated or partially-written spill is rejected as
+  :class:`~repro.errors.SpillTruncatedError` before any work starts;
+* **read time** (:meth:`SpilledGraph.shard_views` with the default
+  ``verify=True``) — a streaming SHA-256 of each shard file against the
+  manifest, raising :class:`~repro.errors.SpillChecksumError` on
+  mismatch.  Verification streams in fixed-size chunks, so checking a
+  shard never costs more resident memory than :data:`CHECKSUM_CHUNK`.
+
+Writes are crash-safe in the usual way: shard files are written first,
+the manifest is written to a temp name and ``os.replace``-d last, so a
+directory containing a manifest is complete (or detectably damaged),
+and a directory without one is garbage.
+
+:meth:`CSRGraph.spill` is the convenience entry point; the
+``backend="oocore"`` runner (:mod:`repro.outofcore`) builds on this
+module and streams one shard at a time through the shard-local solver.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import (
+    SpillChecksumError,
+    SpillFormatError,
+    SpillTruncatedError,
+)
+from .csr import CSRGraph
+
+__all__ = [
+    "MANIFEST_NAME",
+    "SPILL_SCHEMA",
+    "SPILL_VERSION",
+    "ShardFiles",
+    "SpillManifest",
+    "SpilledGraph",
+    "spill_csr",
+]
+
+SPILL_SCHEMA = "repro.graph/spill"
+SPILL_VERSION = 1
+MANIFEST_NAME = "MANIFEST.json"
+
+#: Streaming-checksum chunk size: the resident cost of verifying a file.
+CHECKSUM_CHUNK = 1 << 20
+
+
+def _sha256_file(path: Path) -> str:
+    h = hashlib.sha256()
+    with open(path, "rb") as f:
+        while True:
+            block = f.read(CHECKSUM_CHUNK)
+            if not block:
+                break
+            h.update(block)
+    return h.hexdigest()
+
+
+def _write_array(path: Path, arr: np.ndarray) -> tuple[int, str]:
+    """Write ``arr`` raw; returns ``(nbytes, sha256)`` of the file."""
+    arr = np.ascontiguousarray(arr, dtype=np.int64)
+    with open(path, "wb") as f:
+        f.write(memoryview(arr).cast("B"))
+    return arr.nbytes, hashlib.sha256(memoryview(arr)).hexdigest()
+
+
+@dataclass(frozen=True)
+class ShardFiles:
+    """Manifest entry for one spilled shard."""
+
+    index: int
+    start: int
+    end: int
+    rowptr_file: str
+    colidx_file: str
+    rowptr_len: int  # int64 entries (== end - start + 1, or 0 when empty)
+    colidx_len: int  # int64 entries (arcs stored for this shard)
+    rowptr_sha256: str
+    colidx_sha256: str
+
+    @property
+    def nbytes(self) -> int:
+        """Total on-disk payload of this shard, in bytes."""
+        return (self.rowptr_len + self.colidx_len) * 8
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "start": self.start,
+            "end": self.end,
+            "rowptr_file": self.rowptr_file,
+            "colidx_file": self.colidx_file,
+            "rowptr_len": self.rowptr_len,
+            "colidx_len": self.colidx_len,
+            "rowptr_sha256": self.rowptr_sha256,
+            "colidx_sha256": self.colidx_sha256,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ShardFiles":
+        try:
+            return cls(
+                index=int(d["index"]),
+                start=int(d["start"]),
+                end=int(d["end"]),
+                rowptr_file=str(d["rowptr_file"]),
+                colidx_file=str(d["colidx_file"]),
+                rowptr_len=int(d["rowptr_len"]),
+                colidx_len=int(d["colidx_len"]),
+                rowptr_sha256=str(d["rowptr_sha256"]),
+                colidx_sha256=str(d["colidx_sha256"]),
+            )
+        except KeyError as exc:  # pragma: no cover - defensive
+            raise SpillFormatError(f"shard entry missing field {exc}") from None
+
+
+@dataclass
+class SpillManifest:
+    """The JSON manifest of a spill directory."""
+
+    num_vertices: int
+    num_arcs: int
+    starts: list[int]
+    shards: list[ShardFiles] = field(default_factory=list)
+    graph_name: str = "graph"
+    version: int = SPILL_VERSION
+    endianness: str = field(default_factory=lambda: sys.byteorder)
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.starts) - 1
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": f"{SPILL_SCHEMA}/v{self.version}",
+            "version": self.version,
+            "endianness": self.endianness,
+            "dtype": "int64",
+            "graph_name": self.graph_name,
+            "num_vertices": self.num_vertices,
+            "num_arcs": self.num_arcs,
+            "starts": list(self.starts),
+            "shards": [s.to_dict() for s in self.shards],
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "SpillManifest":
+        schema = str(d.get("schema", ""))
+        if not schema.startswith(SPILL_SCHEMA + "/"):
+            raise SpillFormatError(
+                f"not a spill manifest: schema {schema!r} "
+                f"(expected {SPILL_SCHEMA}/v{SPILL_VERSION})"
+            )
+        version = int(d.get("version", -1))
+        if version != SPILL_VERSION:
+            raise SpillFormatError(
+                f"unsupported spill format version {version} "
+                f"(this build reads v{SPILL_VERSION})"
+            )
+        endianness = str(d.get("endianness", ""))
+        if endianness != sys.byteorder:
+            raise SpillFormatError(
+                f"spill was written {endianness}-endian but this machine is "
+                f"{sys.byteorder}-endian; raw int64 shard files do not "
+                f"byte-swap on read"
+            )
+        if str(d.get("dtype", "int64")) != "int64":
+            raise SpillFormatError(
+                f"unsupported spill dtype {d.get('dtype')!r} (expected int64)"
+            )
+        return cls(
+            num_vertices=int(d["num_vertices"]),
+            num_arcs=int(d["num_arcs"]),
+            starts=[int(x) for x in d["starts"]],
+            shards=[ShardFiles.from_dict(s) for s in d.get("shards", [])],
+            graph_name=str(d.get("graph_name", "graph")),
+            version=version,
+            endianness=endianness,
+        )
+
+    def save(self, directory: str | Path) -> Path:
+        """Write the manifest atomically (temp file + ``os.replace``)."""
+        directory = Path(directory)
+        tmp = directory / (MANIFEST_NAME + ".tmp")
+        tmp.write_text(
+            json.dumps(self.to_dict(), indent=2) + "\n", encoding="utf-8"
+        )
+        final = directory / MANIFEST_NAME
+        os.replace(tmp, final)
+        return final
+
+    @classmethod
+    def load(cls, directory: str | Path) -> "SpillManifest":
+        path = Path(directory) / MANIFEST_NAME
+        if not path.is_file():
+            raise SpillFormatError(f"no spill manifest at {path}")
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise SpillFormatError(f"unreadable spill manifest {path}: {exc}")
+        return cls.from_dict(payload)
+
+
+def spill_csr(
+    graph: CSRGraph, directory: str | Path, plan
+) -> SpillManifest:
+    """Partition ``graph`` by ``plan`` and write the shard files.
+
+    ``plan`` is a :class:`~repro.shard.ShardPlan` covering the graph's
+    vertex range.  Existing shard files in ``directory`` are
+    overwritten; the manifest is written last, atomically, so an
+    interrupted spill never leaves a directory that claims to be
+    complete.  Returns the manifest (already saved).
+    """
+    from ..shard.partition import ShardPlan  # deferred: shard imports graph
+
+    if not isinstance(plan, ShardPlan):
+        raise TypeError(f"plan must be a ShardPlan, got {type(plan).__name__}")
+    if plan.num_vertices != graph.num_vertices:
+        raise SpillFormatError(
+            f"shard plan covers {plan.num_vertices} vertices but the graph "
+            f"has {graph.num_vertices}"
+        )
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    shards: list[ShardFiles] = []
+    for i, (s, e) in enumerate(plan.ranges()):
+        shards.append(spill_shard(graph, directory, i, s, e))
+    manifest = SpillManifest(
+        num_vertices=graph.num_vertices,
+        num_arcs=graph.num_arcs,
+        starts=[int(x) for x in plan.starts],
+        shards=shards,
+        graph_name=graph.name,
+    )
+    manifest.save(directory)
+    return manifest
+
+
+def spill_shard(
+    graph: CSRGraph, directory: Path, index: int, start: int, end: int
+) -> ShardFiles:
+    """Write (or rewrite) one shard's two files; returns its entry.
+
+    Also the **recovery** primitive: a damaged shard file detected at
+    read time is repaired by re-spilling from the source graph, and
+    because the content is a pure function of ``(graph, start, end)``
+    the rewritten bytes match the original manifest checksums exactly.
+    """
+    rowptr_name = f"shard_{index:04d}.rowptr.bin"
+    colidx_name = f"shard_{index:04d}.colidx.bin"
+    if end > start:
+        rp = graph.row_ptr[start : end + 1]
+        cols = graph.col_idx[int(rp[0]) : int(rp[-1])]
+    else:
+        rp = np.empty(0, dtype=np.int64)
+        cols = np.empty(0, dtype=np.int64)
+    _, rp_sha = _write_array(directory / rowptr_name, rp)
+    _, cols_sha = _write_array(directory / colidx_name, cols)
+    return ShardFiles(
+        index=index,
+        start=int(start),
+        end=int(end),
+        rowptr_file=rowptr_name,
+        colidx_file=colidx_name,
+        rowptr_len=int(rp.size),
+        colidx_len=int(cols.size),
+        rowptr_sha256=rp_sha,
+        colidx_sha256=cols_sha,
+    )
+
+
+class SpilledGraph:
+    """A CSR graph living in a spill directory, readable shard-by-shard.
+
+    Never materializes the whole graph: :meth:`shard_views` returns
+    read-only ``np.memmap`` views of one shard's two files (verified
+    against their checksums first, by default), and :meth:`to_graph` —
+    the only whole-graph method — exists for tests and small-graph
+    round-trips.
+    """
+
+    def __init__(self, directory: str | Path, manifest: SpillManifest) -> None:
+        self.directory = Path(directory)
+        self.manifest = manifest
+
+    # -- opening -------------------------------------------------------
+    @classmethod
+    def open(cls, directory: str | Path) -> "SpilledGraph":
+        """Open a spill directory, validating structure and file sizes.
+
+        Raises :class:`SpillFormatError` on a missing/alien/mis-versioned
+        manifest or missing shard files, and :class:`SpillTruncatedError`
+        when a file is shorter than the manifest says — the signature of
+        an interrupted spill.  Content checksums are *not* read here
+        (that would scan every byte); they are verified per shard at
+        :meth:`shard_views` time.
+        """
+        directory = Path(directory)
+        manifest = SpillManifest.load(directory)
+        spilled = cls(directory, manifest)
+        starts = manifest.starts
+        if (
+            len(starts) < 2
+            or starts[0] != 0
+            or starts[-1] != manifest.num_vertices
+            or any(b < a for a, b in zip(starts, starts[1:]))
+        ):
+            raise SpillFormatError(
+                f"manifest shard plan {starts!r} does not cover "
+                f"[0, {manifest.num_vertices})"
+            )
+        if len(manifest.shards) != manifest.num_shards:
+            raise SpillFormatError(
+                f"manifest lists {len(manifest.shards)} shard entries for "
+                f"{manifest.num_shards} plan ranges"
+            )
+        for entry in manifest.shards:
+            for fname, length in (
+                (entry.rowptr_file, entry.rowptr_len),
+                (entry.colidx_file, entry.colidx_len),
+            ):
+                path = directory / fname
+                if not path.is_file():
+                    raise SpillFormatError(f"spill is missing {path}")
+                size = path.stat().st_size
+                if size < length * 8:
+                    raise SpillTruncatedError(
+                        f"{path} holds {size} bytes but the manifest "
+                        f"records {length * 8} — partial spill file"
+                    )
+                if size > length * 8:
+                    raise SpillFormatError(
+                        f"{path} holds {size} bytes but the manifest "
+                        f"records {length * 8} — stale or foreign file"
+                    )
+        return spilled
+
+    # -- accessors -----------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return self.manifest.num_vertices
+
+    @property
+    def num_arcs(self) -> int:
+        return self.manifest.num_arcs
+
+    @property
+    def num_shards(self) -> int:
+        return self.manifest.num_shards
+
+    @property
+    def name(self) -> str:
+        return self.manifest.graph_name
+
+    @property
+    def csr_nbytes(self) -> int:
+        """In-memory CSR footprint of the whole graph, in bytes."""
+        return (self.num_vertices + 1 + self.num_arcs) * 8
+
+    def plan(self):
+        """The spill's shard plan as a :class:`~repro.shard.ShardPlan`."""
+        from ..shard.partition import ShardPlan
+
+        return ShardPlan(
+            np.asarray(self.manifest.starts, dtype=np.int64), kind="spilled"
+        )
+
+    def shard_entry(self, index: int) -> ShardFiles:
+        return self.manifest.shards[index]
+
+    def verify_shard(self, index: int) -> None:
+        """Streaming-checksum one shard's files against the manifest.
+
+        Raises :class:`SpillTruncatedError` on a short file and
+        :class:`SpillChecksumError` on content corruption.  Costs
+        O(shard bytes) I/O but only :data:`CHECKSUM_CHUNK` memory.
+        """
+        entry = self.manifest.shards[index]
+        for fname, length, expect in (
+            (entry.rowptr_file, entry.rowptr_len, entry.rowptr_sha256),
+            (entry.colidx_file, entry.colidx_len, entry.colidx_sha256),
+        ):
+            path = self.directory / fname
+            size = path.stat().st_size if path.is_file() else -1
+            if size != length * 8:
+                raise SpillTruncatedError(
+                    f"{path} holds {size} bytes but the manifest records "
+                    f"{length * 8} — partial spill file"
+                )
+            got = _sha256_file(path)
+            if got != expect:
+                raise SpillChecksumError(
+                    f"checksum mismatch on {path}: manifest {expect[:12]}…, "
+                    f"file {got[:12]}… — refusing to read corrupt spill data"
+                )
+
+    def shard_views(
+        self, index: int, *, verify: bool = True
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Read-only ``(row_ptr_slice, col_idx_slice)`` views of shard
+        ``index``, memory-mapped straight off the spill files.
+
+        ``row_ptr_slice`` keeps its *global* arc offsets (length
+        ``end - start + 1``); ``col_idx_slice`` is the shard's stored
+        arcs.  With ``verify`` (the default) the files are checksummed
+        first — corrupt data raises instead of reaching the caller.
+        Writing through a view raises (``mmap_mode="r"``).
+        """
+        if verify:
+            self.verify_shard(index)
+        entry = self.manifest.shards[index]
+        rp = self._mmap(entry.rowptr_file, entry.rowptr_len)
+        cols = self._mmap(entry.colidx_file, entry.colidx_len)
+        return rp, cols
+
+    def _mmap(self, fname: str, length: int) -> np.ndarray:
+        if length == 0:
+            arr = np.empty(0, dtype=np.int64)
+            arr.setflags(write=False)
+            return arr
+        return np.memmap(
+            self.directory / fname, dtype=np.int64, mode="r", shape=(length,)
+        )
+
+    def to_graph(self, *, verify: bool = True) -> CSRGraph:
+        """Reassemble the full in-memory :class:`CSRGraph`.
+
+        For tests and small graphs — this is exactly the whole-graph
+        materialization the out-of-core path exists to avoid.
+        """
+        n = self.num_vertices
+        row_ptr = np.zeros(n + 1, dtype=np.int64)
+        col_idx = np.empty(self.num_arcs, dtype=np.int64)
+        for i, entry in enumerate(self.manifest.shards):
+            rp, cols = self.shard_views(i, verify=verify)
+            if entry.end > entry.start:
+                row_ptr[entry.start : entry.end + 1] = rp
+                base = int(rp[0])
+                col_idx[base : base + cols.size] = cols
+        return CSRGraph(row_ptr, col_idx, name=self.manifest.graph_name)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SpilledGraph(dir={str(self.directory)!r}, "
+            f"n={self.num_vertices}, arcs={self.num_arcs}, "
+            f"shards={self.num_shards})"
+        )

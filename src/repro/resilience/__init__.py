@@ -16,7 +16,13 @@ Two halves, designed together:
 (every fault family on gpu and omp) and asserts bit-identical recovery.
 """
 
-from .faults import FAULT_KINDS, FaultEvent, FaultPlan, FaultSpec
+from .faults import (
+    FAULT_KINDS,
+    OOCORE_FAULT_KINDS,
+    FaultEvent,
+    FaultPlan,
+    FaultSpec,
+)
 from .health import GLOBAL_HEALTH, BackendHealth, BackendState
 from .injector import FaultInjector, Watchdog
 from .supervisor import (
@@ -29,6 +35,7 @@ from .supervisor import (
 
 __all__ = [
     "FAULT_KINDS",
+    "OOCORE_FAULT_KINDS",
     "FaultSpec",
     "FaultPlan",
     "FaultEvent",

@@ -9,19 +9,27 @@ inside kernels matching ``compute``"), not a probability, and re-running
 the same plan reproduces the identical failure — and therefore the
 identical recovery sequence — on any machine.
 
-=================  ====================================================
-``kernel_abort``   the launch dies mid-flight (transient device fault);
-                   raised from the warp-pick seam
-``oom``            allocation failure from the device-memory hook;
-                   non-transient, degrades to the next backend
-``lost_warp``      one warp stops being scheduled; the kernel starves
-                   and the attempt watchdog fires
-``worker_crash``   a virtual-thread worker raises mid-chunk (cpusim)
-``corrupt_store``  a parent-array store lands with a wrong value; only
-                   detectable post-run by the structural verifier
-``hang``           execution stops making progress at the trigger point
-                   until the attempt watchdog fires
-=================  ====================================================
+==================  ===================================================
+``kernel_abort``    the launch dies mid-flight (transient device fault);
+                    raised from the warp-pick seam
+``oom``             allocation failure from the device-memory hook;
+                    non-transient, degrades to the next backend
+``lost_warp``       one warp stops being scheduled; the kernel starves
+                    and the attempt watchdog fires
+``worker_crash``    a virtual-thread worker raises mid-chunk (cpusim),
+                    or the out-of-core streamer crashes before solving
+                    shard ``at``
+``corrupt_store``   a parent-array store lands with a wrong value; only
+                    detectable post-run by the structural verifier
+``hang``            execution stops making progress at the trigger
+                    point until the attempt watchdog fires
+``spill_corrupt``   a byte of spilled shard ``at``'s file flips on disk
+                    (oocore); detected by checksum on the read path
+``spill_truncate``  spilled shard ``at``'s file loses its tail (oocore);
+                    detected by size check on the read path
+``merge_crash``     the out-of-core boundary merge crashes entering
+                    pass ``at``
+==================  ===================================================
 
 A :class:`FaultPlan` is a list of specs plus the seed that generated it;
 it serializes to JSON exactly like
@@ -41,13 +49,14 @@ from pathlib import Path
 __all__ = [
     "FAULT_KINDS",
     "GPU_FAULT_KINDS",
+    "OOCORE_FAULT_KINDS",
     "POOL_FAULT_KINDS",
     "FaultSpec",
     "FaultEvent",
     "FaultPlan",
 ]
 
-#: Every fault family, across both execution substrates.
+#: Every fault family, across all execution substrates.
 FAULT_KINDS = (
     "kernel_abort",
     "oom",
@@ -55,6 +64,9 @@ FAULT_KINDS = (
     "worker_crash",
     "corrupt_store",
     "hang",
+    "spill_corrupt",
+    "spill_truncate",
+    "merge_crash",
 )
 
 #: Families meaningful on the simulated GPU (warp-pick / store / alloc seams).
@@ -62,6 +74,14 @@ GPU_FAULT_KINDS = ("kernel_abort", "oom", "lost_warp", "corrupt_store", "hang")
 
 #: Families meaningful on the virtual-thread pool (chunk-dispatch seam).
 POOL_FAULT_KINDS = ("worker_crash", "hang")
+
+#: Families meaningful on the out-of-core streamer (spill/stream/merge).
+OOCORE_FAULT_KINDS = (
+    "spill_corrupt",
+    "spill_truncate",
+    "worker_crash",
+    "merge_crash",
+)
 
 
 @dataclass
@@ -230,7 +250,12 @@ class FaultPlan:
         for _ in range(num_faults):
             backend = rng.choice(backends)
             pool_like = backend in ("omp",)
-            allowed = POOL_FAULT_KINDS if pool_like else GPU_FAULT_KINDS
+            if backend == "oocore":
+                allowed = OOCORE_FAULT_KINDS
+            elif pool_like:
+                allowed = POOL_FAULT_KINDS
+            else:
+                allowed = GPU_FAULT_KINDS
             if kinds is not None:
                 allowed = tuple(k for k in allowed if k in kinds) or allowed
             kind = rng.choice(allowed)
@@ -243,6 +268,10 @@ class FaultPlan:
                 at = rng.randrange(8)
             elif kind == "hang" and pool_like:
                 at = rng.randrange(8)
+            elif kind in ("spill_corrupt", "spill_truncate", "merge_crash"):
+                # Trigger indices are shard / merge-pass ordinals: small.
+                where = rng.choice(["colidx", "rowptr"])
+                at = rng.randrange(4)
             faults.append(
                 FaultSpec(
                     kind=kind,

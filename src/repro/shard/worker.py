@@ -26,7 +26,7 @@ from ..errors import WorkerCrashError
 from ..graph.csr import CSRGraph, SharedGraphHandle, _attach_segment
 from ..observe import Tracer
 
-__all__ = ["shard_worker", "solve_shard_local"]
+__all__ = ["shard_worker", "solve_csr_slice", "solve_shard_local"]
 
 #: Backends a shard may run locally.  Deliberately excludes "sharded"
 #: (no recursive process trees) and the simulated-hardware backends,
@@ -55,8 +55,35 @@ def solve_shard_local(
         empty = np.empty(0, dtype=np.int64)
         return empty, empty.copy(), empty.copy()
     rp = graph.row_ptr[start : end + 1]
+    cols = graph.col_idx[int(rp[0]) : int(rp[-1])]
+    return solve_csr_slice(
+        rp, cols, start, end, backend=backend,
+        name=f"{graph.name}[{start}:{end}]",
+    )
+
+
+def solve_csr_slice(
+    rp: np.ndarray,
+    cols: np.ndarray,
+    start: int,
+    end: int,
+    backend: str = "numpy",
+    name: str = "shard",
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """:func:`solve_shard_local` on bare arrays instead of a whole graph.
+
+    ``rp`` is the *global* ``row_ptr[start : end + 1]`` slice (offsets
+    unrebased) and ``cols`` the matching ``col_idx`` slice — exactly the
+    two arrays a spilled shard stores on disk, so the out-of-core
+    streamer (:mod:`repro.outofcore`) feeds ``np.memmap`` views here
+    without the full graph ever existing in memory.  Same return shape
+    as :func:`solve_shard_local`.
+    """
+    count = end - start
+    if count <= 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy(), empty.copy()
     base = int(rp[0])
-    cols = graph.col_idx[base : int(rp[-1])]
     local_mask = (cols >= start) & (cols < end)
 
     # Local CSR: prefix-sum the kept-arc mask, gather at the old row
@@ -64,9 +91,9 @@ def solve_shard_local(
     csum = np.empty(cols.size + 1, dtype=np.int64)
     csum[0] = 0
     np.cumsum(local_mask, out=csum[1:])
-    local_rp = csum[rp - base]
-    local_cols = cols[local_mask] - start
-    local = CSRGraph(local_rp, local_cols, name=f"{graph.name}[{start}:{end}]")
+    local_rp = csum[np.asarray(rp) - base]
+    local_cols = np.asarray(cols[local_mask]) - start
+    local = CSRGraph(local_rp, local_cols, name=name)
 
     from ..core.api import connected_components
 
@@ -80,7 +107,10 @@ def solve_shard_local(
         bu = np.searchsorted(rp, out_idx + base, side="right") - 1 + start
         bv = cols[out_idx]
         keep = bu < bv
-        bu, bv = bu[keep], np.ascontiguousarray(bv[keep])
+        # Plain contiguous ndarrays even when cols is an np.memmap view
+        # (fancy indexing preserves the subclass).
+        bu = np.ascontiguousarray(bu[keep]).view(np.ndarray)
+        bv = np.ascontiguousarray(bv[keep]).view(np.ndarray)
     else:
         bu = np.empty(0, dtype=np.int64)
         bv = np.empty(0, dtype=np.int64)

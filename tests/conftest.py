@@ -1,4 +1,6 @@
-"""Shared fixtures: small reference graphs with known components."""
+"""Shared fixtures: small reference graphs with known components, plus
+an autouse guard that fails any test leaking a shared-memory segment or
+an out-of-core spill directory."""
 
 from __future__ import annotations
 
@@ -6,6 +8,20 @@ import numpy as np
 import pytest
 
 from repro.graph.build import empty_graph, from_edges
+from repro.graph.csr import leaked_shared_segments
+from repro.outofcore import active_spill_dirs
+
+
+@pytest.fixture(autouse=True)
+def _resource_leak_guard():
+    """Every test must leave no /dev/shm segments and no spill temp
+    directories behind — leaks from one test poison later ones (and, in
+    CI, the machine), so they fail loudly at the leaking test."""
+    yield
+    leaked = leaked_shared_segments()
+    assert leaked == [], f"test leaked shared-memory segments: {leaked}"
+    spills = active_spill_dirs()
+    assert spills == [], f"test leaked spill directories: {spills}"
 
 
 @pytest.fixture

@@ -1,0 +1,88 @@
+"""Property-based wall around the external-memory path (hypothesis).
+
+For arbitrary random graphs, any shard count, and any feasible memory
+budget — including pathologically tiny ones that force maximal shard
+counts and minimal merge chunks — the out-of-core labels must be
+bit-identical to the serial oracle, and invariant under vertex
+permutation (the metamorphic check the rest of the suite uses).
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.api import connected_components
+from repro.core.ecl_cc_serial import ecl_cc_serial
+from repro.graph.build import from_edges
+from repro.outofcore import min_feasible_budget, oocore_cc
+from repro.verify import check_permutation
+
+# Spilling + streaming is I/O per example: keep example counts modest
+# and let single slow examples through.
+OOC = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def graphs(draw, max_n=48, max_m=160):
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    m = draw(st.integers(min_value=0, max_value=max_m))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            min_size=m,
+            max_size=m,
+        )
+    )
+    return from_edges(edges, num_vertices=n)
+
+
+@given(graphs(), st.sampled_from([1, 2, 4, 7]))
+@OOC
+def test_oocore_matches_serial_any_shard_count(g, shards):
+    oracle, _ = ecl_cc_serial(g)
+    labels, stats, _ = oocore_cc(g, shards=shards)
+    assert np.array_equal(labels, oracle)
+    assert stats.num_shards == shards
+
+
+@given(graphs(), st.integers(min_value=0, max_value=4))
+@OOC
+def test_oocore_matches_serial_under_any_feasible_budget(g, slack_shift):
+    """Budgets from the exact feasibility floor (maximal shard count,
+    minimal merge chunk, the most merge passes) up to generous, all
+    produce oracle labels with the charged peak under budget."""
+    oracle, _ = ecl_cc_serial(g)
+    budget = min_feasible_budget(g) << slack_shift
+    labels, stats, _ = oocore_cc(g, memory_budget=budget)
+    assert np.array_equal(labels, oracle)
+    assert stats.peak_resident_bytes <= budget
+
+
+@given(graphs(max_n=32, max_m=96), st.sampled_from([2, 3, 5]))
+@OOC
+def test_oocore_permutation_invariance(g, shards):
+    """Relabeling vertices then solving out-of-core equals solving then
+    relabeling — the streamer has no vertex-order bias."""
+
+    def run(graph):
+        return connected_components(
+            graph, backend="oocore", shards=shards, full_result=False
+        )
+
+    assert check_permutation(run, g, np.random.default_rng(42)) is None
+
+
+@given(graphs(max_n=32, max_m=96))
+@OOC
+def test_oocore_agrees_across_partitioners(g):
+    """Range and degree cuts of the same graph give identical labels."""
+    a, _, _ = oocore_cc(g, shards=3, partitioner="range")
+    b, _, _ = oocore_cc(g, shards=3, partitioner="degree")
+    assert np.array_equal(a, b)

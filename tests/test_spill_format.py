@@ -1,0 +1,232 @@
+"""The on-disk spill format: round-trips, integrity layers, rejection.
+
+Every corruption mode must be *detected before data reaches a solver*:
+truncation at open time, content damage at read time, alien manifests at
+parse time.  A spill that opens and verifies clean must reassemble to a
+structurally identical graph.
+"""
+
+import json
+import sys
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    SpillChecksumError,
+    SpillFormatError,
+    SpillTruncatedError,
+)
+from repro.graph.build import empty_graph, from_edges
+from repro.graph.spill import (
+    MANIFEST_NAME,
+    SPILL_SCHEMA,
+    SPILL_VERSION,
+    SpilledGraph,
+    SpillManifest,
+    spill_csr,
+)
+from repro.shard.partition import make_plan
+
+
+def _graph(n=60, m=180, seed=3):
+    rng = np.random.default_rng(seed)
+    return from_edges(rng.integers(0, n, size=(m, 2)), num_vertices=n)
+
+
+def _spill(graph, directory, shards=3, partitioner="degree"):
+    return spill_csr(graph, directory, make_plan(graph, shards, partitioner))
+
+
+# ----------------------------------------------------------------------
+# Round-trips
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("shards", [1, 2, 3, 7])
+@pytest.mark.parametrize("partitioner", ["range", "degree"])
+def test_spill_roundtrip_structural_equality(tmp_path, shards, partitioner):
+    g = _graph()
+    _spill(g, tmp_path, shards, partitioner)
+    back = SpilledGraph.open(tmp_path).to_graph()
+    assert back.num_vertices == g.num_vertices
+    assert back.num_arcs == g.num_arcs
+    assert np.array_equal(back.row_ptr, g.row_ptr)
+    assert np.array_equal(back.col_idx, g.col_idx)
+
+
+def test_spill_roundtrip_edgeless_graph(tmp_path):
+    g = empty_graph(5)
+    _spill(g, tmp_path, 2)
+    sp = SpilledGraph.open(tmp_path)
+    assert sp.num_vertices == 5 and sp.num_arcs == 0
+    back = sp.to_graph()
+    assert np.array_equal(back.row_ptr, g.row_ptr)
+    assert back.col_idx.size == 0
+
+
+def test_spill_roundtrip_with_empty_shards(tmp_path):
+    """A custom plan with zero-width ranges spills and reopens cleanly."""
+    from repro.shard.partition import ShardPlan
+
+    g = _graph(20, 40)
+    plan = ShardPlan(np.array([0, 0, 12, 12, 20], dtype=np.int64))
+    spill_csr(g, tmp_path, plan)
+    back = SpilledGraph.open(tmp_path).to_graph()
+    assert np.array_equal(back.row_ptr, g.row_ptr)
+    assert np.array_equal(back.col_idx, g.col_idx)
+
+
+def test_csrgraph_spill_convenience(tmp_path):
+    """CSRGraph.spill accepts an int shard count or an explicit plan."""
+    g = _graph()
+    sp = g.spill(tmp_path / "a", 4)
+    assert isinstance(sp, SpilledGraph)
+    assert sp.num_shards == 4
+    plan = make_plan(g, 2, "range")
+    sp2 = g.spill(tmp_path / "b", plan)
+    assert sp2.num_shards == 2
+    assert np.array_equal(sp2.to_graph().col_idx, g.col_idx)
+
+
+def test_manifest_records_plan_and_checksums(tmp_path):
+    g = _graph()
+    manifest = _spill(g, tmp_path, 3)
+    assert manifest.num_shards == 3
+    assert manifest.starts[0] == 0 and manifest.starts[-1] == g.num_vertices
+    for entry in manifest.shards:
+        assert len(entry.rowptr_sha256) == 64
+        assert len(entry.colidx_sha256) == 64
+        assert (tmp_path / entry.rowptr_file).stat().st_size == entry.rowptr_len * 8
+        assert (tmp_path / entry.colidx_file).stat().st_size == entry.colidx_len * 8
+
+
+# ----------------------------------------------------------------------
+# Manifest rejection
+# ----------------------------------------------------------------------
+def _load_manifest(tmp_path) -> dict:
+    return json.loads((tmp_path / MANIFEST_NAME).read_text())
+
+
+def _dump_manifest(tmp_path, payload: dict) -> None:
+    (tmp_path / MANIFEST_NAME).write_text(json.dumps(payload))
+
+
+def test_open_rejects_missing_manifest(tmp_path):
+    with pytest.raises(SpillFormatError, match="no spill manifest"):
+        SpilledGraph.open(tmp_path)
+
+
+def test_open_rejects_unreadable_manifest(tmp_path):
+    (tmp_path / MANIFEST_NAME).write_text("{not json")
+    with pytest.raises(SpillFormatError, match="unreadable"):
+        SpilledGraph.open(tmp_path)
+
+
+def test_open_rejects_alien_schema(tmp_path):
+    _spill(_graph(), tmp_path)
+    payload = _load_manifest(tmp_path)
+    payload["schema"] = "someone.else/spill/v1"
+    _dump_manifest(tmp_path, payload)
+    with pytest.raises(SpillFormatError, match="not a spill manifest"):
+        SpilledGraph.open(tmp_path)
+
+
+def test_open_rejects_future_version(tmp_path):
+    _spill(_graph(), tmp_path)
+    payload = _load_manifest(tmp_path)
+    payload["version"] = SPILL_VERSION + 1
+    payload["schema"] = f"{SPILL_SCHEMA}/v{SPILL_VERSION + 1}"
+    _dump_manifest(tmp_path, payload)
+    with pytest.raises(SpillFormatError, match="version"):
+        SpilledGraph.open(tmp_path)
+
+
+def test_open_rejects_foreign_endianness(tmp_path):
+    _spill(_graph(), tmp_path)
+    payload = _load_manifest(tmp_path)
+    payload["endianness"] = "little" if sys.byteorder == "big" else "big"
+    _dump_manifest(tmp_path, payload)
+    with pytest.raises(SpillFormatError, match="endian"):
+        SpilledGraph.open(tmp_path)
+
+
+def test_open_rejects_wrong_dtype(tmp_path):
+    _spill(_graph(), tmp_path)
+    payload = _load_manifest(tmp_path)
+    payload["dtype"] = "int32"
+    _dump_manifest(tmp_path, payload)
+    with pytest.raises(SpillFormatError, match="dtype"):
+        SpilledGraph.open(tmp_path)
+
+
+def test_open_rejects_bad_plan_coverage(tmp_path):
+    _spill(_graph(), tmp_path)
+    payload = _load_manifest(tmp_path)
+    payload["starts"][-1] -= 1  # plan no longer covers [0, n)
+    _dump_manifest(tmp_path, payload)
+    with pytest.raises(SpillFormatError, match="does not cover"):
+        SpilledGraph.open(tmp_path)
+
+
+# ----------------------------------------------------------------------
+# File damage
+# ----------------------------------------------------------------------
+def test_open_detects_truncated_file(tmp_path):
+    manifest = _spill(_graph(), tmp_path)
+    victim = tmp_path / manifest.shards[1].colidx_file
+    with open(victim, "r+b") as f:
+        f.truncate(victim.stat().st_size - 8)
+    with pytest.raises(SpillTruncatedError, match="partial spill file"):
+        SpilledGraph.open(tmp_path)
+
+
+def test_open_detects_missing_file(tmp_path):
+    manifest = _spill(_graph(), tmp_path)
+    (tmp_path / manifest.shards[0].rowptr_file).unlink()
+    with pytest.raises(SpillFormatError, match="missing"):
+        SpilledGraph.open(tmp_path)
+
+
+def test_open_detects_oversized_file(tmp_path):
+    manifest = _spill(_graph(), tmp_path)
+    with open(tmp_path / manifest.shards[0].colidx_file, "ab") as f:
+        f.write(b"\x00" * 8)
+    with pytest.raises(SpillFormatError, match="stale or foreign"):
+        SpilledGraph.open(tmp_path)
+
+
+def test_shard_views_detects_content_corruption(tmp_path):
+    """A flipped byte passes the open-time size check but fails the
+    read-time checksum — corrupt data never reaches a solver."""
+    manifest = _spill(_graph(), tmp_path)
+    sp = SpilledGraph.open(tmp_path)  # size-valid: opens fine
+    victim = tmp_path / manifest.shards[2].colidx_file
+    size = victim.stat().st_size
+    with open(victim, "r+b") as f:
+        f.seek(size // 2)
+        byte = f.read(1)
+        f.seek(size // 2)
+        f.write(bytes([byte[0] ^ 0xFF]))
+    sp.shard_views(0)  # undamaged shards still verify
+    with pytest.raises(SpillChecksumError, match="checksum mismatch"):
+        sp.shard_views(2)
+    # Opting out of verification is explicit.
+    rp, cols = sp.shard_views(2, verify=False)
+    assert cols.size == manifest.shards[2].colidx_len
+
+
+def test_mmap_views_are_read_only(tmp_path):
+    _spill(_graph(), tmp_path)
+    sp = SpilledGraph.open(tmp_path)
+    rp, cols = sp.shard_views(0)
+    with pytest.raises((ValueError, TypeError)):
+        rp[0] = 123
+    with pytest.raises((ValueError, TypeError)):
+        cols[0] = 123
+
+
+def test_manifest_json_roundtrip(tmp_path):
+    manifest = _spill(_graph(), tmp_path)
+    back = SpillManifest.from_dict(manifest.to_dict())
+    assert back.starts == manifest.starts
+    assert back.shards == manifest.shards
+    assert back.num_vertices == manifest.num_vertices

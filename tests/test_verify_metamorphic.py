@@ -1,5 +1,6 @@
-"""Metamorphic regression pins: frontier, dense, FastSV, and Afforest
-backends must satisfy the solver-independent invariants."""
+"""Metamorphic regression pins: frontier, dense, FastSV, Afforest, and
+the out-of-core streamer must satisfy the solver-independent
+invariants."""
 
 import numpy as np
 import pytest
@@ -55,6 +56,21 @@ def test_simulated_backends_invariants(backend, check):
     run = _runner(backend)
     fn = METAMORPHIC_CHECKS[check]
     for i, g in enumerate(_graphs()[:2]):
+        assert fn(run, g, np.random.default_rng(i)) is None
+
+
+@pytest.mark.parametrize("check", sorted(METAMORPHIC_CHECKS))
+def test_oocore_invariants(check):
+    """The external-memory path satisfies every metamorphic invariant
+    with a shard count that forces cross-shard boundary merging."""
+
+    def run(g):
+        return connected_components(
+            g, backend="oocore", shards=3, full_result=False
+        )
+
+    fn = METAMORPHIC_CHECKS[check]
+    for i, g in enumerate(_graphs()):
         assert fn(run, g, np.random.default_rng(i)) is None
 
 

@@ -114,6 +114,12 @@ class TestGateRun:
             assert row["scaling_speedup"] == pytest.approx(
                 row["scaling"]["1"] / row["scaling"]["4"], rel=0.02
             )
+            # Schema v6: out-of-core budget-accounting columns.
+            assert row["oocore_ms"] > 0
+            assert row["oocore_shards"] >= 1
+            assert row["oocore_merge_passes"] >= 1
+            assert 0 < row["oocore_peak_bytes"] <= row["oocore_budget_bytes"]
+            assert row["oocore_csr_bytes"] > 0
             # Schema v3: serving-layer columns.
             assert row["service_qps"] > 0
             assert row["naive_qps"] > 0
@@ -121,6 +127,21 @@ class TestGateRun:
                 row["service_qps"] / row["naive_qps"], rel=0.02
             )
             assert row["service_verified"]
+
+    def test_oocore_demo_section(self, payload):
+        """The size-ceiling demo: a CSR at least OOCORE_DEMO_DIVISOR
+        times the budget, streamed with the charged peak under budget."""
+        demo = payload["oocore_demo"]
+        assert demo["graph"] == "oocore-demo"
+        assert demo["oocore_csr_bytes"] >= (
+            wallclock.OOCORE_DEMO_DIVISOR * demo["oocore_budget_bytes"]
+        )
+        assert demo["oocore_peak_bytes"] <= demo["oocore_budget_bytes"]
+        assert demo["oocore_ceiling"] >= 10.0
+        assert demo["oocore_shards"] >= 2
+        assert demo["oocore_merge_passes"] >= 1
+        assert demo["oocore_ms"] > 0
+        assert demo["labels_verified"]
 
     def test_service_columns_skippable(self):
         payload = run_wallclock_gate(
@@ -140,8 +161,10 @@ class TestGateRun:
         assert row["contract_ms"] > 0 and "best_speedup" in row
         # ... and the skipped legs' columns are simply absent.
         for absent in ("before_ms", "speedup", "dense_ms", "fastsv_ms",
-                       "resilient_ms", "supervisor_overhead"):
+                       "resilient_ms", "supervisor_overhead", "oocore_ms",
+                       "oocore_peak_bytes"):
             assert absent not in row
+        assert "oocore_demo" not in payload
         # A filtered payload must still be checkable.
         problems = check_gate(payload)
         assert all("no-regression floor" not in p or "best" in p
@@ -173,6 +196,18 @@ class TestGateRun:
         assert set(row["scaling"]) == {"1", "2"}
         assert payload["environment"]["sharded_workers"] == [1, 2]
         assert row["sharded_ms"] == row["scaling"]["2"]
+
+    def test_oocore_spill_dir_keeps_demo_manifest(self, tmp_path):
+        payload = run_wallclock_gate(
+            scale="tiny", names=["rmat16.sym"], repeats=1, verify=True,
+            service_ops=0, backends=["oocore"],
+            oocore_spill_dir=tmp_path / "spills",
+        )
+        assert payload["graphs"][0]["oocore_ms"] > 0
+        # The demo's spill survives for artifact upload; the per-row
+        # spills are ephemeral and cleaned after their runs.
+        assert (tmp_path / "spills" / "oocore_demo" / "MANIFEST.json").is_file()
+        assert not (tmp_path / "spills" / "rmat16.sym").exists()
 
     def test_high_diameter_flag(self, payload):
         flags = {r["name"]: r["high_diameter"] for r in payload["graphs"]}
@@ -335,6 +370,53 @@ class TestCheckGate:
             "graphs": [self.row("a", 3.5)],
         }
         assert check_gate(payload) == []
+
+    @staticmethod
+    def demo(peak=100, budget=150, ceiling=12.0, verified=True):
+        return {
+            "graph": "oocore-demo",
+            "oocore_peak_bytes": peak,
+            "oocore_budget_bytes": budget,
+            "oocore_ceiling": ceiling,
+            "labels_verified": verified,
+        }
+
+    def test_oocore_row_over_budget_flagged(self):
+        bad = dict(self.row("a", 3.5), oocore_peak_bytes=2_000,
+                   oocore_budget_bytes=1_000)
+        problems = check_gate({"graphs": [bad]})
+        assert len(problems) == 1 and "exceeds the memory budget" in problems[0]
+        bad["oocore_peak_bytes"] = 1_000  # at budget is within budget
+        assert check_gate({"graphs": [bad]}) == []
+
+    def test_oocore_demo_over_budget_flagged(self):
+        payload = {
+            "graphs": [self.row("a", 3.5)],
+            "oocore_demo": self.demo(peak=151),
+        }
+        problems = check_gate(payload)
+        assert len(problems) == 1 and "oocore demo" in problems[0]
+
+    def test_oocore_demo_ceiling_below_target_flagged(self):
+        payload = {
+            "graphs": [self.row("a", 3.5)],
+            "oocore_demo": self.demo(ceiling=8.0),
+        }
+        problems = check_gate(payload)
+        assert len(problems) == 1 and "out-of-core target" in problems[0]
+        assert check_gate(payload, min_oocore_ceiling=8.0) == []
+
+    def test_oocore_demo_unverified_flagged(self):
+        payload = {
+            "graphs": [self.row("a", 3.5)],
+            "oocore_demo": self.demo(verified=False),
+        }
+        problems = check_gate(payload)
+        assert len(problems) == 1 and "not gate evidence" in problems[0]
+
+    def test_payloads_without_oocore_fields_exempt(self):
+        # schema v5 payloads predate the out-of-core columns.
+        assert check_gate({"graphs": [self.row("a", 3.5)]}) == []
 
 
 class TestFrontierTraceVisibility:
