@@ -27,6 +27,9 @@ Typical uses::
     # out-of-core leg under a hard 2 GiB address-space cap, spills kept
     python benchmarks/wallclock_gate.py --quick --backends oocore \\
         --rlimit-as 2G --oocore-spill-dir oocore-spill
+
+    # distributed merge leg only (rounds / bytes-on-wire / recoveries)
+    python benchmarks/wallclock_gate.py --quick --backends distributed
 """
 
 from __future__ import annotations

@@ -23,6 +23,8 @@ Public API highlights:
   memory (the ``"sharded"`` backend).
 * :mod:`repro.outofcore` — spill-to-disk streaming under an explicit
   memory budget (the ``"oocore"`` backend).
+* :mod:`repro.dist` — fault-tolerant merge across simulated hosts over
+  a lossy chaos-injected network (the ``"distributed"`` backend).
 * :mod:`repro.experiments` — regenerate every table/figure of the paper,
   plus the wall-clock and load-generator benchmarks.
 """
@@ -34,6 +36,7 @@ from .core.api import (
     register_backend,
 )
 from .core.result import CCResult
+from .dist import dist_cc
 from .graph.csr import CSRGraph
 from .graph.spill import SpilledGraph
 from .outofcore import oocore_cc
@@ -41,11 +44,12 @@ from .resilience import FaultPlan, resilient_components
 from .service import BatchPolicy, ConnectivityService
 from .shard import ShardedExecutor, sharded_cc
 
-__version__ = "2.2.0"
+__version__ = "2.3.0"
 
 __all__ = [
     "connected_components",
     "count_components",
+    "dist_cc",
     "oocore_cc",
     "register_backend",
     "resilient_components",

@@ -402,6 +402,12 @@ def _run_oocore(graph: CSRGraph, **options) -> CCResult:
     return result
 
 
+def _run_distributed(graph: CSRGraph, **options) -> CCResult:
+    from ..dist import dist_cc  # deferred: pulls in the host runtime
+
+    return dist_cc(graph, **options)
+
+
 def _run_fastsv(graph: CSRGraph, **options) -> CCResult:
     from ..baselines.fastsv import fastsv_cc  # deferred
 
@@ -578,6 +584,58 @@ register_backend(
         "auto_resume": OptionSpec(
             "in-process crash retries, resuming from on-disk state "
             "(default 0)"
+        ),
+    },
+)
+register_backend(
+    "distributed",
+    _run_distributed,
+    description="fault-tolerant merge across simulated hosts over a lossy network",
+    options={
+        "hosts": OptionSpec("simulated host count K (default 4)"),
+        "partitioner": OptionSpec(
+            "'range' (equal vertices) or 'degree' (equal arcs)",
+            ("range", "degree"),
+        ),
+        "shard_backend": OptionSpec(
+            "backend each host runs on its shard's induced subgraph",
+            ("numpy", "contract", "serial", "fastsv", "numpy-dense"),
+        ),
+        "fault_plan": OptionSpec(
+            "repro.resilience FaultPlan; backend='dist' specs arm "
+            "msg_drop/msg_dup/msg_reorder/host_crash/net_partition"
+        ),
+        "rpc_timeout": OptionSpec(
+            "per-transmission deadline before the first retransmit, "
+            "seconds (default 0.25)"
+        ),
+        "round_timeout": OptionSpec(
+            "coordinator's per-round report deadline (default 4x rpc_timeout)"
+        ),
+        "max_retries": OptionSpec(
+            "update retransmissions before a peer is reported unreachable "
+            "(default 3)"
+        ),
+        "heartbeat_misses": OptionSpec(
+            "unanswered barrier retransmissions before a host is declared "
+            "dead (default 3)"
+        ),
+        "max_reassignments": OptionSpec(
+            "shard-adoption budget before DistProtocolError (default: K)"
+        ),
+        "max_rounds": OptionSpec("liveness bound on exchange rounds (default 512)"),
+        "seed": OptionSpec("backoff-jitter seed (default 0)"),
+        "scratch_dir": OptionSpec(
+            "checkpoint directory, the simulated durable store (default: "
+            "a fresh temp dir, removed after the run)"
+        ),
+        "keep_scratch": OptionSpec("keep the checkpoint directory after the run"),
+        "verify": OptionSpec(
+            "run the O(n+m) structural certifier on the assembled labels "
+            "(default: exactly when a fault plan is armed)"
+        ),
+        "trace_messages": OptionSpec(
+            "record the per-message trace (kind/link/fate) on the network"
         ),
     },
 )

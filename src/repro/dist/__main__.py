@@ -1,0 +1,268 @@
+"""Chaos recorder / replayer / selfcheck for the distributed backend.
+
+Subcommands::
+
+    python -m repro.dist chaos --graph rmat16.sym --scale tiny \\
+        --seed 5 --out trace.json
+        Run one seeded chaos schedule against a suite graph and write a
+        replayable trace JSON: the FaultPlan, the full message trace
+        (every send with its fate), and the run's fingerprint (labels
+        sha256, fired faults, rounds, reassignments).
+
+    python -m repro.dist replay trace.json
+        Re-run the recorded schedule from nothing but the trace file and
+        fail (exit 1) unless labels hash, fired faults, and recovery
+        actions all match bit-for-bit.
+
+    python -m repro.dist selfcheck --artifacts DIR
+        CI entry point: prove every fault kind in the chaos matrix
+        recovers bit-identically to the serial oracle, then record one
+        chaos run into DIR and replay it from its own JSON.
+
+The trace JSON is the CI artifact: anyone can download it and rerun
+``replay`` locally to reproduce the exact chaotic execution.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import DistProtocolError
+from ..resilience.faults import FaultPlan, FaultSpec
+from ..verify.oracle import verify_labels_structural
+from .coordinator import Coordinator
+from .protocol import DistConfig
+
+TRACE_SCHEMA = "repro.dist/chaos-trace/v1"
+
+# The representative injection per fault kind used by ``selfcheck``
+# (kept in lockstep with tests/test_dist_faults.py's matrix).
+_MATRIX = {
+    "msg_drop": dict(kind="msg_drop", where="update", at=1),
+    "msg_dup": dict(kind="msg_dup", where="update", at=0),
+    "msg_reorder": dict(kind="msg_reorder", where="update", at=0),
+    "host_crash": dict(kind="host_crash", where="", at=1, value=1),
+    "net_partition": dict(kind="net_partition", where="2", at=1, value=3),
+}
+
+
+def _load_graph(name: str, scale: str):
+    from ..generators.suite import load
+    from ..observe.__main__ import resolve_graph
+
+    return load(resolve_graph(name), scale)
+
+
+def _fingerprint(labels: np.ndarray, coord: Coordinator) -> dict:
+    return {
+        "labels_sha256": hashlib.sha256(
+            np.ascontiguousarray(labels, dtype=np.int64).tobytes()
+        ).hexdigest(),
+        "num_components": int(np.unique(labels).size),
+        "rounds": coord.stats.rounds,
+        "reassignments": coord.stats.reassignments,
+        "dead_hosts": list(coord.stats.dead_hosts),
+        "fired": sorted(
+            [e.kind, e.where, int(e.trigger)] for e in coord.events
+        ),
+    }
+
+
+def _chaos_run(graph, plan: FaultPlan, cfg: DistConfig):
+    """One chaotic run through the raw Coordinator (so the message trace
+    stays reachable), structurally verified like ``dist_cc``."""
+    coord = Coordinator(graph, cfg, fault_plan=plan, trace_messages=True)
+    labels, stats = coord.run()
+    if not verify_labels_structural(graph, labels):
+        raise DistProtocolError(
+            "chaos run produced unverifiable labels", stats=stats
+        )
+    return labels, coord
+
+
+def record_chaos(
+    *,
+    graph: str,
+    scale: str = "tiny",
+    seed: int = 0,
+    hosts: int = 4,
+    num_faults: int = 3,
+    rpc_timeout: float = 0.05,
+    out: str | Path,
+    plan: FaultPlan | None = None,
+) -> dict:
+    """Run one seeded chaos schedule and write a replayable trace JSON.
+
+    Returns the trace dict (also written to ``out``)."""
+    g = _load_graph(graph, scale)
+    graph = g.name  # the resolved suite name travels in the trace
+    if plan is None:
+        plan = FaultPlan.random(seed, backends=("dist",), num_faults=num_faults)
+        plan.name = plan.name or f"chaos-{graph}-{seed}"
+    cfg = DistConfig(
+        hosts=hosts, rpc_timeout=rpc_timeout, heartbeat_misses=2, seed=seed
+    )
+    labels, coord = _chaos_run(g, plan, cfg)
+    trace = {
+        "schema": TRACE_SCHEMA,
+        "graph": {"suite": graph, "scale": scale},
+        "config": {
+            "hosts": hosts,
+            "seed": seed,
+            "rpc_timeout": rpc_timeout,
+            "heartbeat_misses": 2,
+        },
+        "plan": plan.to_dict(),
+        **_fingerprint(labels, coord),
+        "bytes_on_wire": coord.stats.bytes_on_wire,
+        "messages": list(coord.net.trace or []),
+    }
+    out = Path(out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(trace, indent=2) + "\n", encoding="utf-8")
+    return trace
+
+
+def replay_trace(path: str | Path) -> dict:
+    """Re-run a recorded chaos trace and compare fingerprints.
+
+    Returns ``{"matches": bool, ...}`` with both fingerprints; the CLI
+    exits nonzero when ``matches`` is False."""
+    path = Path(path)
+    if not path.is_file():
+        raise SystemExit(f"error: no such trace file: {path}")
+    try:
+        recorded = json.loads(path.read_text(encoding="utf-8"))
+    except (json.JSONDecodeError, UnicodeDecodeError) as e:
+        raise SystemExit(f"error: {path} is not a chaos trace JSON: {e}")
+    if recorded.get("schema") != TRACE_SCHEMA:
+        raise SystemExit(
+            f"error: not a chaos trace (schema={recorded.get('schema')!r}, "
+            f"expected {TRACE_SCHEMA!r})"
+        )
+    g = _load_graph(recorded["graph"]["suite"], recorded["graph"]["scale"])
+    plan = FaultPlan.from_dict(recorded["plan"])
+    cfg = DistConfig(
+        hosts=int(recorded["config"]["hosts"]),
+        rpc_timeout=float(recorded["config"]["rpc_timeout"]),
+        heartbeat_misses=int(recorded["config"].get("heartbeat_misses", 2)),
+        seed=int(recorded["config"]["seed"]),
+    )
+    labels, coord = _chaos_run(g, plan, cfg)
+    now = _fingerprint(labels, coord)
+    keys = ("labels_sha256", "fired", "reassignments", "dead_hosts")
+    mismatches = {k: (recorded[k], now[k]) for k in keys if recorded[k] != now[k]}
+    return {
+        "matches": not mismatches,
+        "mismatches": mismatches,
+        "labels_sha256": now["labels_sha256"],
+        "fired": now["fired"],
+        "rounds": now["rounds"],
+        "reassignments": now["reassignments"],
+    }
+
+
+def selfcheck(artifacts: str | Path, *, graph: str = "rmat16.sym") -> int:
+    """Chaos matrix + record/replay round trip; returns a process exit
+    code (0 = every leg green)."""
+    from ..core.api import connected_components
+    from .coordinator import dist_cc
+
+    artifacts = Path(artifacts)
+    artifacts.mkdir(parents=True, exist_ok=True)
+    g = _load_graph(graph, "tiny")
+    serial = connected_components(g, backend="numpy", full_result=False)
+    failures = []
+
+    for kind, kw in sorted(_MATRIX.items()):
+        plan = FaultPlan([FaultSpec(backend="dist", **kw)], name=f"matrix-{kind}")
+        t0 = time.perf_counter()
+        try:
+            res = dist_cc(
+                g, hosts=4, rpc_timeout=0.03, heartbeat_misses=2, fault_plan=plan
+            )
+            identical = bool(np.array_equal(res.labels, serial))
+            fired = {e.kind for e in res.recovery.faults} if res.recovery else set()
+            ok = identical and kind in fired
+            note = "" if ok else f"identical={identical} fired={sorted(fired)}"
+        except DistProtocolError as e:
+            ok, note = False, f"raised {e}"
+        ms = (time.perf_counter() - t0) * 1e3
+        print(f"  matrix[{kind:>13}] {'ok' if ok else 'FAIL'} ({ms:6.0f} ms) {note}")
+        if not ok:
+            failures.append(kind)
+
+    trace_path = artifacts / "chaos-trace.json"
+    rec = record_chaos(graph=graph, scale="tiny", seed=5, out=trace_path)
+    FaultPlan.from_dict(rec["plan"]).save(artifacts / "fault-plan.json")
+    rep = replay_trace(trace_path)
+    print(
+        f"  replay {'ok' if rep['matches'] else 'FAIL'}: "
+        f"{rep['rounds']} rounds, {len(rec['messages'])} messages, "
+        f"labels {rep['labels_sha256'][:12]}…"
+    )
+    if not rep["matches"]:
+        failures.append(f"replay: {rep['mismatches']}")
+
+    if failures:
+        print(f"selfcheck FAILED: {failures}", file=sys.stderr)
+        return 1
+    print(f"selfcheck ok; artifacts in {artifacts}/")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.dist", description=__doc__.split("\n\n")[0]
+    )
+    sub = ap.add_subparsers(dest="cmd", required=True)
+
+    p = sub.add_parser("chaos", help="record a seeded chaos run as trace JSON")
+    p.add_argument("--graph", default="rmat16.sym")
+    p.add_argument("--scale", default="tiny")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--hosts", type=int, default=4)
+    p.add_argument("--num-faults", type=int, default=3)
+    p.add_argument("--out", default="chaos-trace.json")
+
+    p = sub.add_parser("replay", help="re-run a recorded trace and compare")
+    p.add_argument("trace")
+
+    p = sub.add_parser("selfcheck", help="chaos matrix + record/replay round trip")
+    p.add_argument("--artifacts", default="dist-artifacts")
+    p.add_argument("--graph", default="rmat16.sym")
+
+    args = ap.parse_args(argv)
+    if args.cmd == "chaos":
+        trace = record_chaos(
+            graph=args.graph,
+            scale=args.scale,
+            seed=args.seed,
+            hosts=args.hosts,
+            num_faults=args.num_faults,
+            out=args.out,
+        )
+        print(
+            f"recorded {len(trace['messages'])} messages, "
+            f"{trace['rounds']} rounds -> {args.out}"
+        )
+        return 0
+    if args.cmd == "replay":
+        rep = replay_trace(args.trace)
+        if rep["matches"]:
+            print(f"replay matches: labels {rep['labels_sha256'][:12]}…")
+            return 0
+        print(f"replay DIVERGED: {rep['mismatches']}", file=sys.stderr)
+        return 1
+    return selfcheck(args.artifacts, graph=args.graph)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

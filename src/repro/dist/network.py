@@ -1,0 +1,339 @@
+"""The simulated lossy network the distributed merge runs over.
+
+:class:`SimNetwork` is an in-process message fabric: one inbox per
+simulated host plus one for the coordinator (address ``K``), a single
+lock around delivery, and a deterministic chaos layer compiled from the
+``backend="dist"`` specs of a :class:`~repro.resilience.FaultPlan`.
+
+Chaos is *counted*, never random: each ``msg_drop``/``msg_dup``/
+``msg_reorder`` spec keeps an independent counter per ``(src, dst)``
+link, so "drop the 2nd ``update`` on link 0→1" fires on exactly that
+message in every run, and a recorded run replays identically.
+``net_partition`` blocks every message crossing the cut between the
+isolated host set and the rest for a round interval.
+
+Every transmission — delivered, dropped, duplicated, held back, or
+blocked at the cut — is appended to :attr:`SimNetwork.trace` as a plain
+dict, which is what the CLI serializes as the message-trace artifact.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..resilience.faults import FaultEvent, FaultPlan, FaultSpec
+
+__all__ = [
+    "MESSAGE_KINDS",
+    "Message",
+    "NetStats",
+    "SimNetwork",
+    "live_network_threads",
+]
+
+#: Every message kind the merge protocol uses.
+MESSAGE_KINDS = ("proceed", "update", "ack", "report", "halt")
+
+#: Name prefix of simulated-host threads; the conftest leak guard
+#: asserts no thread with this prefix survives a test.
+HOST_THREAD_PREFIX = "dist-host-"
+
+
+def live_network_threads() -> list[str]:
+    """Names of simulated-host threads still alive in this process.
+
+    Mirrors ``leaked_shared_segments()`` / ``active_spill_dirs()``: a
+    clean run leaves nothing behind, and the autouse test guard fails
+    any test that does.
+    """
+    return sorted(
+        t.name
+        for t in threading.enumerate()
+        if t.name.startswith(HOST_THREAD_PREFIX) and t.is_alive()
+    )
+
+
+@dataclass
+class Message:
+    """One protocol message.  ``(src, round, seq)`` identifies the RPC:
+    retransmissions reuse all three, so receivers dedup on the triple."""
+
+    kind: str
+    src: int
+    dst: int
+    round: int
+    seq: int
+    payload: dict = field(default_factory=dict)
+
+    def nbytes(self) -> int:
+        """Wire size: 32-byte header + payload arrays + 8 per scalar."""
+        total = 32
+        for v in self.payload.values():
+            if isinstance(v, np.ndarray):
+                total += int(v.nbytes)
+            elif isinstance(v, (list, tuple, dict)):
+                total += 8 * max(len(v), 1)
+            else:
+                total += 8
+        return total
+
+
+@dataclass
+class NetStats:
+    """Fabric-side transmission counters (host-side ones live in
+    :class:`repro.dist.DistRunStats`)."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped: int = 0
+    duplicated: int = 0
+    reordered: int = 0
+    blocked: int = 0
+    bytes_on_wire: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "sent": self.sent,
+            "delivered": self.delivered,
+            "dropped": self.dropped,
+            "duplicated": self.duplicated,
+            "reordered": self.reordered,
+            "blocked": self.blocked,
+            "bytes_on_wire": self.bytes_on_wire,
+        }
+
+
+def _parse_endpoint(token: str, num_hosts: int) -> int | None:
+    token = token.strip()
+    if token in ("", "*"):
+        return None
+    if token == "coord":
+        return num_hosts
+    return int(token)
+
+
+class _MsgFault:
+    """A ``msg_*`` spec compiled for fast matching.
+
+    ``where`` grammar: ``"[kind][:src->dst]"`` — e.g. ``"update"``,
+    ``"update:0->1"``, ``":2->coord"``, ``""`` (any message anywhere).
+    The trigger counter is kept **per link**, so a spec without a link
+    filter fires on the ``at``-th matching message of *each* link.
+    """
+
+    def __init__(self, spec: FaultSpec, num_hosts: int) -> None:
+        self.spec = spec
+        self.kind = spec.kind
+        where = spec.where if spec.where != "compute" else ""
+        msg_kind, _, link = where.partition(":")
+        self.msg_kind = msg_kind.strip()
+        self.src: int | None = None
+        self.dst: int | None = None
+        if link:
+            src_tok, _, dst_tok = link.partition("->")
+            self.src = _parse_endpoint(src_tok, num_hosts)
+            self.dst = _parse_endpoint(dst_tok, num_hosts)
+        self.at = spec.at
+        self.copies = 1 if spec.value is None else max(int(spec.value), 1)
+        self._counts: dict[tuple[int, int], int] = {}
+
+    def fires(self, msg: Message) -> bool:
+        if self.msg_kind and msg.kind != self.msg_kind:
+            return False
+        if self.src is not None and msg.src != self.src:
+            return False
+        if self.dst is not None and msg.dst != self.dst:
+            return False
+        link = (msg.src, msg.dst)
+        count = self._counts.get(link, 0)
+        self._counts[link] = count + 1
+        return count == self.at
+
+
+class _Partition:
+    """A ``net_partition`` spec: hosts in ``isolated`` cannot exchange
+    messages with anyone outside it while round ∈ [at, heal)."""
+
+    def __init__(self, spec: FaultSpec, num_hosts: int) -> None:
+        self.spec = spec
+        self.isolated = {
+            e
+            for tok in spec.where.split(",")
+            if (e := _parse_endpoint(tok, num_hosts)) is not None
+        }
+        if not self.isolated:
+            raise ValueError(
+                "net_partition spec needs isolated host ids in 'where', "
+                f"got {spec.where!r}"
+            )
+        self.start = spec.at
+        self.heal = float("inf") if spec.value is None else int(spec.value)
+        self.announced = False
+
+    def active(self, round_: int) -> bool:
+        return self.start <= round_ < self.heal
+
+    def blocks(self, msg: Message, round_: int) -> bool:
+        return self.active(round_) and (
+            (msg.src in self.isolated) != (msg.dst in self.isolated)
+        )
+
+
+class SimNetwork:
+    """In-process message fabric with deterministic fault injection.
+
+    Addresses ``0..num_hosts-1`` are hosts; ``num_hosts`` is the
+    coordinator.  ``send`` applies chaos and enqueues; ``recv`` blocks
+    with a timeout.  ``close()`` wakes every receiver (``recv`` returns
+    ``None`` and :attr:`closed` is set) so host threads always exit —
+    even ones on the wrong side of a permanent partition.
+    """
+
+    def __init__(
+        self,
+        num_hosts: int,
+        *,
+        fault_plan: FaultPlan | None = None,
+        trace_messages: bool = True,
+    ) -> None:
+        self.num_hosts = num_hosts
+        self.coordinator_id = num_hosts
+        self._lock = threading.Lock()
+        self._inboxes: list[deque[Message]] = [deque() for _ in range(num_hosts + 1)]
+        self._conds = [threading.Condition(self._lock) for _ in range(num_hosts + 1)]
+        self._held: dict[tuple[int, int], list[Message]] = {}
+        self._round = 0
+        self.closed = False
+        self.stats = NetStats()
+        self.trace: list[dict] = [] if trace_messages else None  # type: ignore[assignment]
+        self.events: list[FaultEvent] = []
+        specs = fault_plan.for_backend("dist", 0) if fault_plan else []
+        self._msg_faults = [
+            _MsgFault(s, num_hosts)
+            for s in specs
+            if s.kind in ("msg_drop", "msg_dup", "msg_reorder")
+        ]
+        self._partitions = [
+            _Partition(s, num_hosts) for s in specs if s.kind == "net_partition"
+        ]
+
+    # -- round clock (drives partitions) ---------------------------------
+    def begin_round(self, round_: int) -> None:
+        """Advance the fabric's round clock (the coordinator calls this
+        at each barrier); partitions activate/heal on round boundaries."""
+        with self._lock:
+            self._round = round_
+            for p in self._partitions:
+                if p.active(round_) and not p.announced:
+                    p.announced = True
+                    self.events.append(
+                        FaultEvent(
+                            kind="net_partition",
+                            backend="dist",
+                            attempt=0,
+                            where=p.spec.where,
+                            trigger=round_,
+                            detail=f"isolated={sorted(p.isolated)} heal={p.spec.value}",
+                        )
+                    )
+
+    # -- send/recv -------------------------------------------------------
+    def _record(self, msg: Message, fate: str) -> None:
+        if self.trace is not None:
+            self.trace.append(
+                {
+                    "kind": msg.kind,
+                    "src": msg.src,
+                    "dst": msg.dst,
+                    "round": msg.round,
+                    "seq": msg.seq,
+                    "bytes": msg.nbytes(),
+                    "fate": fate,
+                }
+            )
+
+    def _enqueue_locked(self, msg: Message) -> None:
+        self._inboxes[msg.dst].append(msg)
+        self._conds[msg.dst].notify_all()
+        self.stats.delivered += 1
+
+    def send(self, msg: Message) -> str:
+        """Transmit ``msg``; returns its fate (for tests/tracing)."""
+        if msg.kind not in MESSAGE_KINDS:
+            raise ValueError(f"unknown message kind {msg.kind!r}")
+        with self._lock:
+            if self.closed:
+                return "closed"
+            self.stats.sent += 1
+            self.stats.bytes_on_wire += msg.nbytes()
+            link = (msg.src, msg.dst)
+            fate = "delivered"
+            for p in self._partitions:
+                if p.blocks(msg, self._round):
+                    fate = "blocked"
+                    self.stats.blocked += 1
+                    break
+            fired: _MsgFault | None = None
+            if fate == "delivered":
+                for f in self._msg_faults:
+                    if f.fires(msg):
+                        fired = f
+                        break
+            if fired is not None:
+                self.events.append(
+                    FaultEvent(
+                        kind=fired.kind,
+                        backend="dist",
+                        attempt=0,
+                        where=f"{msg.kind}:{msg.src}->{msg.dst}",
+                        trigger=fired.at,
+                        detail=f"round={msg.round} seq={msg.seq}",
+                    )
+                )
+                if fired.kind == "msg_drop":
+                    fate = "dropped"
+                    self.stats.dropped += 1
+                elif fired.kind == "msg_dup":
+                    fate = "duplicated"
+                    self.stats.duplicated += 1
+                    for _ in range(1 + fired.copies):
+                        self._enqueue_locked(msg)
+                elif fired.kind == "msg_reorder":
+                    fate = "reordered"
+                    self.stats.reordered += 1
+                    self._held.setdefault(link, []).append(msg)
+            if fate == "delivered":
+                self._enqueue_locked(msg)
+            # Any later transmission on the link flushes held-back
+            # messages *behind* it — that is the reordering.  A held
+            # message whose link goes quiet is flushed by the sender's
+            # own retransmission (no ack ever came), so delivery is
+            # still eventual.
+            if fate != "reordered" and link in self._held:
+                for held in self._held.pop(link):
+                    self._record(held, "flushed")
+                    self._enqueue_locked(held)
+            self._record(msg, fate)
+            return fate
+
+    def recv(self, host: int, timeout: float | None = None) -> Message | None:
+        """Next message for ``host``; ``None`` on timeout or close."""
+        cond = self._conds[host]
+        inbox = self._inboxes[host]
+        with cond:
+            if not inbox and not self.closed:
+                cond.wait(timeout)
+            if inbox:
+                return inbox.popleft()
+            return None
+
+    def close(self) -> None:
+        """Tear the fabric down and wake every blocked receiver."""
+        with self._lock:
+            self.closed = True
+            for c in self._conds:
+                c.notify_all()

@@ -170,6 +170,44 @@ class MergeCrashError(FaultError):
     kind = "merge_crash"
 
 
+class HostCrashError(FaultError):
+    """An injected simulated-host crash (dist backend, mid-round)."""
+
+    kind = "host_crash"
+
+
+class DistProtocolError(ReproError):
+    """The distributed merge exhausted its redundancy.
+
+    Raised when the coordinator can no longer guarantee correct labels —
+    every host is dead, the reassignment budget is spent, a final shard
+    checkpoint is unreadable, or the assembled labels fail structural
+    verification.  The protocol *never* returns silently wrong labels;
+    this error is the loud alternative.  ``stats`` carries the
+    :class:`repro.dist.DistRunStats` snapshot at failure time when
+    available.
+    """
+
+    def __init__(self, message: str, *, stats=None) -> None:
+        super().__init__(message)
+        self.stats = stats
+
+
+class QueueFullError(ReproError):
+    """A bounded service mutation queue shed a submission under overload.
+
+    Raised by :class:`repro.service.ConnectivityService` when accepting a
+    mutation would push the pending queue past ``BatchPolicy.max_pending``
+    edges.  Carries ``pending`` (edges queued at rejection time) and
+    ``max_pending`` so callers can implement their own backpressure.
+    """
+
+    def __init__(self, message: str, *, pending: int = 0, max_pending: int = 0) -> None:
+        super().__init__(message)
+        self.pending = pending
+        self.max_pending = max_pending
+
+
 class VerificationError(ReproError):
     """A connected-components labeling failed verification."""
 

@@ -66,6 +66,16 @@ under budget — the size-ceiling claim of the external-memory path,
 which :func:`check_gate` enforces (peak within budget on every row,
 demo ceiling of at least 10x, demo labels verified).
 
+Schema v7 adds the distributed leg (:mod:`repro.dist`): per graph,
+``dist_ms`` (wall time of the fault-free K-host merge), ``dist_rounds``
+(boundary-exchange rounds to convergence), ``dist_bytes_on_wire``
+(total simulated network traffic — the bandwidth-consciousness
+evidence), and ``dist_recoveries`` (failure-detector reassignments,
+which :func:`check_gate` requires to be **zero**: a clean gate run that
+needed recovery means the failure detector fired falsely under
+benchmark load).  Labels are verified against serial like every other
+leg.
+
 :func:`run_wallclock_gate` produces a JSON-ready payload (schema
 documented in ``docs/benchmarks.md``), :func:`check_gate` applies the
 acceptance thresholds, and ``benchmarks/wallclock_gate.py`` is the
@@ -106,14 +116,27 @@ __all__ = [
     "write_gate_json",
 ]
 
-SCHEMA_VERSION = 6
+SCHEMA_VERSION = 7
 
 #: Optional measurement legs of :func:`run_wallclock_gate`; the live
 #: frontier backend and the frozen frontier snapshot are always timed
 #: (every speedup column is a ratio against one of them).
 GATE_LEGS = frozenset(
-    {"legacy", "dense", "fastsv", "resilient", "contract", "sharded", "oocore"}
+    {
+        "legacy",
+        "dense",
+        "fastsv",
+        "resilient",
+        "contract",
+        "sharded",
+        "oocore",
+        "distributed",
+    }
 )
+
+#: Host count the v7 distributed leg runs at (threads, so not
+#: hardware-conditioned the way the sharded process pool is).
+DIST_GATE_HOSTS = 4
 
 #: The v6 size-ceiling demo graph: every vertex draws this many random
 #: targets, giving one giant component with a CSR footprint comfortably
@@ -421,6 +444,13 @@ def run_wallclock_gate(
     directories to per-graph subdirectories of the named path; the
     demo's spill is then kept on disk (manifest included) so CI can
     upload it as an artifact.
+
+    The schema-v7 ``distributed`` leg solves each graph fault-free
+    across :data:`DIST_GATE_HOSTS` simulated hosts, recording
+    ``dist_ms`` / ``dist_hosts`` / ``dist_rounds`` /
+    ``dist_bytes_on_wire`` / ``dist_recoveries`` with labels verified
+    against serial; :func:`check_gate` requires ``dist_recoveries`` to
+    be zero (no false-positive failure detection under benchmark load).
     """
     # Local import: repro.resilience imports the core package this
     # module sits next to.
@@ -656,6 +686,29 @@ def run_wallclock_gate(
                 row["oocore_ceiling"] = round(ooc_stats.ceiling, 2)
                 row["oocore_shards"] = int(ooc_stats.num_shards)
                 row["oocore_merge_passes"] = int(ooc_stats.merge_passes)
+            if "distributed" in legs:
+                # Local import for the same reason as resilience above.
+                from ..dist import dist_cc
+
+                dist_state: dict = {}
+
+                def _dist_leg():
+                    res = dist_cc(graph, hosts=DIST_GATE_HOSTS)
+                    dist_state["labels"] = res.labels
+                    dist_state["stats"] = res.stats
+
+                dist_ms = _time_best(_dist_leg, repeats)
+                dist_stats = dist_state["stats"]
+                if verify and not np.array_equal(dist_state["labels"], reference):
+                    raise VerificationError(
+                        f"distributed labels diverge from ecl_cc_serial on "
+                        f"{name!r} at scale {scale!r}"
+                    )
+                row["dist_ms"] = round(dist_ms, 3)
+                row["dist_hosts"] = DIST_GATE_HOSTS
+                row["dist_rounds"] = int(dist_stats.rounds)
+                row["dist_bytes_on_wire"] = int(dist_stats.bytes_on_wire)
+                row["dist_recoveries"] = int(dist_stats.recoveries)
             rows.append(row)
             if service_ops:
                 lg = compare_loadgen(
@@ -815,6 +868,13 @@ def check_gate(
     above ``min_oocore_ceiling``, and its labels verified.  Rows and
     payloads without the columns (older schemas, or ``--backends`` runs
     that skipped the oocore leg) are exempt.
+
+    The schema-v7 distributed check: every row carrying the
+    ``dist_recoveries`` column must record **zero** recoveries — a
+    fault-free gate run that triggered the failure detector means the
+    detector fires falsely under benchmark load (timeouts tuned too
+    tight for the machine), which would poison every chaos measurement
+    built on it.  Rows without the column are exempt.
     """
     problems = []
     floor = 1.0 - max_regression
@@ -870,6 +930,13 @@ def check_gate(
                 f"{row['name']}: out-of-core peak resident "
                 f"{row['oocore_peak_bytes']} B exceeds the memory budget "
                 f"{row['oocore_budget_bytes']} B"
+            )
+        if "dist_recoveries" in row and row["dist_recoveries"] != 0:
+            problems.append(
+                f"{row['name']}: distributed leg needed "
+                f"{row['dist_recoveries']} recovery action(s) in a "
+                f"fault-free run; the failure detector is firing falsely "
+                f"under benchmark load"
             )
         if "service_speedup" in row and row["service_speedup"] < min_service_speedup:
             problems.append(

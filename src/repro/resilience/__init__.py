@@ -17,6 +17,7 @@ Two halves, designed together:
 """
 
 from .faults import (
+    DIST_FAULT_KINDS,
     FAULT_KINDS,
     OOCORE_FAULT_KINDS,
     FaultEvent,
@@ -34,6 +35,7 @@ from .supervisor import (
 )
 
 __all__ = [
+    "DIST_FAULT_KINDS",
     "FAULT_KINDS",
     "OOCORE_FAULT_KINDS",
     "FaultSpec",

@@ -29,6 +29,22 @@ identical recovery sequence — on any machine.
                     detected by size check on the read path
 ``merge_crash``     the out-of-core boundary merge crashes entering
                     pass ``at``
+``msg_drop``        the ``at``-th matching message on each matching
+                    link of the simulated network vanishes (dist);
+                    recovered by ack-driven retransmission
+``msg_dup``         the ``at``-th matching message is delivered twice
+                    (dist); absorbed by ``(host, round, seq)`` dedup
+                    and the idempotent min-label merge
+``msg_reorder``     the ``at``-th matching message is held back and
+                    delivered *after* the link's next transmission
+                    (dist); doubles as an unbounded delay — if the link
+                    goes quiet the sender's retransmit flushes it
+``host_crash``      simulated host ``at`` dies entering round ``value``
+                    (dist); detected by the heartbeat failure detector,
+                    its shard reassigned from the last checkpoint
+``net_partition``   hosts listed in ``where`` are cut off from everyone
+                    else from round ``at`` until round ``value`` heals
+                    it (``None`` = permanent)
 ==================  ===================================================
 
 A :class:`FaultPlan` is a list of specs plus the seed that generated it;
@@ -48,6 +64,7 @@ from pathlib import Path
 
 __all__ = [
     "FAULT_KINDS",
+    "DIST_FAULT_KINDS",
     "GPU_FAULT_KINDS",
     "OOCORE_FAULT_KINDS",
     "POOL_FAULT_KINDS",
@@ -67,6 +84,11 @@ FAULT_KINDS = (
     "spill_corrupt",
     "spill_truncate",
     "merge_crash",
+    "msg_drop",
+    "msg_dup",
+    "msg_reorder",
+    "host_crash",
+    "net_partition",
 )
 
 #: Families meaningful on the simulated GPU (warp-pick / store / alloc seams).
@@ -81,6 +103,20 @@ OOCORE_FAULT_KINDS = (
     "spill_truncate",
     "worker_crash",
     "merge_crash",
+)
+
+#: Families meaningful on the simulated-host network (dist backend).
+#: These specs use ``backend="dist"``; ``where`` selects messages as
+#: ``"[kind][:src->dst]"`` for the ``msg_*`` families (host ids, ``coord``,
+#: or ``*``), names the isolated host set for ``net_partition``
+#: (comma-separated), and is ignored for ``host_crash`` (``at`` is the
+#: host index, ``value`` the round it dies in).
+DIST_FAULT_KINDS = (
+    "msg_drop",
+    "msg_dup",
+    "msg_reorder",
+    "host_crash",
+    "net_partition",
 )
 
 
@@ -250,7 +286,9 @@ class FaultPlan:
         for _ in range(num_faults):
             backend = rng.choice(backends)
             pool_like = backend in ("omp",)
-            if backend == "oocore":
+            if backend == "dist":
+                allowed = DIST_FAULT_KINDS
+            elif backend == "oocore":
                 allowed = OOCORE_FAULT_KINDS
             elif pool_like:
                 allowed = POOL_FAULT_KINDS
@@ -272,13 +310,26 @@ class FaultPlan:
                 # Trigger indices are shard / merge-pass ordinals: small.
                 where = rng.choice(["colidx", "rowptr"])
                 at = rng.randrange(4)
+            value = None
+            if kind in ("msg_drop", "msg_dup", "msg_reorder"):
+                where = rng.choice(["update", "report", "proceed", ""])
+                at = rng.randrange(4)
+            elif kind == "host_crash":
+                where = ""
+                at = rng.randrange(4)  # host index; ignored if >= K
+                value = rng.randrange(3)  # round it dies in
+            elif kind == "net_partition":
+                where = str(rng.randrange(4))  # isolated host id
+                at = rng.randrange(1, 3)  # round the cut opens
+                value = at + rng.randrange(1, 3)  # round it heals
             faults.append(
                 FaultSpec(
                     kind=kind,
                     backend=backend,
-                    attempt=rng.choice([0, 0, 0, -1]),
+                    attempt=rng.choice([0, 0, 0, -1]) if backend != "dist" else 0,
                     where=where,
                     at=at,
+                    value=value,
                 )
             )
         return cls(faults=faults, seed=seed, name=f"random-{seed}")

@@ -57,6 +57,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..errors import QueueFullError
 from ..extensions.incremental import IncrementalConnectivity, flatten_parents
 from ..graph.csr import CSRGraph
 from ..observe import current_tracer
@@ -96,6 +97,10 @@ class BatchPolicy:
     resilient: bool = True
     #: Compact the edge store once tombstones pass this fraction.
     compact_tombstone_frac: float = 0.25
+    #: Bound on queued (un-drained) edges: a submission that would push
+    #: the pending queue past this sheds with :class:`QueueFullError`
+    #: instead of growing the queue without bound.  ``None`` = unbounded.
+    max_pending: int | None = None
 
     def __post_init__(self) -> None:
         if self.max_batch_size < 1:
@@ -104,6 +109,8 @@ class BatchPolicy:
             raise ValueError("max_latency_s must be >= 0")
         if not 0.0 <= self.recompute_merge_frac <= 1.0:
             raise ValueError("recompute_merge_frac must be in [0, 1]")
+        if self.max_pending is not None and self.max_pending < 1:
+            raise ValueError("max_pending must be >= 1 (or None for unbounded)")
 
 
 @dataclass
@@ -141,6 +148,8 @@ class ServiceStats:
     cache_hits: int = 0
     cache_misses: int = 0
     compactions: int = 0
+    shed: int = 0  # submissions rejected by the max_pending bound
+    shed_edges: int = 0  # edges those submissions carried
 
     @property
     def cache_hit_rate(self) -> float:
@@ -306,6 +315,7 @@ class ConnectivityService:
         self._pending: deque = deque()
         self._pending_edges = 0
         self._oldest: float | None = None  # monotonic enqueue time
+        self._inflight: MutationTicket | None = None  # drained, not yet resolved
         self._flush_requested = False
         self._stop = False
         self._apply_lock = threading.Lock()
@@ -448,6 +458,18 @@ class ConnectivityService:
             return ticket
         apply_inline = False
         with self._cond:
+            limit = self.policy.max_pending
+            if limit is not None and self._pending_edges + int(u.size) > limit:
+                self.stats.shed += 1
+                self.stats.shed_edges += int(u.size)
+                self._tracer.count("service.shed")
+                self._tracer.count("service.shed_edges", int(u.size))
+                raise QueueFullError(
+                    f"mutation queue full: {self._pending_edges} edges pending, "
+                    f"{u.size} submitted, max_pending={limit}",
+                    pending=self._pending_edges,
+                    max_pending=limit,
+                )
             self._pending.append((is_delete, u, v, ticket))
             self._pending_edges += int(u.size)
             if self._oldest is None:
@@ -462,16 +484,28 @@ class ConnectivityService:
         return ticket
 
     def flush(self, timeout: float | None = None) -> None:
-        """Force-apply every pending mutation and wait for the commit."""
+        """Force-apply every pending mutation and wait for the commit.
+
+        Raises :class:`TimeoutError` if the flusher has not committed
+        within ``timeout`` — including the window where the worker has
+        already *drained* the queue but the batch is still applying
+        (an empty queue alone is not proof of a completed flush).
+        """
         if self._worker is None:
             self._drain_and_apply_inline()
             return
         with self._cond:
-            if not self._pending:
-                return
-            last_ticket = self._pending[-1][3]
-            self._flush_requested = True
-            self._cond.notify_all()
+            if self._pending:
+                last_ticket = self._pending[-1][3]
+                self._flush_requested = True
+                self._cond.notify_all()
+            else:
+                # Nothing queued, but the last drained batch may still
+                # be in _apply_batch: wait on its ticket, not on hope.
+                inflight = self._inflight
+                if inflight is None or inflight._event.is_set():
+                    return
+                last_ticket = inflight
         if not last_ticket.wait(timeout):
             raise TimeoutError("flush did not complete within timeout")
 
@@ -492,6 +526,8 @@ class ConnectivityService:
         self._oldest = time.monotonic() if self._pending else None
         if not self._pending:
             self._flush_requested = False
+        if batch:
+            self._inflight = batch[-1][3]
         return batch
 
     def _drain_and_apply_inline(self) -> None:

@@ -7,6 +7,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.dist import active_host_scratch_dirs, live_network_threads
 from repro.graph.build import empty_graph, from_edges
 from repro.graph.csr import leaked_shared_segments
 from repro.outofcore import active_spill_dirs
@@ -14,14 +15,22 @@ from repro.outofcore import active_spill_dirs
 
 @pytest.fixture(autouse=True)
 def _resource_leak_guard():
-    """Every test must leave no /dev/shm segments and no spill temp
-    directories behind — leaks from one test poison later ones (and, in
-    CI, the machine), so they fail loudly at the leaking test."""
+    """Every test must leave no /dev/shm segments, no spill temp
+    directories, no simulated-host scratch directories, and no live
+    SimNetwork host threads behind — leaks from one test poison later
+    ones (and, in CI, the machine), so they fail loudly at the leaking
+    test."""
     yield
     leaked = leaked_shared_segments()
     assert leaked == [], f"test leaked shared-memory segments: {leaked}"
     spills = active_spill_dirs()
     assert spills == [], f"test leaked spill directories: {spills}"
+    scratch = active_host_scratch_dirs()
+    assert scratch == [], f"test leaked simulated-host scratch dirs: {scratch}"
+    threads = live_network_threads()
+    assert threads == [], (
+        f"test leaked live simulated-host threads: {[t.name for t in threads]}"
+    )
 
 
 @pytest.fixture

@@ -1,0 +1,174 @@
+"""Chaos matrix for the distributed merge: every fault kind must either
+recover bit-identically (with a recovery transcript on
+``CCResult.recovery``) or raise :class:`DistProtocolError` loudly —
+never silently wrong labels."""
+
+import numpy as np
+import pytest
+
+from repro.core.api import connected_components
+from repro.dist import dist_cc
+from repro.errors import DistProtocolError
+from repro.generators.suite import load
+from repro.graph.build import from_edges
+from repro.resilience import DIST_FAULT_KINDS, FaultPlan
+from repro.resilience.faults import FaultSpec
+
+# Aggressive timeouts so death detection converges in test time.
+FAST = dict(hosts=4, rpc_timeout=0.03, max_retries=3, heartbeat_misses=2)
+
+
+def _serial(g):
+    return connected_components(g, backend="numpy", full_result=False)
+
+
+def _graphs():
+    return [
+        from_edges([(i, i + 1) for i in range(19)], num_vertices=20, name="path20"),
+        load("rmat16.sym", "tiny"),
+    ]
+
+
+def _spec(kind, **kw):
+    return FaultSpec(kind=kind, backend="dist", attempt=0, **kw)
+
+
+# One representative injection per fault kind (the matrix rows).
+MATRIX = {
+    "msg_drop": _spec("msg_drop", where="update", at=1),
+    "msg_dup": _spec("msg_dup", where="update", at=0),
+    "msg_reorder": _spec("msg_reorder", where="update", at=0),
+    "host_crash": _spec("host_crash", where="", at=1, value=1),
+    "net_partition": _spec("net_partition", where="2", at=1, value=3),
+}
+assert sorted(MATRIX) == sorted(DIST_FAULT_KINDS)
+
+
+class TestChaosMatrix:
+    @pytest.mark.parametrize("kind", sorted(MATRIX))
+    def test_recovers_bit_identical(self, kind):
+        for g in _graphs():
+            plan = FaultPlan([MATRIX[kind]], name=f"matrix-{kind}")
+            res = dist_cc(g, fault_plan=plan, **FAST)
+            np.testing.assert_array_equal(res.labels, _serial(g))
+            # Armed chaos always leaves a transcript and auto-verifies.
+            assert res.recovery is not None
+            assert res.recovery.verified
+            fired = {e.kind for e in res.recovery.faults}
+            assert kind in fired, f"{kind} never fired: {fired}"
+
+    def test_drop_forces_retransmit(self):
+        g = _graphs()[1]
+        plan = FaultPlan([MATRIX["msg_drop"]])
+        res = dist_cc(g, fault_plan=plan, **FAST)
+        assert res.stats.retransmits > 0
+
+    def test_dup_is_deduplicated(self):
+        g = _graphs()[1]
+        plan = FaultPlan([MATRIX["msg_dup"]])
+        res = dist_cc(g, fault_plan=plan, **FAST)
+        assert res.stats.updates_deduped > 0
+
+    def test_crash_forces_reassignment(self):
+        g = _graphs()[0]
+        plan = FaultPlan([MATRIX["host_crash"]])
+        res = dist_cc(g, fault_plan=plan, **FAST)
+        assert res.stats.reassignments > 0
+        assert res.stats.dead_hosts == [1]
+        assert res.recovery.fallbacks == res.stats.reassignments
+
+    def test_crash_in_round_zero(self):
+        g = _graphs()[0]
+        plan = FaultPlan([_spec("host_crash", where="", at=2, value=0)])
+        res = dist_cc(g, fault_plan=plan, **FAST)
+        np.testing.assert_array_equal(res.labels, _serial(g))
+        assert 2 in res.stats.dead_hosts
+
+    def test_partition_blocks_then_heals(self):
+        g = _graphs()[1]
+        plan = FaultPlan([MATRIX["net_partition"]])
+        res = dist_cc(g, fault_plan=plan, **FAST)
+        np.testing.assert_array_equal(res.labels, _serial(g))
+        assert res.stats.messages["blocked"] > 0
+
+    @pytest.mark.parametrize("where", ["report", "proceed"])
+    def test_control_plane_drops_recover(self, where):
+        g = _graphs()[0]
+        plan = FaultPlan([_spec("msg_drop", where=where, at=0)])
+        res = dist_cc(g, fault_plan=plan, **FAST)
+        np.testing.assert_array_equal(res.labels, _serial(g))
+
+
+class TestLoudFailure:
+    def test_all_hosts_crashed_raises(self):
+        g = _graphs()[0]
+        plan = FaultPlan(
+            [_spec("host_crash", where="", at=h, value=1) for h in range(4)]
+        )
+        # Depending on detection order this surfaces as "no live hosts
+        # remain" or as budget exhaustion — both are loud, never wrong
+        # labels.
+        with pytest.raises(DistProtocolError, match="no live hosts|exhausted"):
+            dist_cc(g, fault_plan=plan, **FAST)
+
+    def test_reassignment_budget_exhausted_raises(self):
+        g = _graphs()[0]
+        plan = FaultPlan([MATRIX["host_crash"]])
+        with pytest.raises(DistProtocolError, match="budget"):
+            dist_cc(g, fault_plan=plan, max_reassignments=0, **FAST)
+
+    def test_error_carries_stats(self):
+        g = _graphs()[0]
+        plan = FaultPlan([MATRIX["host_crash"]])
+        try:
+            dist_cc(g, fault_plan=plan, max_reassignments=0, **FAST)
+        except DistProtocolError as e:
+            assert e.stats is not None and e.stats.dead_hosts == [1]
+        else:
+            pytest.fail("expected DistProtocolError")
+
+
+class TestReplayDeterminism:
+    def test_random_plan_replays_bit_identical(self):
+        g = _graphs()[1]
+        plan = FaultPlan.random(7, backends=("dist",), num_faults=3)
+        runs = [dist_cc(g, fault_plan=plan, seed=7, **FAST) for _ in range(2)]
+        np.testing.assert_array_equal(runs[0].labels, runs[1].labels)
+        np.testing.assert_array_equal(runs[0].labels, _serial(g))
+        fired = [
+            sorted((e.kind, e.where) for e in r.recovery.faults) if r.recovery else []
+            for r in runs
+        ]
+        assert fired[0] == fired[1]
+        assert runs[0].stats.reassignments == runs[1].stats.reassignments
+
+    def test_plan_survives_json_round_trip(self):
+        plan = FaultPlan.random(11, backends=("dist",), num_faults=2)
+        clone = FaultPlan.from_json(plan.to_json())
+        g = _graphs()[0]
+        a = dist_cc(g, fault_plan=plan, seed=1, **FAST)
+        b = dist_cc(g, fault_plan=clone, seed=1, **FAST)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_random_dist_plans_only_sample_dist_kinds(self):
+        for seed in range(5):
+            plan = FaultPlan.random(seed, backends=("dist",), num_faults=4)
+            assert plan.faults, "random dist plan came back empty"
+            for f in plan.faults:
+                assert f.kind in DIST_FAULT_KINDS
+                assert f.backend == "dist" and f.attempt == 0
+
+
+class TestChaosCLI:
+    def test_record_then_replay_matches(self, tmp_path):
+        from repro.dist.__main__ import record_chaos, replay_trace
+
+        trace_path = tmp_path / "trace.json"
+        rec = record_chaos(
+            graph="rmat16.sym", scale="tiny", seed=5, hosts=4,
+            out=trace_path, rpc_timeout=0.03,
+        )
+        rep = replay_trace(trace_path)
+        assert rep["labels_sha256"] == rec["labels_sha256"]
+        assert rep["fired"] == rec["fired"]
+        assert rep["matches"] is True

@@ -15,7 +15,7 @@ import numpy as np
 import pytest
 
 from repro import BatchPolicy, CCResult, ConnectivityService, connected_components
-from repro.errors import ResilienceExhaustedError
+from repro.errors import QueueFullError, ResilienceExhaustedError
 from repro.experiments.loadgen import (
     build_ops,
     compare_loadgen,
@@ -624,3 +624,140 @@ class TestPublicSurface:
         res = connected_components(two_cliques)
         assert isinstance(res, CCResult)
         assert res.num_components == 2
+
+
+class TestBoundedQueue:
+    def test_shed_raises_typed_error_and_counts(self):
+        svc = ConnectivityService(
+            num_vertices=50,
+            policy=BatchPolicy(max_pending=4, max_latency_s=3600.0),
+            start=False,
+        )
+        try:
+            svc.add_edges([0], [1])
+            svc.add_edges([1, 2], [2, 3])  # 3 pending
+            with pytest.raises(QueueFullError) as exc:
+                svc.add_edges([4, 5], [5, 6])  # would be 5 > 4
+            assert exc.value.pending == 3
+            assert exc.value.max_pending == 4
+            assert svc.stats.shed == 1
+            assert svc.stats.shed_edges == 2
+            # Queue unchanged (2 buffered submissions): the shed
+            # submission left no partial state behind.
+            assert svc.queue_depth == 2
+            svc.flush()
+            assert svc.same_component(0, 3)
+        finally:
+            svc.close()
+
+    def test_flush_drains_and_unblocks_queue(self):
+        svc = ConnectivityService(
+            num_vertices=50,
+            policy=BatchPolicy(max_pending=2, max_latency_s=3600.0),
+            start=False,
+        )
+        try:
+            svc.add_edges([0, 1], [1, 2])
+            with pytest.raises(QueueFullError):
+                svc.add_edges([2], [3])
+            svc.flush()
+            svc.add_edges([2], [3])  # accepted again after the drain
+            svc.flush()
+            assert svc.same_component(0, 3)
+            assert svc.stats.shed == 1
+        finally:
+            svc.close()
+
+    def test_shed_metric_traced(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            svc = ConnectivityService(
+                num_vertices=10,
+                policy=BatchPolicy(max_pending=1, max_latency_s=3600.0),
+                start=False,
+            )
+            try:
+                svc.add_edges([0], [1])
+                with pytest.raises(QueueFullError):
+                    svc.add_edges([1, 2], [2, 3])
+            finally:
+                svc.close()
+        assert tracer.counters.get("service.shed") == 1
+        assert tracer.counters.get("service.shed_edges") == 2
+
+    def test_unbounded_by_default(self):
+        svc = ConnectivityService(num_vertices=20, start=False)
+        for i in range(15):
+            svc.add_edge(i, i + 1)
+        svc.flush()
+        assert svc.same_component(0, 15)
+        assert svc.stats.shed == 0
+
+    def test_max_pending_validated(self):
+        with pytest.raises(ValueError):
+            BatchPolicy(max_pending=0)
+
+
+class TestFlushTimeout:
+    def test_flush_raises_on_hung_flusher(self):
+        svc = ConnectivityService(
+            num_vertices=20,
+            policy=BatchPolicy(max_latency_s=3600.0),
+        )
+        try:
+            inner = svc._apply_batch_inner
+            release = threading.Event()
+
+            def slow(batch, span):
+                release.wait(5.0)
+                return inner(batch, span)
+
+            svc._apply_batch_inner = slow
+            svc.add_edge(1, 2)
+            t0 = time.monotonic()
+            with pytest.raises(TimeoutError):
+                svc.flush(timeout=0.05)
+            assert time.monotonic() - t0 < 1.0
+            release.set()
+            svc.flush()  # untimed flush completes once unblocked
+            assert svc.same_component(1, 2)
+        finally:
+            svc.close()
+
+    def test_flush_waits_for_inflight_drained_batch(self):
+        # The drained-but-still-applying window: the queue is empty yet
+        # the batch has not committed.  flush() must not return early.
+        svc = ConnectivityService(
+            num_vertices=20,
+            policy=BatchPolicy(max_batch_size=1, max_latency_s=3600.0),
+        )
+        try:
+            inner = svc._apply_batch_inner
+            entered = threading.Event()
+            release = threading.Event()
+
+            def slow(batch, span):
+                entered.set()
+                release.wait(5.0)
+                return inner(batch, span)
+
+            svc._apply_batch_inner = slow
+            svc.add_edge(3, 4)  # size trigger drains it immediately
+            assert entered.wait(2.0)
+            assert svc.queue_depth == 0  # drained, still applying
+            with pytest.raises(TimeoutError):
+                svc.flush(timeout=0.05)
+            release.set()
+            svc.flush()
+            assert svc.same_component(3, 4)
+        finally:
+            svc.close()
+
+    def test_flush_no_pending_returns_immediately(self):
+        svc = ConnectivityService(num_vertices=5)
+        try:
+            t0 = time.monotonic()
+            svc.flush(timeout=5.0)
+            assert time.monotonic() - t0 < 1.0
+        finally:
+            svc.close()

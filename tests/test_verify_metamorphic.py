@@ -1,6 +1,6 @@
-"""Metamorphic regression pins: frontier, dense, FastSV, Afforest, and
-the out-of-core streamer must satisfy the solver-independent
-invariants."""
+"""Metamorphic regression pins: frontier, dense, FastSV, Afforest, the
+out-of-core streamer, and the distributed merge must satisfy the
+solver-independent invariants."""
 
 import numpy as np
 import pytest
@@ -67,6 +67,21 @@ def test_oocore_invariants(check):
     def run(g):
         return connected_components(
             g, backend="oocore", shards=3, full_result=False
+        )
+
+    fn = METAMORPHIC_CHECKS[check]
+    for i, g in enumerate(_graphs()):
+        assert fn(run, g, np.random.default_rng(i)) is None
+
+
+@pytest.mark.parametrize("check", sorted(METAMORPHIC_CHECKS))
+def test_dist_invariants(check):
+    """The distributed merge satisfies every metamorphic invariant with
+    a host count that forces cross-host boundary exchange."""
+
+    def run(g):
+        return connected_components(
+            g, backend="distributed", hosts=3, full_result=False
         )
 
     fn = METAMORPHIC_CHECKS[check]

@@ -120,6 +120,12 @@ class TestGateRun:
             assert row["oocore_merge_passes"] >= 1
             assert 0 < row["oocore_peak_bytes"] <= row["oocore_budget_bytes"]
             assert row["oocore_csr_bytes"] > 0
+            # Schema v7: distributed merge columns.
+            assert row["dist_ms"] > 0
+            assert row["dist_hosts"] == wallclock.DIST_GATE_HOSTS
+            assert row["dist_rounds"] >= 1
+            assert row["dist_bytes_on_wire"] > 0
+            assert row["dist_recoveries"] == 0
             # Schema v3: serving-layer columns.
             assert row["service_qps"] > 0
             assert row["naive_qps"] > 0
@@ -162,7 +168,8 @@ class TestGateRun:
         # ... and the skipped legs' columns are simply absent.
         for absent in ("before_ms", "speedup", "dense_ms", "fastsv_ms",
                        "resilient_ms", "supervisor_overhead", "oocore_ms",
-                       "oocore_peak_bytes"):
+                       "oocore_peak_bytes", "dist_ms", "dist_rounds",
+                       "dist_recoveries"):
             assert absent not in row
         assert "oocore_demo" not in payload
         # A filtered payload must still be checkable.
@@ -416,6 +423,17 @@ class TestCheckGate:
 
     def test_payloads_without_oocore_fields_exempt(self):
         # schema v5 payloads predate the out-of-core columns.
+        assert check_gate({"graphs": [self.row("a", 3.5)]}) == []
+
+    def test_dist_recoveries_nonzero_flagged(self):
+        bad = dict(self.row("a", 3.5), dist_recoveries=2)
+        problems = check_gate({"graphs": [bad]})
+        assert len(problems) == 1 and "failure detector" in problems[0]
+        bad["dist_recoveries"] = 0
+        assert check_gate({"graphs": [bad]}) == []
+
+    def test_payloads_without_dist_fields_exempt(self):
+        # schema v6 payloads predate the distributed columns.
         assert check_gate({"graphs": [self.row("a", 3.5)]}) == []
 
 
